@@ -1,0 +1,45 @@
+// Command unfold-experiments regenerates the paper's tables and figures on
+// the synthetic tasks. Each experiment has a stable ID; see -list.
+//
+// Examples:
+//
+//	unfold-experiments -exp tab1
+//	unfold-experiments -exp all -quick
+//	unfold-experiments -exp fig9 -scale 2 -utts 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (see -list) or \"all\"")
+	scale := flag.Float64("scale", 1.0, "task scale factor (vocabulary, corpus)")
+	utts := flag.Int("utts", 0, "test utterances per task (0 = task default)")
+	quick := flag.Bool("quick", false, "restrict multi-task experiments to the small task")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		desc := experiments.Describe()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, desc[id])
+		}
+		return
+	}
+
+	opt := experiments.Options{
+		Scale:      *scale,
+		Utterances: *utts,
+		Quick:      *quick,
+		Out:        os.Stdout,
+	}
+	if err := experiments.Run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "unfold-experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command wfst-tool builds, composes, compresses and inspects the WFSTs of
+// a benchmark task, and can save/load them in the binary serialization
+// format.
+//
+// Examples:
+//
+//	wfst-tool -task voxforge -op stats
+//	wfst-tool -task voxforge -op compose
+//	wfst-tool -task tedlium -op compress
+//	wfst-tool -task voxforge -op save -dir /tmp/vox && wfst-tool -op load -dir /tmp/vox
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/task"
+	"repro/internal/wfst"
+
+	unfold "repro"
+)
+
+func main() {
+	taskName := flag.String("task", "voxforge", "task: tedlium, librispeech, voxforge, eesen")
+	scale := flag.Float64("scale", 1.0, "task scale factor")
+	op := flag.String("op", "stats", "operation: stats, compose, compress, save, load")
+	dir := flag.String("dir", ".", "directory for save/load")
+	flag.Parse()
+
+	switch *op {
+	case "load":
+		if err := load(*dir); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	spec, err := specFor(*taskName, *scale)
+	if err != nil {
+		fail(err)
+	}
+	spec.TestUtterances = 1
+	tk, err := task.Build(spec)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *op {
+	case "stats":
+		fmt.Printf("AM: %s\n", wfst.ComputeStats(tk.AM.G))
+		fmt.Printf("LM: %s\n", wfst.ComputeStats(tk.LMGraph.G))
+	case "compose":
+		fmt.Println("composing AM o LM offline (the blow-up UNFOLD avoids)...")
+		g, err := wfst.Compose(tk.AM.G, tk.LMGraph.G, wfst.ComposeOptions{MaxStates: 30_000_000})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("composed: %s\n", wfst.ComputeStats(g))
+		ratio := float64(g.SizeBytes()) / float64(tk.AM.G.SizeBytes()+tk.LMGraph.G.SizeBytes())
+		fmt.Printf("blow-up vs components: %.1fx\n", ratio)
+	case "compress":
+		qa, err := compress.TrainQuantizer(compress.CollectWeights(tk.AM.G), 0)
+		if err != nil {
+			fail(err)
+		}
+		cam, err := compress.EncodeAM(tk.AM.G, qa)
+		if err != nil {
+			fail(err)
+		}
+		ql, err := compress.TrainQuantizer(compress.CollectWeights(tk.LMGraph.G), 0)
+		if err != nil {
+			fail(err)
+		}
+		clm, err := compress.EncodeLM(tk.LMGraph, ql)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("AM: %s -> %s (%.1fx; %d short / %d normal arcs)\n",
+			wfst.FormatBytes(tk.AM.G.SizeBytes()), wfst.FormatBytes(cam.SizeBytes()),
+			float64(tk.AM.G.SizeBytes())/float64(cam.SizeBytes()), cam.ShortArcs, cam.NormalArcs)
+		fmt.Printf("LM: %s -> %s (%.1fx)\n",
+			wfst.FormatBytes(tk.LMGraph.G.SizeBytes()), wfst.FormatBytes(clm.SizeBytes()),
+			float64(tk.LMGraph.G.SizeBytes())/float64(clm.SizeBytes()))
+	case "save":
+		if err := save(*dir, tk); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s and %s\n", filepath.Join(*dir, "am.wfst"), filepath.Join(*dir, "lm.wfst"))
+	default:
+		fail(fmt.Errorf("unknown op %q", *op))
+	}
+}
+
+func save(dir string, tk *task.Task) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, item := range []struct {
+		name string
+		g    *wfst.WFST
+	}{{"am.wfst", tk.AM.G}, {"lm.wfst", tk.LMGraph.G}} {
+		f, err := os.Create(filepath.Join(dir, item.name))
+		if err != nil {
+			return err
+		}
+		if err := wfst.Write(item.g, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func load(dir string) error {
+	for _, name := range []string{"am.wfst", "lm.wfst"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		g, err := wfst.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", name, wfst.ComputeStats(g))
+	}
+	return nil
+}
+
+func specFor(name string, scale float64) (task.Spec, error) {
+	switch strings.ToLower(name) {
+	case "tedlium":
+		return unfold.KaldiTedlium(scale), nil
+	case "librispeech":
+		return unfold.KaldiLibrispeech(scale), nil
+	case "voxforge":
+		return unfold.KaldiVoxforge(scale), nil
+	case "eesen":
+		return unfold.EesenTedlium(scale), nil
+	default:
+		return task.Spec{}, fmt.Errorf("unknown task %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wfst-tool:", err)
+	os.Exit(1)
+}

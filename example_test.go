@@ -1,0 +1,73 @@
+package unfold_test
+
+import (
+	"fmt"
+
+	unfold "repro"
+	"repro/internal/decoder"
+	"repro/internal/task"
+)
+
+// The basic flow: build a system, recognize its own test utterances.
+func ExampleNewSystem() {
+	sys, err := unfold.NewSystem(task.Spec{
+		Name:           "example",
+		Vocab:          25,
+		Phones:         10,
+		TrainSentences: 150,
+		TestUtterances: 1,
+		Seed:           9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	u := sys.TestSet()[0]
+	hyp, err := sys.Recognize(u.Frames)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recognized", len(hyp), "words; reference has", len(u.Words))
+	// Output: recognized 6 words; reference has 6
+}
+
+// Dataset footprints: the memory story the paper is about.
+func ExampleSystem_Footprint() {
+	sys, err := unfold.NewSystem(task.Spec{
+		Name:           "example-fp",
+		Vocab:          25,
+		Phones:         10,
+		TrainSentences: 150,
+		TestUtterances: 1,
+		Seed:           9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fp := sys.Footprint()
+	fmt.Println("compressed smaller than uncompressed:",
+		fp.CompressedBytes() < fp.OnTheFlyBytes())
+	// Output: compressed smaller than uncompressed: true
+}
+
+// Custom decoder configuration: tighter beam, preemptive pruning.
+func ExampleSystem_NewDecoder() {
+	sys, err := unfold.NewSystem(task.Spec{
+		Name:           "example-dec",
+		Vocab:          25,
+		Phones:         10,
+		TrainSentences: 150,
+		TestUtterances: 1,
+		Seed:           9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	dec, err := sys.NewDecoder(decoder.Config{Beam: 12, PreemptivePruning: true})
+	if err != nil {
+		panic(err)
+	}
+	scores := sys.Task.Scorer.ScoreUtterance(sys.TestSet()[0].Frames)
+	res := dec.Decode(scores)
+	fmt.Println("reached a final state:", res.ReachedFinal)
+	// Output: reached a final state: true
+}

@@ -1,0 +1,67 @@
+// Custom language model: the operational advantage of on-the-fly
+// composition. With an offline-composed WFST, changing the grammar means
+// rebuilding and re-shipping a gigabyte-scale artifact; with UNFOLD, the AM
+// stays put and only the (small) LM is swapped. This example decodes the
+// same audio under a trigram, a bigram, and a heavily pruned LM, rebuilding
+// nothing but the language model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/decoder"
+	"repro/internal/lm"
+	"repro/internal/metrics"
+	"repro/internal/task"
+	"repro/internal/wfst"
+
+	unfold "repro"
+)
+
+func main() {
+	spec := unfold.KaldiVoxforge(1.0)
+	spec.TestUtterances = 15
+	tk, err := task.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	variants := []struct {
+		name string
+		opts lm.TrainOptions
+	}{
+		{"trigram", lm.TrainOptions{Order: 3}},
+		{"bigram", lm.TrainOptions{Order: 2}},
+		{"trigram, pruned (min-count 4)", lm.TrainOptions{Order: 3, MinCount: 4}},
+	}
+
+	fmt.Printf("AM is fixed: %s\n\n", wfst.ComputeStats(tk.AM.G))
+	for _, v := range variants {
+		model, err := lm.Train(tk.Train, spec.Vocab, v.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		graph, err := model.BuildGraph()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := decoder.NewOnTheFly(tk.AM.G, graph.G, decoder.Config{PreemptivePruning: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var acc metrics.WERAccumulator
+		for _, u := range tk.Test {
+			res := dec.Decode(tk.Scorer.ScoreUtterance(u.Frames))
+			acc.Add(u.Words, res.Words)
+		}
+		fmt.Printf("%-30s LM %8s  perplexity %6.1f  WER %5.2f%%\n",
+			v.name, wfst.FormatBytes(graph.G.SizeBytes()),
+			model.Perplexity(tk.Train), acc.WER())
+	}
+
+	fmt.Println("\nSwapping grammars re-used the acoustic model unchanged — with an offline-")
+	fmt.Println("composed recognizer each variant would be a full WFST rebuild.")
+	_ = strings.Join // keep strings imported for the template below
+}

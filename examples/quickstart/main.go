@@ -1,0 +1,45 @@
+// Quickstart: build a small recognition task, synthesize an utterance, and
+// recognize it with on-the-fly WFST composition — the whole public API in
+// thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	unfold "repro"
+)
+
+func main() {
+	// Build the smallest benchmark task (a Voxforge-like system): lexicon,
+	// AM and LM transducers, compressed datasets, and an acoustic scorer.
+	// The benchmark default noise is calibrated for paper-level WER; dial
+	// it down here so the quickstart transcript comes out clean.
+	spec := unfold.KaldiVoxforge(1.0)
+	spec.NoiseStd = 1.5
+	sys, err := unfold.NewSystem(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fp := sys.Footprint()
+	fmt.Printf("AM  %6.1f KB  (compressed %5.1f KB)\n", float64(fp.AMBytes)/1024, float64(fp.AMCompressedBytes)/1024)
+	fmt.Printf("LM  %6.1f KB  (compressed %5.1f KB)\n", float64(fp.LMBytes)/1024, float64(fp.LMCompressedBytes)/1024)
+
+	// Synthesize an utterance for a known word sequence...
+	rng := rand.New(rand.NewSource(7))
+	words := []int32{3, 14, 15, 9, 26}
+	frames := sys.Task.SynthesizeFrames(rng, words)
+	fmt.Printf("\nsaid:       %s\n", strings.Join(sys.Words(words), " "))
+	fmt.Printf("audio:      %d frames (%.2f s)\n", len(frames), float64(len(frames))/100)
+
+	// ...and recognize it: acoustic scoring + one-pass Viterbi search that
+	// composes the AM and LM graphs on the fly.
+	hyp, err := sys.Recognize(frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recognized: %s\n", strings.Join(sys.Words(hyp), " "))
+}

@@ -1,0 +1,193 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
+
+// CacheStats is the per-cache activity record.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+	Writes   uint64
+}
+
+// MissRatio returns misses/accesses (0 for an untouched cache).
+func (s CacheStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// cache is a set-associative LRU cache model at line granularity.
+type cache struct {
+	name     string
+	cfg      CacheConfig
+	sets     [][]uint64 // tags per way; ^uint64(0) = invalid
+	lineBits uint
+	setMask  uint64
+	stats    CacheStats
+}
+
+func newCache(name string, cfg CacheConfig) *cache {
+	if cfg.SizeBytes == 0 {
+		return nil
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.Assoc == 0 {
+		cfg.Assoc = 4
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Assoc
+	if nSets == 0 {
+		nSets = 1
+	}
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("accel: cache %s: %d sets not a power of two", name, nSets))
+	}
+	c := &cache{name: name, cfg: cfg, sets: make([][]uint64, nSets), setMask: uint64(nSets - 1)}
+	lb := uint(0)
+	for 1<<lb < cfg.LineBytes {
+		lb++
+	}
+	c.lineBits = lb
+	for i := range c.sets {
+		ways := make([]uint64, cfg.Assoc)
+		for w := range ways {
+			ways[w] = ^uint64(0)
+		}
+		c.sets[i] = ways
+	}
+	return c
+}
+
+// access touches one byte range; every distinct line touched is one cache
+// access. It returns the number of line misses. Writes are modelled
+// write-allocate (the Token Cache's behaviour for lattice output).
+func (c *cache) access(addr uint64, size uint64, write bool) (misses int) {
+	if c == nil || size == 0 {
+		return 0
+	}
+	first := addr >> c.lineBits
+	last := (addr + size - 1) >> c.lineBits
+	for line := first; line <= last; line++ {
+		c.stats.Accesses++
+		if write {
+			c.stats.Writes++
+		}
+		set := c.sets[line&c.setMask]
+		hit := -1
+		for w, tag := range set {
+			if tag == line {
+				hit = w
+				break
+			}
+		}
+		if hit >= 0 {
+			// Move to front (LRU position 0).
+			copy(set[1:hit+1], set[:hit])
+			set[0] = line
+			continue
+		}
+		c.stats.Misses++
+		misses++
+		copy(set[1:], set[:len(set)-1])
+		set[0] = line
+	}
+	return misses
+}
+
+// accessEnergy and leakage charge the energy model.
+func (c *cache) dynamicPJ() float64 {
+	if c == nil {
+		return 0
+	}
+	reads := float64(c.stats.Accesses - c.stats.Writes)
+	return reads*energy.SRAMReadPJ(int64(c.cfg.SizeBytes)) +
+		float64(c.stats.Writes)*energy.SRAMWritePJ(int64(c.cfg.SizeBytes))
+}
+
+func (c *cache) leakageMW() float64 {
+	if c == nil {
+		return 0
+	}
+	return energy.SRAMLeakageMW(int64(c.cfg.SizeBytes))
+}
+
+func (c *cache) statsOrZero() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return c.stats
+}
+
+// offsetTable models the direct-mapped Offset Lookup Table (Section 3.1):
+// indexed by XOR of LM state and word ID, storing a tag and the resolved
+// arc offset of a previous binary search.
+type offsetTable struct {
+	entries []offsetEntry
+	mask    uint64
+	hits    uint64
+	misses  uint64
+}
+
+type offsetEntry struct {
+	valid bool
+	key   uint64
+	off   uint64
+}
+
+func newOffsetTable(entries int) *offsetTable {
+	if entries == 0 {
+		return nil
+	}
+	if entries&(entries-1) != 0 {
+		panic("accel: offset table entries must be a power of two")
+	}
+	return &offsetTable{entries: make([]offsetEntry, entries), mask: uint64(entries - 1)}
+}
+
+func (t *offsetTable) index(lmState uint64, word uint64) uint64 {
+	return (lmState ^ word) & t.mask
+}
+
+// lookup probes the table; on hit it returns the stored arc offset.
+func (t *offsetTable) lookup(lmState, word uint64) (uint64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	e := t.entries[t.index(lmState, word)]
+	key := lmState<<20 | word
+	if e.valid && e.key == key {
+		t.hits++
+		return e.off, true
+	}
+	t.misses++
+	return 0, false
+}
+
+// insert stores the result of a completed binary search.
+func (t *offsetTable) insert(lmState, word, off uint64) {
+	if t == nil {
+		return
+	}
+	t.entries[t.index(lmState, word)] = offsetEntry{valid: true, key: lmState<<20 | word, off: off}
+}
+
+func (t *offsetTable) hitRatio() float64 {
+	if t == nil || t.hits+t.misses == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(t.hits+t.misses)
+}
+
+func (t *offsetTable) sizeBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(len(t.entries)) * OffsetEntryBytes
+}

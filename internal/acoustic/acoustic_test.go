@@ -1,0 +1,201 @@
+package acoustic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newModel(t testing.TB, seed int64, senones, dim int) *SenoneModel {
+	t.Helper()
+	m, err := NewSenoneModel(rand.New(rand.NewSource(seed)), senones, dim, 1.0, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewSenoneModelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSenoneModel(rng, 0, 8, 1, 0.4); err == nil {
+		t.Error("expected error for zero senones")
+	}
+	if _, err := NewSenoneModel(rng, 4, 8, 1, 0); err == nil {
+		t.Error("expected error for zero sigma")
+	}
+}
+
+func TestSynthesizeShapeAndAlignment(t *testing.T) {
+	m := newModel(t, 2, 12, 8)
+	rng := rand.New(rand.NewSource(3))
+	seq := []int32{1, 5, 9, 2}
+	frames, align := m.Synthesize(rng, seq, SynthesisOptions{})
+	if len(frames) != len(align) {
+		t.Fatalf("frames %d != align %d", len(frames), len(align))
+	}
+	if len(frames) < len(seq) {
+		t.Fatalf("only %d frames for %d senones (min 1 each)", len(frames), len(seq))
+	}
+	// Alignment must be seq with runs.
+	var collapsed []int32
+	for i, s := range align {
+		if i == 0 || align[i-1] != s {
+			collapsed = append(collapsed, s)
+		}
+	}
+	// Adjacent identical senones in seq merge in the collapsed view, so
+	// compare against the run-collapsed input as well.
+	var seqCollapsed []int32
+	for i, s := range seq {
+		if i == 0 || seq[i-1] != s {
+			seqCollapsed = append(seqCollapsed, s)
+		}
+	}
+	if len(collapsed) != len(seqCollapsed) {
+		t.Fatalf("collapsed alignment %v vs %v", collapsed, seqCollapsed)
+	}
+	for i := range collapsed {
+		if collapsed[i] != seqCollapsed[i] {
+			t.Fatalf("alignment mismatch at %d: %v vs %v", i, collapsed, seqCollapsed)
+		}
+	}
+}
+
+func TestSynthesizeMeanDuration(t *testing.T) {
+	m := newModel(t, 4, 4, 6)
+	rng := rand.New(rand.NewSource(5))
+	seq := make([]int32, 2000)
+	for i := range seq {
+		seq[i] = int32(i%4 + 1)
+	}
+	frames, _ := m.Synthesize(rng, seq, SynthesisOptions{MeanFrames: 3})
+	mean := float64(len(frames)) / float64(len(seq))
+	if mean < 2.5 || mean > 3.5 {
+		t.Errorf("mean duration %.2f, want ~3", mean)
+	}
+}
+
+// Core discriminability invariant: with moderate noise, the true senone is
+// the argmax score on a large majority of frames, for every scorer. Without
+// this, WER would be meaningless.
+func TestScorersDiscriminative(t *testing.T) {
+	m := newModel(t, 6, 20, 12)
+	rng := rand.New(rand.NewSource(7))
+	seq := make([]int32, 300)
+	for i := range seq {
+		seq[i] = int32(rng.Intn(20) + 1)
+	}
+	frames, align := m.Synthesize(rng, seq, SynthesisOptions{NoiseStd: 1.0})
+	for _, sc := range []Scorer{
+		NewGMMScorer(m),
+		NewDNNScorer(m, rand.New(rand.NewSource(8)), 64, 2),
+		NewRNNScorer(m, rand.New(rand.NewSource(9)), 64),
+	} {
+		scores := sc.ScoreUtterance(frames)
+		if err := Validate(m, scores); err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for f, row := range scores {
+			best, bestS := float32(math.Inf(-1)), 0
+			for s := 1; s <= m.NumSenones; s++ {
+				if row[s] > best {
+					best, bestS = row[s], s
+				}
+			}
+			if int32(bestS) == align[f] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(frames))
+		if acc < 0.6 {
+			t.Errorf("%s: frame accuracy %.2f < 0.6", sc.Name(), acc)
+		}
+		if acc == 1.0 {
+			t.Errorf("%s: frame accuracy exactly 1.0 — no confusability, WER would be 0", sc.Name())
+		}
+	}
+}
+
+// Property: GMM scores are proper log-densities — finite and bounded above
+// by the maximum of a Gaussian density at the frame dimensionality.
+func TestGMMScoreBounds(t *testing.T) {
+	m := newModel(t, 10, 8, 6)
+	g := NewGMMScorer(m)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frames, _ := m.Synthesize(rng, []int32{int32(rng.Intn(8) + 1)}, SynthesisOptions{})
+		scores := g.ScoreUtterance(frames)
+		maxLog := -0.5 * float64(m.Dim) * math.Log(2*math.Pi*float64(m.Sigma)*float64(m.Sigma))
+		for _, row := range scores {
+			for s := 1; s <= m.NumSenones; s++ {
+				v := float64(row[s])
+				if math.IsNaN(v) || math.IsInf(v, 0) || v > maxLog+1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNNSmoothing(t *testing.T) {
+	m := newModel(t, 12, 6, 6)
+	r := NewRNNScorer(m, rand.New(rand.NewSource(13)), 32)
+	rng := rand.New(rand.NewSource(14))
+	// Hold one senone, then switch: the RNN's score for the new senone must
+	// climb over a couple of frames (temporal integration), not jump.
+	seq := []int32{1, 1, 1, 1, 2, 2, 2, 2}
+	frames := make([][]float32, 0)
+	for _, s := range seq {
+		fr, _ := m.Synthesize(rng, []int32{s}, SynthesisOptions{MeanFrames: 1.01, NoiseStd: 0.1})
+		frames = append(frames, fr[0])
+	}
+	scores := r.ScoreUtterance(frames)
+	// At the switch frame (index 4), senone 2's smoothed score should be
+	// below its steady-state value a few frames later.
+	if scores[4][2] >= scores[7][2] {
+		t.Errorf("no temporal smoothing: switch score %.3f >= settled score %.3f",
+			scores[4][2], scores[7][2])
+	}
+}
+
+func TestFLOPsAndSize(t *testing.T) {
+	m := newModel(t, 16, 30, 16)
+	rng := rand.New(rand.NewSource(17))
+	g := NewGMMScorer(m)
+	d := NewDNNScorer(m, rng, 256, 3)
+	r := NewRNNScorer(m, rng, 256)
+	if g.FLOPsPerFrame() <= 0 || d.FLOPsPerFrame() <= 0 || r.FLOPsPerFrame() <= 0 {
+		t.Error("non-positive FLOPs")
+	}
+	if d.FLOPsPerFrame() <= g.FLOPsPerFrame() {
+		t.Error("DNN should cost more FLOPs than the miniature GMM")
+	}
+	for _, sc := range []Scorer{g, d, r} {
+		if SizeBytes(sc) <= 0 {
+			t.Errorf("%s: non-positive size", sc.Name())
+		}
+	}
+}
+
+func TestScorerDeterminism(t *testing.T) {
+	m := newModel(t, 20, 10, 8)
+	rng := rand.New(rand.NewSource(21))
+	frames, _ := m.Synthesize(rng, []int32{1, 2, 3}, SynthesisOptions{})
+	d1 := NewDNNScorer(m, rand.New(rand.NewSource(5)), 32, 2)
+	d2 := NewDNNScorer(m, rand.New(rand.NewSource(5)), 32, 2)
+	s1 := d1.ScoreUtterance(frames)
+	s2 := d2.ScoreUtterance(frames)
+	for f := range s1 {
+		for s := range s1[f] {
+			if s1[f][s] != s2[f][s] {
+				t.Fatal("same-seed scorers disagree")
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package acoustic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary senone-model serialization: little-endian
+// magic, version, dim, numSenones, sigma, then means row-major (senone 1..N).
+const (
+	senoneMagic   = uint32('S') | uint32('E')<<8 | uint32('N')<<16 | uint32('1')<<24
+	senoneVersion = 1
+)
+
+// WriteSenoneModel serializes the model.
+func WriteSenoneModel(m *SenoneModel, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{senoneMagic, senoneVersion, uint32(m.Dim), uint32(m.NumSenones), math.Float32bits(m.Sigma)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for s := 1; s <= m.NumSenones; s++ {
+		if len(m.Means[s]) != m.Dim {
+			return fmt.Errorf("acoustic: senone %d has %d dims, want %d", s, len(m.Means[s]), m.Dim)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m.Means[s]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSenoneModel deserializes a model written by WriteSenoneModel.
+func ReadSenoneModel(r io.Reader) (*SenoneModel, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("acoustic: reading header: %w", err)
+	}
+	if hdr[0] != senoneMagic {
+		return nil, fmt.Errorf("acoustic: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != senoneVersion {
+		return nil, fmt.Errorf("acoustic: unsupported version %d", hdr[1])
+	}
+	m := &SenoneModel{
+		Dim:        int(hdr[2]),
+		NumSenones: int(hdr[3]),
+		Sigma:      math.Float32frombits(hdr[4]),
+	}
+	if m.Dim < 1 || m.Dim > 1<<16 || m.NumSenones < 1 || m.NumSenones > 1<<24 {
+		return nil, fmt.Errorf("acoustic: implausible model shape %dx%d", m.NumSenones, m.Dim)
+	}
+	m.Means = make([][]float32, m.NumSenones+1)
+	for s := 1; s <= m.NumSenones; s++ {
+		row := make([]float32, m.Dim)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("acoustic: reading senone %d: %w", s, err)
+		}
+		m.Means[s] = row
+	}
+	return m, nil
+}

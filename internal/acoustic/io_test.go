@@ -1,0 +1,50 @@
+package acoustic
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSenoneModelRoundTrip(t *testing.T) {
+	m := newModel(t, 71, 15, 9)
+	var buf bytes.Buffer
+	if err := WriteSenoneModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSenoneModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != m.Dim || got.NumSenones != m.NumSenones || got.Sigma != m.Sigma {
+		t.Fatalf("header mismatch: %+v vs %+v", got, m)
+	}
+	for s := 1; s <= m.NumSenones; s++ {
+		for d := 0; d < m.Dim; d++ {
+			if got.Means[s][d] != m.Means[s][d] {
+				t.Fatalf("senone %d dim %d: %v vs %v", s, d, got.Means[s][d], m.Means[s][d])
+			}
+		}
+	}
+}
+
+func TestReadSenoneModelErrors(t *testing.T) {
+	if _, err := ReadSenoneModel(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("expected error for garbage")
+	}
+	// Truncated stream.
+	m := newModel(t, 72, 6, 4)
+	var buf bytes.Buffer
+	if err := WriteSenoneModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadSenoneModel(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Error("expected error for truncated stream")
+	}
+	// Implausible header (corrupt the senone count field).
+	c := append([]byte{}, b...)
+	c[12], c[13], c[14], c[15] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := ReadSenoneModel(bytes.NewReader(c)); err == nil {
+		t.Error("expected error for implausible header")
+	}
+}

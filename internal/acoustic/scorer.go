@@ -1,0 +1,314 @@
+package acoustic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scorer turns an utterance's feature frames into per-frame senone
+// log-likelihood vectors — the contents of the paper's Acoustic Likelihood
+// Buffer. Row f of the result is indexed by senone ID (1-based; index 0 is
+// unused and holds -Inf semantics via a very negative value).
+type Scorer interface {
+	// ScoreUtterance scores all frames at once, mirroring the batch
+	// interface between the GPU and the accelerator (Section 5.2).
+	ScoreUtterance(frames [][]float32) [][]float32
+	// FLOPsPerFrame reports the arithmetic cost per frame, used by the
+	// GPU time/energy model.
+	FLOPsPerFrame() float64
+	Name() string
+}
+
+const unusedScore = float32(-1e30)
+
+// ---------------------------------------------------------------------------
+// GMM scorer
+
+// GMMScorer models each senone as a two-component diagonal-covariance
+// mixture straddling the senone template (the classic Kaldi GMM decoder's
+// acoustic model, at miniature scale).
+type GMMScorer struct {
+	m      *SenoneModel
+	comps  [][]float32 // per senone: two mixture means, concatenated
+	lw     float32     // log mixture weight (uniform: log 0.5)
+	offset float32     // mixture mean offset relative to sigma
+}
+
+// NewGMMScorer derives a GMM from the senone model. The two component means
+// sit at mu ± 0.25·sigma, so the mixture is centred on the template.
+func NewGMMScorer(m *SenoneModel) *GMMScorer {
+	g := &GMMScorer{m: m, lw: float32(-0.6931472), offset: 0.25 * m.Sigma}
+	g.comps = make([][]float32, m.NumSenones+1)
+	for s := 1; s <= m.NumSenones; s++ {
+		c := make([]float32, 2*m.Dim)
+		for d := 0; d < m.Dim; d++ {
+			c[d] = m.Means[s][d] - g.offset
+			c[m.Dim+d] = m.Means[s][d] + g.offset
+		}
+		g.comps[s] = c
+	}
+	return g
+}
+
+func (g *GMMScorer) Name() string { return "GMM" }
+
+// FLOPsPerFrame: per senone, two components, each ~4 ops per dimension.
+func (g *GMMScorer) FLOPsPerFrame() float64 {
+	return float64(g.m.NumSenones) * 2 * 4 * float64(g.m.Dim)
+}
+
+func (g *GMMScorer) ScoreUtterance(frames [][]float32) [][]float32 {
+	out := make([][]float32, len(frames))
+	for f, x := range frames {
+		row := make([]float32, g.m.NumSenones+1)
+		row[0] = unusedScore
+		for s := 1; s <= g.m.NumSenones; s++ {
+			c := g.comps[s]
+			l1 := logGauss(x, c[:g.m.Dim], g.m.Sigma) + g.lw
+			l2 := logGauss(x, c[g.m.Dim:], g.m.Sigma) + g.lw
+			row[s] = logSumExp2(l1, l2)
+		}
+		out[f] = row
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// DNN scorer
+
+// DNNScorer emulates a feed-forward acoustic network. Discrimination comes
+// from an output layer whose weights are analytically derived from the
+// senone templates (an affine layer computing 2⟨x,μ⟩−‖μ‖², i.e. the Gaussian
+// score up to a per-frame constant that cancels in Viterbi comparisons).
+// Hidden layers with random weights are genuinely computed and contribute a
+// small perturbation, standing in for the idiosyncrasies of a trained
+// network; their main role is a realistic per-frame arithmetic cost.
+type DNNScorer struct {
+	m       *SenoneModel
+	hidden  int
+	layers  int
+	w1      []float32 // hidden x dim
+	wh      []float32 // hidden x hidden, shared across deep layers
+	proj    []float32 // (senones+1) x hidden perturbation projection
+	tmplW   [][]float32
+	tmplB   []float32
+	perturb float32
+}
+
+// NewDNNScorer builds the emulated network. hidden is the hidden width
+// (default 256), layers the number of hidden layers (default 3).
+func NewDNNScorer(m *SenoneModel, rng *rand.Rand, hidden, layers int) *DNNScorer {
+	if hidden == 0 {
+		hidden = 256
+	}
+	if layers == 0 {
+		layers = 3
+	}
+	d := &DNNScorer{m: m, hidden: hidden, layers: layers, perturb: 0.02}
+	scale := float32(1.0 / float32(m.Dim))
+	d.w1 = randMat(rng, hidden*m.Dim, scale)
+	d.wh = randMat(rng, hidden*hidden, 1.0/float32(hidden))
+	d.proj = randMat(rng, (m.NumSenones+1)*hidden, 1.0/float32(hidden))
+	// Template output layer: score_s = (2<x,mu_s> - |mu_s|^2) / (2 sigma^2).
+	inv := 1 / (2 * m.Sigma * m.Sigma)
+	d.tmplW = make([][]float32, m.NumSenones+1)
+	d.tmplB = make([]float32, m.NumSenones+1)
+	for s := 1; s <= m.NumSenones; s++ {
+		w := make([]float32, m.Dim)
+		var sq float32
+		for j, mu := range m.Means[s] {
+			w[j] = 2 * mu * inv
+			sq += mu * mu
+		}
+		d.tmplW[s] = w
+		d.tmplB[s] = -sq * inv
+	}
+	return d
+}
+
+func randMat(rng *rand.Rand, n int, scale float32) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return v
+}
+
+func (d *DNNScorer) Name() string { return "DNN" }
+
+func (d *DNNScorer) FLOPsPerFrame() float64 {
+	return 2 * (float64(d.hidden)*float64(d.m.Dim) +
+		float64(d.layers-1)*float64(d.hidden)*float64(d.hidden) +
+		float64(d.m.NumSenones+1)*float64(d.hidden) +
+		float64(d.m.NumSenones)*float64(d.m.Dim))
+}
+
+func (d *DNNScorer) ScoreUtterance(frames [][]float32) [][]float32 {
+	out := make([][]float32, len(frames))
+	h := make([]float32, d.hidden)
+	h2 := make([]float32, d.hidden)
+	for f, x := range frames {
+		// Hidden stack (computed for cost and perturbation).
+		matVec(h, d.w1, x)
+		reluInPlace(h)
+		for l := 1; l < d.layers; l++ {
+			matVec(h2, d.wh, h)
+			reluInPlace(h2)
+			h, h2 = h2, h
+		}
+		row := make([]float32, d.m.NumSenones+1)
+		row[0] = unusedScore
+		for s := 1; s <= d.m.NumSenones; s++ {
+			t := d.tmplB[s] + dot(d.tmplW[s], x)
+			p := dot(d.proj[s*d.hidden:(s+1)*d.hidden], h)
+			row[s] = t + d.perturb*p
+		}
+		out[f] = row
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// RNN scorer
+
+// RNNScorer emulates the EESEN-style recurrent network: a genuinely
+// recurrent hidden state (Elman update) plus exponential smoothing of the
+// template scores, modelling the temporal integration a trained LSTM
+// performs over CTC phone posteriors.
+type RNNScorer struct {
+	m      *SenoneModel
+	hidden int
+	wx     []float32
+	wr     []float32
+	proj   []float32
+	tmpl   *DNNScorer // reuse the template output layer
+	alpha  float32
+}
+
+// NewRNNScorer builds the emulated recurrent scorer; hidden defaults to 256.
+func NewRNNScorer(m *SenoneModel, rng *rand.Rand, hidden int) *RNNScorer {
+	if hidden == 0 {
+		hidden = 256
+	}
+	return &RNNScorer{
+		m:      m,
+		hidden: hidden,
+		wx:     randMat(rng, hidden*m.Dim, 1.0/float32(m.Dim)),
+		wr:     randMat(rng, hidden*hidden, 1.0/float32(hidden)),
+		proj:   randMat(rng, (m.NumSenones+1)*hidden, 1.0/float32(hidden)),
+		tmpl:   NewDNNScorer(m, rng, 8, 1), // tiny stack; we use only its template layer
+		alpha:  0.7,
+	}
+}
+
+func (r *RNNScorer) Name() string { return "RNN" }
+
+func (r *RNNScorer) FLOPsPerFrame() float64 {
+	return 2 * (float64(r.hidden)*float64(r.m.Dim) +
+		float64(r.hidden)*float64(r.hidden) +
+		float64(r.m.NumSenones+1)*float64(r.hidden) +
+		float64(r.m.NumSenones)*float64(r.m.Dim))
+}
+
+func (r *RNNScorer) ScoreUtterance(frames [][]float32) [][]float32 {
+	out := make([][]float32, len(frames))
+	h := make([]float32, r.hidden)
+	hNew := make([]float32, r.hidden)
+	smooth := make([]float32, r.m.NumSenones+1)
+	first := true
+	for f, x := range frames {
+		// Elman recurrence: h = tanh(Wx x + Wr h).
+		matVec(hNew, r.wx, x)
+		addMatVec(hNew, r.wr, h)
+		tanhInPlace(hNew)
+		h, hNew = hNew, h
+
+		row := make([]float32, r.m.NumSenones+1)
+		row[0] = unusedScore
+		for s := 1; s <= r.m.NumSenones; s++ {
+			t := r.tmpl.tmplB[s] + dot(r.tmpl.tmplW[s], x)
+			p := dot(r.proj[s*r.hidden:(s+1)*r.hidden], h)
+			raw := t + 0.02*p
+			if first {
+				smooth[s] = raw
+			} else {
+				smooth[s] = (1-r.alpha)*smooth[s] + r.alpha*raw
+			}
+			row[s] = smooth[s]
+		}
+		first = false
+		out[f] = row
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func matVec(dst, m, x []float32) {
+	n := len(x)
+	rows := len(dst)
+	for i := 0; i < rows; i++ {
+		dst[i] = dot(m[i*n:(i+1)*n], x)
+	}
+}
+
+func addMatVec(dst, m, x []float32) {
+	n := len(x)
+	rows := len(dst)
+	for i := 0; i < rows; i++ {
+		dst[i] += dot(m[i*n:(i+1)*n], x)
+	}
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range b {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func reluInPlace(v []float32) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+func tanhInPlace(v []float32) {
+	for i, x := range v {
+		// Rational tanh approximation: cheap and monotone, adequate for an
+		// emulated network.
+		x2 := x * x
+		v[i] = x * (27 + x2) / (27 + 9*x2)
+	}
+}
+
+// SizeBytes reports the model's storage footprint (float32 parameters) for
+// the Figure 2 / Section 5.2 dataset-size accounting.
+func SizeBytes(s Scorer) int64 {
+	switch sc := s.(type) {
+	case *GMMScorer:
+		return int64(sc.m.NumSenones) * int64(2*sc.m.Dim+2) * 4
+	case *DNNScorer:
+		return int64(len(sc.w1)+len(sc.wh)*(sc.layers-1)+len(sc.proj)+
+			(sc.m.NumSenones+1)*(sc.m.Dim+1)) * 4
+	case *RNNScorer:
+		return int64(len(sc.wx)+len(sc.wr)+len(sc.proj)+
+			(sc.m.NumSenones+1)*(sc.m.Dim+1)) * 4
+	default:
+		return 0
+	}
+}
+
+// Validate sanity-checks a score matrix shape against a senone model.
+func Validate(m *SenoneModel, scores [][]float32) error {
+	for f, row := range scores {
+		if len(row) != m.NumSenones+1 {
+			return fmt.Errorf("acoustic: frame %d has %d scores, want %d", f, len(row), m.NumSenones+1)
+		}
+	}
+	return nil
+}

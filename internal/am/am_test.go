@@ -1,0 +1,264 @@
+package am
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+func genLex(t testing.TB, seed int64, vocab, phones int) *Lexicon {
+	t.Helper()
+	lex, err := GenerateLexicon(rand.New(rand.NewSource(seed)), GenerateOptions{Vocab: vocab, Phones: phones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lex
+}
+
+func TestGenerateLexiconBasics(t *testing.T) {
+	lex := genLex(t, 1, 50, 20)
+	if lex.V() != 50 {
+		t.Fatalf("V = %d, want 50", lex.V())
+	}
+	if lex.NumPhones != 21 {
+		t.Fatalf("NumPhones = %d, want 21 (20 + silence)", lex.NumPhones)
+	}
+	for w := int32(1); w <= 50; w++ {
+		pron := lex.Pron(w)
+		if len(pron) < 2 || len(pron) > 8 {
+			t.Errorf("word %d pron length %d outside [2,8]", w, len(pron))
+		}
+		for _, ph := range pron {
+			if ph < 1 || ph >= lex.SilencePhone() {
+				t.Errorf("word %d uses phone %d (silence is %d)", w, ph, lex.SilencePhone())
+			}
+		}
+	}
+}
+
+func TestGenerateLexiconErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateLexicon(rng, GenerateOptions{Vocab: 0, Phones: 5}); err == nil {
+		t.Error("expected error for zero vocab")
+	}
+	if _, err := GenerateLexicon(rng, GenerateOptions{Vocab: 5, Phones: 1}); err == nil {
+		t.Error("expected error for tiny phone set")
+	}
+	if _, err := GenerateLexicon(rng, GenerateOptions{Vocab: 5, Phones: 5, MinLen: 4, MaxLen: 2}); err == nil {
+		t.Error("expected error for inverted length range")
+	}
+}
+
+// Property: generated pronunciation sets are prefix-free — the invariant
+// that gives every word a unique cross-word arc in the lexicon tree.
+func TestLexiconPrefixFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lex, err := GenerateLexicon(rng, GenerateOptions{Vocab: 40, Phones: 8, AltPronProb: 0.2})
+		if err != nil {
+			return false
+		}
+		var all [][]int32
+		for w := 1; w <= lex.V(); w++ {
+			all = append(all, lex.Prons[w]...)
+		}
+		isPrefix := func(a, b []int32) bool {
+			if len(a) > len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for i := range all {
+			for j := range all {
+				if i != j && isPrefix(all[i], all[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopologySenoneNumbering(t *testing.T) {
+	topo := Topology{StatesPerPhone: 3, SelfLoopProb: 0.6}
+	if topo.Senone(1, 0) != 1 {
+		t.Errorf("Senone(1,0) = %d, want 1", topo.Senone(1, 0))
+	}
+	if topo.Senone(1, 2) != 3 {
+		t.Errorf("Senone(1,2) = %d, want 3", topo.Senone(1, 2))
+	}
+	if topo.Senone(2, 0) != 4 {
+		t.Errorf("Senone(2,0) = %d, want 4", topo.Senone(2, 0))
+	}
+	if topo.NumSenones(10) != 30 {
+		t.Errorf("NumSenones(10) = %d, want 30", topo.NumSenones(10))
+	}
+}
+
+func TestBuildGraphStructure(t *testing.T) {
+	lex := genLex(t, 2, 30, 12)
+	gr, err := BuildGraph(lex, Topology{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gr.G
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Start() != 0 || !g.IsFinal(0) {
+		t.Fatal("start state must be 0 and final")
+	}
+	st := wfst.ComputeStats(g)
+	// Exactly one cross-word arc per pronunciation.
+	wantCross := 0
+	for w := 1; w <= lex.V(); w++ {
+		wantCross += len(lex.Prons[w])
+	}
+	if st.CrossWordArcs != wantCross {
+		t.Errorf("cross-word arcs = %d, want %d", st.CrossWordArcs, wantCross)
+	}
+	// Each cross-word arc has a distinct word... collect them.
+	seen := map[int32]int{}
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		for _, a := range g.Arcs(s) {
+			if a.Out != wfst.Epsilon {
+				seen[a.Out]++
+			}
+		}
+	}
+	for w := int32(1); w <= int32(lex.V()); w++ {
+		if seen[w] != len(lex.Prons[w]) {
+			t.Errorf("word %d appears on %d arcs, want %d", w, seen[w], len(lex.Prons[w]))
+		}
+	}
+}
+
+// Property: every word is decodable in isolation — following its
+// pronunciation's senones from the start state reaches a cross-word arc
+// emitting exactly that word and returns to the start state.
+func TestEveryWordTraversable(t *testing.T) {
+	lex := genLex(t, 3, 40, 10)
+	for _, spp := range []int{1, 3} {
+		gr, err := BuildGraph(lex, Topology{StatesPerPhone: spp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := gr.G
+		for w := int32(1); w <= int32(lex.V()); w++ {
+			s := g.Start()
+			var emitted int32
+			for _, ph := range lex.Pron(w) {
+				for sub := 0; sub < spp; sub++ {
+					senone := gr.Topo.Senone(ph, sub)
+					// Find the non-self-loop arc with this senone.
+					next := wfst.NoState
+					for _, a := range g.Arcs(s) {
+						if a.In == senone && a.Next != s {
+							next = a.Next
+							if a.Out != wfst.Epsilon {
+								emitted = a.Out
+							}
+							break
+						}
+					}
+					if next == wfst.NoState {
+						t.Fatalf("spp=%d word %d: no arc for senone %d at state %d", spp, w, senone, s)
+					}
+					s = next
+				}
+			}
+			if emitted != w {
+				t.Fatalf("spp=%d: traversing word %d emitted %d", spp, w, emitted)
+			}
+			// The leaf must close back to start with an epsilon arc.
+			arcs := g.Arcs(s)
+			foundLoop := false
+			for _, a := range arcs {
+				if a.In == wfst.Epsilon && a.Next == g.Start() {
+					foundLoop = true
+				}
+			}
+			if !foundLoop {
+				t.Fatalf("spp=%d word %d: leaf state %d has no loop-back arc", spp, w, s)
+			}
+		}
+	}
+}
+
+func TestSelfLoopsPresent(t *testing.T) {
+	lex := genLex(t, 4, 10, 8)
+	gr, err := BuildGraph(lex, Topology{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gr.ClassifyArcs()
+	// Every emitting state has a self-loop; chains make forward arcs +1.
+	if c.SelfLoop == 0 || c.Forward == 0 {
+		t.Fatalf("arc classes: %+v", c)
+	}
+	// The compressed format's premise: short-format arcs dominate.
+	short := c.SelfLoop + c.Forward + c.Backward - c.CrossWord
+	total := c.SelfLoop + c.Forward + c.Backward + c.Far
+	if float64(short) < 0.7*float64(total) {
+		t.Errorf("short-format arcs only %d of %d", short, total)
+	}
+}
+
+func TestGraphWeightsAreStochastic(t *testing.T) {
+	lex := genLex(t, 5, 8, 6)
+	gr, err := BuildGraph(lex, Topology{SelfLoopProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gr.G
+	// Self-loop and forward weight must both be -ln(0.5).
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		for _, a := range g.Arcs(s) {
+			if a.In == wfst.Epsilon {
+				continue
+			}
+			if !semiring.ApproxEqual(a.W, 0.6931472, 1e-5) {
+				t.Fatalf("arc weight %v, want ln 2", a.W)
+			}
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	lex := genLex(t, 6, 5, 5)
+	if _, err := BuildGraph(lex, Topology{StatesPerPhone: 99}); err == nil {
+		t.Error("expected error for absurd topology")
+	}
+	if _, err := BuildGraph(lex, Topology{StatesPerPhone: 3, SelfLoopProb: 1.5}); err == nil {
+		t.Error("expected error for bad self-loop probability")
+	}
+	// Non-prefix-free lexicon must be rejected.
+	bad := &Lexicon{
+		Words:     []string{"<eps>", "a", "b"},
+		Prons:     [][][]int32{nil, {{1, 2}}, {{1, 2, 3}}},
+		NumPhones: 5,
+	}
+	if _, err := BuildGraph(bad, Topology{}); err == nil {
+		t.Error("expected error for non-prefix-free lexicon")
+	}
+}
+
+func TestPhonesOf(t *testing.T) {
+	lex := genLex(t, 7, 5, 5)
+	seq := lex.PhonesOf([]int32{1, 2})
+	want := len(lex.Pron(1)) + len(lex.Pron(2))
+	if len(seq) != want {
+		t.Errorf("PhonesOf length = %d, want %d", len(seq), want)
+	}
+}

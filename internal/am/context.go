@@ -1,0 +1,90 @@
+package am
+
+import (
+	"fmt"
+
+	"repro/internal/wfst"
+)
+
+// CDTying describes left-biphone context dependency with state tying: the
+// acoustic unit of an HMM state is (left-context phone, phone, substate),
+// hashed into NumSenones tied classes. Real systems tie with phonetic
+// decision trees; a seeded hash is the synthetic stand-in that preserves
+// the property that matters for the decoder and the compressed format —
+// the same phone gets different senones in different contexts, multiplying
+// the acoustic-score space the way triphone models do (Section 5.3:
+// "supporting any acoustic model (basephones, triphones...)").
+type CDTying struct {
+	// NumSenones is the tied-state inventory size (e.g. 2000 for a real
+	// system; a few hundred at our scale).
+	NumSenones int
+	Seed       uint64
+}
+
+// Senone maps (left-context phone, phone, substate) to a tied senone in
+// 1..NumSenones. Context 0 is the word-boundary context.
+func (t CDTying) Senone(prev, ph int32, sub int) int32 {
+	h := t.Seed ^ 0x9e3779b97f4a7c15
+	for _, v := range [3]uint64{uint64(uint32(prev)), uint64(uint32(ph)), uint64(sub)} {
+		h ^= v
+		h *= 1099511628211
+	}
+	return int32(h%uint64(t.NumSenones)) + 1
+}
+
+// BuildGraphCD constructs the lexicon-tree transducer with left-biphone
+// tied-state labels. The graph topology is identical to the
+// context-independent BuildGraph — only the input (senone) labels change,
+// so every decoder and the compressed AM format work unchanged; the
+// acoustic-score vector simply grows to the tied-state inventory.
+//
+// Within the pronunciation trie the left context of a phone is the parent
+// edge's phone; word-initial phones (and the silence loop) use the
+// word-boundary context 0. Cross-word context dependency — the source of
+// the biphone blow-up in real static graphs — is intentionally not
+// modelled, matching the word-boundary approximation common in embedded
+// recognizers.
+func BuildGraphCD(lex *Lexicon, topo Topology, tying CDTying) (*Graph, error) {
+	if tying.NumSenones < 1 {
+		return nil, fmt.Errorf("am: CD tying needs a positive senone inventory")
+	}
+	if tying.NumSenones >= 1<<12 {
+		return nil, fmt.Errorf("am: %d tied senones exceeds the 12-bit compressed format", tying.NumSenones)
+	}
+	topo = topo.withDefaults()
+	return buildGraph(lex, topo, tying.Senone, tying.NumSenones)
+}
+
+// SenoneSeqCD expands a word sequence into the tied-senone occupancy
+// sequence consistent with BuildGraphCD's labelling (for synthesis and
+// forced alignment). Silence is not inserted; the caller interleaves it
+// with context 0 boundaries if needed.
+func SenoneSeqCD(lex *Lexicon, topo Topology, tying CDTying, words []int32) []int32 {
+	topo = topo.withDefaults()
+	var seq []int32
+	for _, w := range words {
+		ctx := int32(0) // each word starts at the tree root: boundary context
+		for _, ph := range lex.Pron(w) {
+			for sub := 0; sub < topo.StatesPerPhone; sub++ {
+				seq = append(seq, tying.Senone(ctx, ph, sub))
+			}
+			ctx = ph
+		}
+	}
+	return seq
+}
+
+// NumDistinctSenones reports how many distinct senone labels a graph
+// actually uses (≤ the tied inventory).
+func (gr *Graph) NumDistinctSenones() int {
+	seen := map[int32]bool{}
+	g := gr.G
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		for _, a := range g.Arcs(s) {
+			if a.In != wfst.Epsilon {
+				seen[a.In] = true
+			}
+		}
+	}
+	return len(seen)
+}

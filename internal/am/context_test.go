@@ -1,0 +1,123 @@
+package am
+
+import (
+	"testing"
+
+	"repro/internal/wfst"
+)
+
+func TestBuildGraphCDValid(t *testing.T) {
+	lex := genLex(t, 41, 30, 12)
+	tying := CDTying{NumSenones: 300, Seed: 5}
+	gr, err := BuildGraphCD(lex, Topology{}, tying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gr.NumSenones != 300 {
+		t.Errorf("NumSenones = %d, want 300", gr.NumSenones)
+	}
+	// The CI and CD graphs must have identical topology (only labels
+	// differ).
+	ci, err := BuildGraph(lex, Topology{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.G.NumStates() != gr.G.NumStates() || ci.G.NumArcs() != gr.G.NumArcs() {
+		t.Errorf("CD topology differs: %d/%d states, %d/%d arcs",
+			gr.G.NumStates(), ci.G.NumStates(), gr.G.NumArcs(), ci.G.NumArcs())
+	}
+	// Senone labels must stay within the tied inventory.
+	for s := wfst.StateID(0); int(s) < gr.G.NumStates(); s++ {
+		for _, a := range gr.G.Arcs(s) {
+			if a.In < 0 || a.In > 300 {
+				t.Fatalf("senone %d outside tied inventory", a.In)
+			}
+		}
+	}
+}
+
+func TestCDContextChangesSenones(t *testing.T) {
+	tying := CDTying{NumSenones: 500, Seed: 9}
+	// With a 500-class inventory, the same phone in different contexts
+	// should usually map to different senones.
+	diff := 0
+	for ph := int32(1); ph <= 20; ph++ {
+		if tying.Senone(0, ph, 0) != tying.Senone(3, ph, 0) {
+			diff++
+		}
+	}
+	if diff < 15 {
+		t.Errorf("only %d/20 phones got context-distinct senones", diff)
+	}
+	// Deterministic.
+	if tying.Senone(2, 7, 1) != tying.Senone(2, 7, 1) {
+		t.Error("tying is not deterministic")
+	}
+}
+
+// Every word must remain traversable using the CD senone sequence.
+func TestCDWordsTraversable(t *testing.T) {
+	lex := genLex(t, 43, 25, 10)
+	topo := Topology{StatesPerPhone: 3}
+	tying := CDTying{NumSenones: 400, Seed: 1}
+	gr, err := BuildGraphCD(lex, topo, tying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gr.G
+	for w := int32(1); w <= int32(lex.V()); w++ {
+		seq := SenoneSeqCD(lex, topo, tying, []int32{w})
+		s := g.Start()
+		var emitted int32
+		for _, sen := range seq {
+			next := wfst.NoState
+			for _, a := range g.Arcs(s) {
+				if a.In == sen && a.Next != s {
+					next = a.Next
+					if a.Out != wfst.Epsilon {
+						emitted = a.Out
+					}
+					break
+				}
+			}
+			if next == wfst.NoState {
+				t.Fatalf("word %d: no arc for CD senone %d at state %d", w, sen, s)
+			}
+			s = next
+		}
+		if emitted != w {
+			t.Fatalf("word %d: CD traversal emitted %d", w, emitted)
+		}
+	}
+}
+
+func TestBuildGraphCDErrors(t *testing.T) {
+	lex := genLex(t, 45, 5, 5)
+	if _, err := BuildGraphCD(lex, Topology{}, CDTying{NumSenones: 0}); err == nil {
+		t.Error("expected error for empty inventory")
+	}
+	if _, err := BuildGraphCD(lex, Topology{}, CDTying{NumSenones: 1 << 13}); err == nil {
+		t.Error("expected error for inventory exceeding the 12-bit format")
+	}
+}
+
+// End-to-end: a CD graph compresses and decodes like a CI graph (format
+// compatibility), with a richer senone space.
+func TestCDDistinctSenonesGrow(t *testing.T) {
+	lex := genLex(t, 47, 40, 12)
+	ci, err := BuildGraph(lex, Topology{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := BuildGraphCD(lex, Topology{}, CDTying{NumSenones: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.NumDistinctSenones() <= ci.NumDistinctSenones() {
+		t.Errorf("CD senones %d not richer than CI %d",
+			cd.NumDistinctSenones(), ci.NumDistinctSenones())
+	}
+}

@@ -1,0 +1,200 @@
+package am
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Topology describes the HMM structure used per phone.
+type Topology struct {
+	// StatesPerPhone is 3 for the Kaldi-style tasks and 1 for the
+	// EESEN-style (CTC phone posterior) tasks.
+	StatesPerPhone int
+	// SelfLoopProb is the per-state self-transition probability; the
+	// forward transition carries the complement. Default 0.6.
+	SelfLoopProb float64
+}
+
+func (t Topology) withDefaults() Topology {
+	if t.StatesPerPhone == 0 {
+		t.StatesPerPhone = 3
+	}
+	if t.SelfLoopProb == 0 {
+		t.SelfLoopProb = 0.6
+	}
+	return t
+}
+
+// Senone returns the 1-based acoustic-score index of (phone, substate).
+// Index 0 is the WFST epsilon label, so senones start at 1.
+func (t Topology) Senone(phone int32, substate int) int32 {
+	return (phone-1)*int32(t.StatesPerPhone) + int32(substate) + 1
+}
+
+// NumSenones returns the acoustic-score vector length for a phone inventory.
+func (t Topology) NumSenones(numPhones int) int { return numPhones * t.StatesPerPhone }
+
+// Graph bundles the AM transducer with the metadata decoding needs.
+type Graph struct {
+	G          *wfst.WFST
+	Lex        *Lexicon
+	Topo       Topology
+	NumSenones int
+}
+
+// BuildGraph constructs the lexicon-tree acoustic transducer of Figure 3a:
+//
+//   - A pronunciation trie over phones, each trie edge expanded into
+//     StatesPerPhone emitting HMM states with self-loops.
+//   - The arc entering the final HMM state of a word's last phone carries
+//     the word ID as output label (the cross-word transition the on-the-fly
+//     composer reacts to).
+//   - Each word leaf closes back to the start state with an ε/ε arc.
+//   - An optional silence-phone loop at the start state.
+//
+// State numbering follows chain order, so the overwhelming majority of arcs
+// are self-loops or +1 hops — the property the 2-bit destination tag of the
+// compressed AM format (Figure 5) exploits.
+func BuildGraph(lex *Lexicon, topo Topology) (*Graph, error) {
+	topo = topo.withDefaults()
+	ci := func(_ int32, ph int32, sub int) int32 { return topo.Senone(ph, sub) }
+	return buildGraph(lex, topo, ci, topo.NumSenones(lex.NumPhones))
+}
+
+// buildGraph is the shared lexicon-tree constructor; senoneOf maps
+// (left-context phone, phone, substate) to an acoustic-score index, which
+// is how the context-dependent variant plugs in.
+func buildGraph(lex *Lexicon, topo Topology, senoneOf func(prev, ph int32, sub int) int32, numSenones int) (*Graph, error) {
+	if topo.StatesPerPhone < 1 || topo.StatesPerPhone > 8 {
+		return nil, fmt.Errorf("am: unsupported states-per-phone %d", topo.StatesPerPhone)
+	}
+	if topo.SelfLoopProb <= 0 || topo.SelfLoopProb >= 1 {
+		return nil, fmt.Errorf("am: self-loop probability %v out of (0,1)", topo.SelfLoopProb)
+	}
+
+	selfW := semiring.Weight(-math.Log(topo.SelfLoopProb))
+	fwdW := semiring.Weight(-math.Log(1 - topo.SelfLoopProb))
+
+	b := wfst.NewBuilder()
+	start := b.AddState()
+	b.SetStart(start)
+	b.SetFinal(start, semiring.One)
+
+	// expandPhone appends the HMM chain for one phone after state prev,
+	// labelling senones with the left-context phone ctx. word, if non-zero,
+	// is emitted on the arc entering the chain's last state. It returns the
+	// last chain state.
+	expandPhone := func(prev wfst.StateID, ctx, phone int32, word int32) wfst.StateID {
+		for i := 0; i < topo.StatesPerPhone; i++ {
+			out := wfst.Epsilon
+			if i == topo.StatesPerPhone-1 {
+				out = word
+			}
+			sen := senoneOf(ctx, phone, i)
+			next := b.AddState()
+			b.AddArc(prev, wfst.Arc{In: sen, Out: out, W: fwdW, Next: next})
+			b.AddArc(next, wfst.Arc{In: sen, Out: wfst.Epsilon, W: selfW, Next: next})
+			prev = next
+		}
+		return prev
+	}
+
+	// Pronunciation trie: nodes keyed by path; expand depth-first in sorted
+	// phone order for determinism.
+	type trieNode struct {
+		children map[int32]*trieNode
+		word     int32 // non-zero at a leaf: the word ending here
+	}
+	root := &trieNode{children: map[int32]*trieNode{}}
+	for w := 1; w <= lex.V(); w++ {
+		for _, pron := range lex.Prons[w] {
+			node := root
+			for i, ph := range pron {
+				next, ok := node.children[ph]
+				if !ok {
+					next = &trieNode{children: map[int32]*trieNode{}}
+					node.children[ph] = next
+				}
+				node = next
+				if node.word != 0 && i < len(pron)-1 {
+					return nil, fmt.Errorf("am: lexicon is not prefix-free at word %d", w)
+				}
+			}
+			if node.word != 0 || len(node.children) > 0 {
+				return nil, fmt.Errorf("am: lexicon is not prefix-free at word %d", w)
+			}
+			node.word = int32(w)
+		}
+	}
+
+	var expand func(node *trieNode, state wfst.StateID, ctx int32)
+	expand = func(node *trieNode, state wfst.StateID, ctx int32) {
+		phones := make([]int32, 0, len(node.children))
+		for ph := range node.children {
+			phones = append(phones, ph)
+		}
+		sort.Slice(phones, func(i, j int) bool { return phones[i] < phones[j] })
+		for _, ph := range phones {
+			child := node.children[ph]
+			last := expandPhone(state, ctx, ph, child.word)
+			if child.word != 0 {
+				// Word end: close the loop back to the start state.
+				b.AddArc(last, wfst.Arc{In: wfst.Epsilon, Out: wfst.Epsilon, W: semiring.One, Next: start})
+			} else {
+				expand(child, last, ph)
+			}
+		}
+	}
+	expand(root, start, 0)
+
+	// Silence loop at the start state (word-boundary context).
+	silEnd := expandPhone(start, 0, lex.SilencePhone(), wfst.Epsilon)
+	b.AddArc(silEnd, wfst.Arc{In: wfst.Epsilon, Out: wfst.Epsilon, W: semiring.One, Next: start})
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{
+		G:          g,
+		Lex:        lex,
+		Topo:       topo,
+		NumSenones: numSenones,
+	}, nil
+}
+
+// SenoneSeqStats classifies the graph's arcs the way the compressed AM
+// format does; used by tests and the compressor.
+type ArcClassCounts struct {
+	SelfLoop, Forward, Backward, Far int
+	CrossWord                        int
+}
+
+// ClassifyArcs counts arcs by destination class (self, +1, -1, far) and
+// cross-word arcs.
+func (gr *Graph) ClassifyArcs() ArcClassCounts {
+	var c ArcClassCounts
+	g := gr.G
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		for _, a := range g.Arcs(s) {
+			switch a.Next {
+			case s:
+				c.SelfLoop++
+			case s + 1:
+				c.Forward++
+			case s - 1:
+				c.Backward++
+			default:
+				c.Far++
+			}
+			if a.Out != wfst.Epsilon {
+				c.CrossWord++
+			}
+		}
+	}
+	return c
+}

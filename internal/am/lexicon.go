@@ -1,0 +1,170 @@
+// Package am implements the acoustic-model substrate: a synthetic
+// pronunciation lexicon, HMM phone topologies, and the lexicon-tree AM
+// transducer of the paper's Figure 3a, whose input labels are senone
+// (HMM-state) indices and whose cross-word arcs emit word IDs.
+package am
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lexicon maps word IDs to pronunciations (phone ID sequences).
+// Word IDs are 1-based to match the WFST label space; phone IDs are 1-based
+// too, with phone NumPhones reserved for silence.
+type Lexicon struct {
+	// Words[w] is the surface form of word w; Words[0] is "<eps>".
+	Words []string
+	// Prons[w] lists the pronunciations of word w; Prons[0] is nil.
+	// The union of all pronunciations is prefix-free, so every word ends at
+	// a leaf of the pronunciation trie and carries a unique cross-word arc.
+	Prons [][][]int32
+	// NumPhones is the phone-inventory size including the silence phone,
+	// which is phone ID NumPhones and never appears in a pronunciation.
+	NumPhones int
+}
+
+// V returns the vocabulary size.
+func (l *Lexicon) V() int { return len(l.Words) - 1 }
+
+// SilencePhone returns the reserved silence phone ID.
+func (l *Lexicon) SilencePhone() int32 { return int32(l.NumPhones) }
+
+// Pron returns the primary pronunciation of word w.
+func (l *Lexicon) Pron(w int32) []int32 { return l.Prons[w][0] }
+
+// PhonesOf concatenates the primary pronunciations of a word sequence.
+func (l *Lexicon) PhonesOf(words []int32) []int32 {
+	var out []int32
+	for _, w := range words {
+		out = append(out, l.Pron(w)...)
+	}
+	return out
+}
+
+// GenerateOptions controls synthetic lexicon generation.
+type GenerateOptions struct {
+	Vocab  int // number of words (>= 1)
+	Phones int // phone inventory size excluding silence (>= 2)
+	// MinLen/MaxLen bound pronunciation lengths; defaults 2 and 8.
+	MinLen, MaxLen int
+	// AltPronProb is the probability a word receives a second
+	// pronunciation; default 0 (Kaldi-style tasks use ~0.05).
+	AltPronProb float64
+	// PrefixShareProb is the probability a new pronunciation reuses a
+	// prefix of an existing one, producing the shared-prefix tree shape
+	// real lexica have; default 0.5.
+	PrefixShareProb float64
+}
+
+func (o GenerateOptions) withDefaults() GenerateOptions {
+	if o.MinLen == 0 {
+		o.MinLen = 2
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 8
+	}
+	if o.PrefixShareProb == 0 {
+		o.PrefixShareProb = 0.5
+	}
+	return o
+}
+
+// GenerateLexicon builds a synthetic lexicon with realistic prefix sharing.
+// The result is deterministic for a given rng state. The pronunciation set
+// is guaranteed prefix-free.
+func GenerateLexicon(rng *rand.Rand, opts GenerateOptions) (*Lexicon, error) {
+	opts = opts.withDefaults()
+	if opts.Vocab < 1 {
+		return nil, fmt.Errorf("am: vocabulary size %d < 1", opts.Vocab)
+	}
+	if opts.Phones < 2 {
+		return nil, fmt.Errorf("am: phone inventory %d < 2", opts.Phones)
+	}
+	if opts.MinLen < 1 || opts.MaxLen < opts.MinLen {
+		return nil, fmt.Errorf("am: bad pronunciation length range [%d,%d]", opts.MinLen, opts.MaxLen)
+	}
+	lex := &Lexicon{
+		Words:     make([]string, opts.Vocab+1),
+		Prons:     make([][][]int32, opts.Vocab+1),
+		NumPhones: opts.Phones + 1, // + silence
+	}
+	lex.Words[0] = "<eps>"
+
+	var all [][]int32 // every pronunciation so far, for prefix checks
+	trie := newPronSet()
+	newPron := func() []int32 {
+		for attempt := 0; ; attempt++ {
+			var p []int32
+			if len(all) > 0 && rng.Float64() < opts.PrefixShareProb {
+				base := all[rng.Intn(len(all))]
+				cut := rng.Intn(len(base)) // strict prefix, may be empty
+				p = append(p, base[:cut]...)
+			}
+			tail := rng.Intn(opts.MaxLen-opts.MinLen+1) + opts.MinLen
+			for len(p) < tail {
+				p = append(p, int32(rng.Intn(opts.Phones)+1))
+			}
+			// After too many collisions, extend with fresh phones until the
+			// pronunciation is unique; this always terminates.
+			for attempt > 10 && !trie.prefixFree(p) {
+				p = append(p, int32(rng.Intn(opts.Phones)+1))
+			}
+			if trie.prefixFree(p) {
+				trie.insert(p)
+				all = append(all, p)
+				return p
+			}
+		}
+	}
+
+	for w := 1; w <= opts.Vocab; w++ {
+		lex.Words[w] = fmt.Sprintf("wd%04d", w)
+		lex.Prons[w] = [][]int32{newPron()}
+		if rng.Float64() < opts.AltPronProb {
+			lex.Prons[w] = append(lex.Prons[w], newPron())
+		}
+	}
+	return lex, nil
+}
+
+// pronSet is a phone trie used to maintain the prefix-free invariant.
+type pronSet struct {
+	children map[int32]*pronSet
+	terminal bool
+}
+
+func newPronSet() *pronSet { return &pronSet{children: map[int32]*pronSet{}} }
+
+// prefixFree reports whether p can be added without violating
+// prefix-freeness: no existing pronunciation is a prefix of p and p is not a
+// prefix of (or equal to) an existing pronunciation.
+func (t *pronSet) prefixFree(p []int32) bool {
+	node := t
+	for _, ph := range p {
+		if node.terminal {
+			return false // an existing pron is a strict prefix of p
+		}
+		next, ok := node.children[ph]
+		if !ok {
+			return true // p diverges from everything
+		}
+		node = next
+	}
+	// p ran out inside the trie: it is a prefix of something (or duplicates
+	// an existing pron).
+	return false
+}
+
+func (t *pronSet) insert(p []int32) {
+	node := t
+	for _, ph := range p {
+		next, ok := node.children[ph]
+		if !ok {
+			next = newPronSet()
+			node.children[ph] = next
+		}
+		node = next
+	}
+	node.terminal = true
+}

@@ -1,0 +1,82 @@
+package am
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteLexicon writes the lexicon in the classic text format, one
+// pronunciation per line: "<word> <phone> <phone> ...". A header line
+// records the phone-inventory size.
+func WriteLexicon(l *Lexicon, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#phones %d\n", l.NumPhones)
+	for word := 1; word <= l.V(); word++ {
+		for _, pron := range l.Prons[word] {
+			fmt.Fprintf(bw, "%s", l.Words[word])
+			for _, ph := range pron {
+				fmt.Fprintf(bw, " %d", ph)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLexicon parses the text format written by WriteLexicon. Word IDs are
+// assigned in first-appearance order, so a round trip preserves them.
+func ReadLexicon(r io.Reader) (*Lexicon, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lex := &Lexicon{Words: []string{"<eps>"}, Prons: [][][]int32{nil}}
+	ids := map[string]int32{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#phones ") {
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "#phones "))
+			if err != nil {
+				return nil, fmt.Errorf("am: bad phone header %q", line)
+			}
+			lex.NumPhones = n
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("am: malformed lexicon line %q", line)
+		}
+		id, ok := ids[fields[0]]
+		if !ok {
+			id = int32(len(lex.Words))
+			ids[fields[0]] = id
+			lex.Words = append(lex.Words, fields[0])
+			lex.Prons = append(lex.Prons, nil)
+		}
+		pron := make([]int32, len(fields)-1)
+		for i, f := range fields[1:] {
+			ph, err := strconv.Atoi(f)
+			if err != nil || ph < 1 {
+				return nil, fmt.Errorf("am: bad phone %q in %q", f, line)
+			}
+			pron[i] = int32(ph)
+		}
+		lex.Prons[id] = append(lex.Prons[id], pron)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lex.NumPhones == 0 {
+		return nil, fmt.Errorf("am: lexicon missing #phones header")
+	}
+	for w := 1; w <= lex.V(); w++ {
+		if len(lex.Prons[w]) == 0 {
+			return nil, fmt.Errorf("am: word %q has no pronunciation", lex.Words[w])
+		}
+	}
+	return lex, nil
+}

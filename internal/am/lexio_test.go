@@ -1,0 +1,70 @@
+package am
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLexiconRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	lex, err := GenerateLexicon(rng, GenerateOptions{Vocab: 30, Phones: 12, AltPronProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLexicon(lex, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLexicon(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V() != lex.V() || got.NumPhones != lex.NumPhones {
+		t.Fatalf("header mismatch: V %d/%d phones %d/%d", got.V(), lex.V(), got.NumPhones, lex.NumPhones)
+	}
+	for w := 1; w <= lex.V(); w++ {
+		if got.Words[w] != lex.Words[w] {
+			t.Fatalf("word %d: %q vs %q", w, got.Words[w], lex.Words[w])
+		}
+		if len(got.Prons[w]) != len(lex.Prons[w]) {
+			t.Fatalf("word %d: %d vs %d pronunciations", w, len(got.Prons[w]), len(lex.Prons[w]))
+		}
+		for p := range lex.Prons[w] {
+			if len(got.Prons[w][p]) != len(lex.Prons[w][p]) {
+				t.Fatalf("word %d pron %d length differs", w, p)
+			}
+			for i := range lex.Prons[w][p] {
+				if got.Prons[w][p][i] != lex.Prons[w][p][i] {
+					t.Fatalf("word %d pron %d phone %d differs", w, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadLexiconErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"missing header": "word 1 2 3\n",
+		"bad header":     "#phones abc\nword 1 2\n",
+		"bad phone":      "#phones 5\nword 1 x\n",
+		"no pron":        "#phones 5\nword\n",
+		"zero phone":     "#phones 5\nword 0\n",
+	} {
+		if _, err := ReadLexicon(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestReadLexiconSkipsBlanks(t *testing.T) {
+	text := "#phones 4\n\nalpha 1 2\n\nbeta 3\n"
+	lex, err := ReadLexicon(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lex.V() != 2 || lex.Words[1] != "alpha" || lex.Words[2] != "beta" {
+		t.Fatalf("parsed %v", lex.Words)
+	}
+}

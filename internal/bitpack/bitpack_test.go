@@ -1,0 +1,119 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 1)
+	w.WriteBits(0x3FFFF, 18)
+	if w.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(0, 3); got != 0b101 {
+		t.Errorf("field0 = %#x, want 0b101", got)
+	}
+	if got := r.ReadBits(3, 8); got != 0xFF {
+		t.Errorf("field1 = %#x, want 0xFF", got)
+	}
+	if got := r.ReadBits(11, 1); got != 0 {
+		t.Errorf("field2 = %#x, want 0", got)
+	}
+	if got := r.ReadBits(12, 18); got != 0x3FFFF {
+		t.Errorf("field3 = %#x, want 0x3FFFF", got)
+	}
+}
+
+func TestWriteMasksHighBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xFFFF, 4) // only low 4 bits should land
+	w.WriteBits(0, 4)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(0, 8); got != 0x0F {
+		t.Errorf("byte = %#x, want 0x0F", got)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	var w Writer
+	w.WriteBits(1, 3)
+	w.Align(8)
+	if w.Len() != 8 {
+		t.Fatalf("Len after Align = %d, want 8", w.Len())
+	}
+	w.Align(8) // already aligned: no-op
+	if w.Len() != 8 {
+		t.Fatalf("Len after second Align = %d, want 8", w.Len())
+	}
+	w.WriteBits(0x7, 3)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(8, 3); got != 0x7 {
+		t.Errorf("post-align field = %#x, want 0x7", got)
+	}
+}
+
+func TestFullWidth64(t *testing.T) {
+	var w Writer
+	const v = uint64(0xDEADBEEFCAFEBABE)
+	w.WriteBits(1, 1)
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(1, 64); got != v {
+		t.Errorf("64-bit field = %#x, want %#x", got, v)
+	}
+}
+
+// Property: any sequence of (value, width) fields reads back exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		widths := make([]uint, count)
+		vals := make([]uint64, count)
+		var w Writer
+		for i := 0; i < count; i++ {
+			widths[i] = uint(rng.Intn(64) + 1)
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << widths[i]) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		var pos uint64
+		for i := 0; i < count; i++ {
+			if got := r.ReadBits(pos, widths[i]); got != vals[i] {
+				return false
+			}
+			pos += uint64(widths[i])
+		}
+		return pos == w.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadPastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic reading past end")
+		}
+	}()
+	r := NewReader([]byte{0xAB})
+	r.ReadBits(4, 8)
+}
+
+func TestSizeBytes(t *testing.T) {
+	var w Writer
+	w.WriteBits(0, 9)
+	if w.SizeBytes() != 2 {
+		t.Errorf("SizeBytes = %d, want 2", w.SizeBytes())
+	}
+}

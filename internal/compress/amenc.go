@@ -1,0 +1,180 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// AM arc format (paper Figure 5). Fields are written LSB-first in the order
+// phoneme, weight, tag; normal-format arcs append word and destination.
+const (
+	amPhoneBits = 12
+	amTagBits   = 2
+	amWordBits  = 18
+	amDestBits  = 20
+
+	amShortBits  = amPhoneBits + WeightBits + amTagBits  // 20
+	amNormalBits = amShortBits + amWordBits + amDestBits // 58
+
+	tagNormal   = 0b00
+	tagBackward = 0b01 // destination = state - 1
+	tagForward  = 0b10 // destination = state + 1
+	tagSelfLoop = 0b11
+)
+
+// amState is the per-state record: bit offset of the first arc, arc count,
+// and the final weight. AM arcs are only ever decoded sequentially
+// (Section 3.4), so the stored record is just a 40-bit first-arc offset —
+// the arc count is implied by the next state's offset; narcs is kept in
+// memory for convenience but not counted in SizeBytes.
+type amState struct {
+	bitOff uint64
+	narcs  uint32
+	final  semiring.Weight
+}
+
+// AM is a compressed acoustic-model transducer supporting sequential
+// per-state arc decoding, exactly the access pattern of the hardware Arc
+// Issuer (AM arcs of a state are always explored in order, Section 3.4).
+type AM struct {
+	Q      *Quantizer
+	start  wfst.StateID
+	states []amState
+	data   *bitpack.Reader
+	nArcs  int
+	// ShortArcs / NormalArcs report the format mix (compression analysis).
+	ShortArcs, NormalArcs int
+}
+
+// EncodeAM compresses an AM transducer. It fails if any field exceeds its
+// format width (senone >= 2^12, word >= 2^18, state >= 2^20).
+func EncodeAM(g *wfst.WFST, q *Quantizer) (*AM, error) {
+	if g.NumStates() >= 1<<amDestBits {
+		return nil, fmt.Errorf("compress: AM has %d states, format limit %d", g.NumStates(), 1<<amDestBits)
+	}
+	var w bitpack.Writer
+	c := &AM{Q: q, start: g.Start(), states: make([]amState, g.NumStates()), nArcs: g.NumArcs()}
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		c.states[s] = amState{bitOff: w.Len(), narcs: uint32(len(g.Arcs(s))), final: g.Final(s)}
+		for _, a := range g.Arcs(s) {
+			if a.In >= 1<<amPhoneBits {
+				return nil, fmt.Errorf("compress: senone %d exceeds %d bits", a.In, amPhoneBits)
+			}
+			if a.Out >= 1<<amWordBits {
+				return nil, fmt.Errorf("compress: word %d exceeds %d bits", a.Out, amWordBits)
+			}
+			tag := uint64(tagNormal)
+			if a.Out == wfst.Epsilon {
+				switch a.Next {
+				case s:
+					tag = tagSelfLoop
+				case s + 1:
+					tag = tagForward
+				case s - 1:
+					tag = tagBackward
+				}
+			}
+			w.WriteBits(uint64(uint32(a.In)), amPhoneBits)
+			w.WriteBits(uint64(q.Encode(a.W)), WeightBits)
+			w.WriteBits(tag, amTagBits)
+			if tag == tagNormal {
+				w.WriteBits(uint64(uint32(a.Out)), amWordBits)
+				w.WriteBits(uint64(uint32(a.Next)), amDestBits)
+				c.NormalArcs++
+			} else {
+				c.ShortArcs++
+			}
+		}
+	}
+	c.data = bitpack.NewReader(w.Bytes())
+	return c, nil
+}
+
+// Start returns the initial state.
+func (c *AM) Start() wfst.StateID { return c.start }
+
+// NumStates returns the state count.
+func (c *AM) NumStates() int { return len(c.states) }
+
+// NumArcs returns the arc count.
+func (c *AM) NumArcs() int { return c.nArcs }
+
+// Final returns the final weight of s.
+func (c *AM) Final(s wfst.StateID) semiring.Weight { return c.states[s].final }
+
+// ArcsBitOffset returns the bit address of state s's first arc, for the
+// accelerator's address map.
+func (c *AM) ArcsBitOffset(s wfst.StateID) uint64 { return c.states[s].bitOff }
+
+// VisitArcs decodes state s's arcs sequentially, invoking visit with each
+// arc, its bit offset and its encoded width. Decoding stops early if visit
+// returns false. Weights are dequantized through the centroid table.
+func (c *AM) VisitArcs(s wfst.StateID, visit func(a wfst.Arc, bitOff uint64, bits uint) bool) {
+	pos := c.states[s].bitOff
+	for i := uint32(0); i < c.states[s].narcs; i++ {
+		in := int32(c.data.ReadBits(pos, amPhoneBits))
+		wIdx := uint8(c.data.ReadBits(pos+amPhoneBits, WeightBits))
+		tag := c.data.ReadBits(pos+amPhoneBits+WeightBits, amTagBits)
+		a := wfst.Arc{In: in, W: c.Q.Decode(wIdx)}
+		bits := uint(amShortBits)
+		switch tag {
+		case tagSelfLoop:
+			a.Next = s
+		case tagForward:
+			a.Next = s + 1
+		case tagBackward:
+			a.Next = s - 1
+		default:
+			a.Out = int32(c.data.ReadBits(pos+amShortBits, amWordBits))
+			a.Next = wfst.StateID(c.data.ReadBits(pos+amShortBits+amWordBits, amDestBits))
+			bits = amNormalBits
+		}
+		if !visit(a, pos, bits) {
+			return
+		}
+		pos += uint64(bits)
+	}
+}
+
+// Arcs materializes state s's arcs (test/convenience path).
+func (c *AM) Arcs(s wfst.StateID) []wfst.Arc {
+	out := make([]wfst.Arc, 0, c.states[s].narcs)
+	c.VisitArcs(s, func(a wfst.Arc, _ uint64, _ uint) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// Decompress reconstructs the transducer (weights quantized) — the
+// round-trip oracle for tests and the input for quantized-WER checks.
+func (c *AM) Decompress() *wfst.WFST {
+	b := wfst.NewBuilder()
+	for range c.states {
+		b.AddState()
+	}
+	b.SetStart(c.start)
+	for s := wfst.StateID(0); int(s) < len(c.states); s++ {
+		if !semiring.IsZero(c.states[s].final) {
+			b.SetFinal(s, c.states[s].final)
+		}
+		for _, a := range c.Arcs(s) {
+			b.AddArc(s, a)
+		}
+	}
+	return b.MustBuild()
+}
+
+// amStateBytes is the packed state record width: a 40-bit first-arc offset.
+const amStateBytes = 5
+
+// SizeBytes reports the compressed footprint under the paper's layout:
+// 5 bytes per state record (40-bit arc offset; counts are implied by
+// sequential decoding), the packed arc stream, and the centroid table.
+func (c *AM) SizeBytes() int64 {
+	arcBits := int64(c.ShortArcs)*amShortBits + int64(c.NormalArcs)*amNormalBits
+	return int64(len(c.states))*amStateBytes + (arcBits+7)/8 + c.Q.TableBytes()
+}

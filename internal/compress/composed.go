@@ -1,0 +1,123 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Composed is a compressed fully-composed WFST in the style of Price et al.
+// [23] — the Table 2 baseline the paper compares its on-the-fly compression
+// against: 6-bit quantized weights, delta-coded input labels within a
+// state's sorted arc list, zigzag-delta destinations relative to the source
+// state, and varint output labels (usually epsilon).
+type Composed struct {
+	Q       *Quantizer
+	start   wfst.StateID
+	offsets []uint32 // byte offset of each state's arc block
+	narcs   []uint32
+	finals  []semiring.Weight
+	stream  []byte
+	total   int
+}
+
+// EncodeComposed compresses a fully-composed search graph. Arcs are sorted
+// by input label per state as a side effect of encoding order; the graph
+// itself is not modified.
+func EncodeComposed(g *wfst.WFST, q *Quantizer) (*Composed, error) {
+	c := &Composed{
+		Q:       q,
+		start:   g.Start(),
+		offsets: make([]uint32, g.NumStates()),
+		narcs:   make([]uint32, g.NumStates()),
+		finals:  make([]semiring.Weight, g.NumStates()),
+		total:   g.NumArcs(),
+	}
+	var buf [binary.MaxVarintLen64]byte
+	stream := make([]byte, 0, g.NumArcs()*5)
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		if len(stream) > 1<<31 {
+			return nil, fmt.Errorf("compress: composed stream exceeds 2 GiB")
+		}
+		c.offsets[s] = uint32(len(stream))
+		c.narcs[s] = uint32(len(g.Arcs(s)))
+		c.finals[s] = g.Final(s)
+		prevIn := int32(0)
+		for _, a := range g.Arcs(s) {
+			if a.In < prevIn {
+				return nil, fmt.Errorf("compress: state %d arcs not input-sorted", s)
+			}
+			n := binary.PutUvarint(buf[:], uint64(a.In-prevIn))
+			stream = append(stream, buf[:n]...)
+			prevIn = a.In
+			n = binary.PutUvarint(buf[:], uint64(a.Out))
+			stream = append(stream, buf[:n]...)
+			n = binary.PutVarint(buf[:], int64(a.Next)-int64(s))
+			stream = append(stream, buf[:n]...)
+			stream = append(stream, byte(q.Encode(a.W)))
+		}
+	}
+	c.stream = stream
+	return c, nil
+}
+
+// Decompress reconstructs the graph with quantized weights.
+func (c *Composed) Decompress() *wfst.WFST {
+	b := wfst.NewBuilder()
+	for range c.offsets {
+		b.AddState()
+	}
+	b.SetStart(c.start)
+	for s := wfst.StateID(0); int(s) < len(c.offsets); s++ {
+		if !semiring.IsZero(c.finals[s]) {
+			b.SetFinal(s, c.finals[s])
+		}
+		pos := int(c.offsets[s])
+		prevIn := int32(0)
+		for i := uint32(0); i < c.narcs[s]; i++ {
+			d, n := binary.Uvarint(c.stream[pos:])
+			pos += n
+			in := prevIn + int32(d)
+			prevIn = in
+			out, n := binary.Uvarint(c.stream[pos:])
+			pos += n
+			dd, n := binary.Varint(c.stream[pos:])
+			pos += n
+			wIdx := c.stream[pos]
+			pos++
+			b.AddArc(s, wfst.Arc{
+				In:   in,
+				Out:  int32(out),
+				W:    c.Q.Decode(wIdx),
+				Next: wfst.StateID(int64(s) + dd),
+			})
+		}
+	}
+	g := b.MustBuild()
+	g.SortByInput()
+	return g
+}
+
+// NumArcs returns the arc count.
+func (c *Composed) NumArcs() int { return c.total }
+
+// SizeBytes reports the compressed footprint: a 4-byte state record (offset
+// indexing à la Price's chunked state table), the varint arc stream, and
+// the centroid table.
+func (c *Composed) SizeBytes() int64 {
+	return int64(len(c.offsets))*4 + int64(len(c.stream)) + c.Q.TableBytes()
+}
+
+// CollectWeights gathers every arc weight in a transducer — the training
+// set for the K-means quantizer.
+func CollectWeights(g *wfst.WFST) []semiring.Weight {
+	out := make([]semiring.Weight, 0, g.NumArcs())
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		for _, a := range g.Arcs(s) {
+			out = append(out, a.W)
+		}
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lm"
+	"repro/internal/semiring"
+	"repro/internal/task"
+	"repro/internal/wfst"
+)
+
+func buildTestTask(t testing.TB, seed int64) *task.Task {
+	t.Helper()
+	tk, err := task.Build(task.Spec{
+		Name:           "cmp-test",
+		Vocab:          30,
+		Phones:         12,
+		TrainSentences: 250,
+		TestUtterances: 2,
+		LMMinCount:     2,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func trainQ(t testing.TB, g *wfst.WFST) *Quantizer {
+	t.Helper()
+	q, err := TrainQuantizer(CollectWeights(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// --- Quantizer -------------------------------------------------------------
+
+func TestQuantizerBasics(t *testing.T) {
+	weights := make([]semiring.Weight, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = semiring.Weight(rng.Float32() * 20)
+	}
+	q, err := TrainQuantizer(weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Centroids) > NumCentroids {
+		t.Fatalf("%d centroids > %d", len(q.Centroids), NumCentroids)
+	}
+	for i := 1; i < len(q.Centroids); i++ {
+		if q.Centroids[i] < q.Centroids[i-1] {
+			t.Fatal("centroids not sorted")
+		}
+	}
+	// With 64 clusters over a 20-unit range, max error must be small.
+	if e := q.MaxError(weights); e > 0.5 {
+		t.Errorf("max quantization error %.3f too large", e)
+	}
+	if q.TableBytes() > 256 {
+		t.Errorf("centroid table %d bytes > 256", q.TableBytes())
+	}
+}
+
+func TestQuantizerFewDistinctValues(t *testing.T) {
+	weights := []semiring.Weight{1, 1, 2, 2, 3}
+	q, err := TrainQuantizer(weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range weights {
+		if got := q.Decode(q.Encode(w)); got != w {
+			t.Errorf("Decode(Encode(%v)) = %v", w, got)
+		}
+	}
+}
+
+func TestQuantizerRejectsAllInfinite(t *testing.T) {
+	if _, err := TrainQuantizer([]semiring.Weight{semiring.Zero}, 0); err == nil {
+		t.Error("expected error for all-infinite weights")
+	}
+}
+
+// Property: Encode always returns the nearest centroid.
+func TestQuantizerNearestProperty(t *testing.T) {
+	weights := make([]semiring.Weight, 500)
+	rng := rand.New(rand.NewSource(2))
+	for i := range weights {
+		weights[i] = semiring.Weight(rng.NormFloat64() * 5)
+	}
+	q, err := TrainQuantizer(weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float32) bool {
+		w := semiring.Weight(raw)
+		if math.IsNaN(float64(raw)) || math.IsInf(float64(raw), 0) {
+			return true
+		}
+		got := q.Decode(q.Encode(w))
+		for _, c := range q.Centroids {
+			d1 := math.Abs(float64(got - w))
+			d2 := math.Abs(float64(semiring.Weight(c) - w))
+			if d2 < d1-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- AM format --------------------------------------------------------------
+
+func TestAMRoundTrip(t *testing.T) {
+	tk := buildTestTask(t, 3)
+	g := tk.AM.G
+	q := trainQ(t, g)
+	c, err := EncodeAM(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != g.NumStates() || c.NumArcs() != g.NumArcs() {
+		t.Fatalf("shape mismatch: %d/%d states, %d/%d arcs",
+			c.NumStates(), g.NumStates(), c.NumArcs(), g.NumArcs())
+	}
+	dec := c.Decompress()
+	if err := dec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Structure identical; weights within quantization error.
+	maxErr := semiring.Weight(q.MaxError(CollectWeights(g))) + 1e-6
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		ga, da := g.Arcs(s), dec.Arcs(s)
+		if len(ga) != len(da) {
+			t.Fatalf("state %d: %d vs %d arcs", s, len(ga), len(da))
+		}
+		for i := range ga {
+			if ga[i].In != da[i].In || ga[i].Out != da[i].Out || ga[i].Next != da[i].Next {
+				t.Fatalf("state %d arc %d: %+v vs %+v", s, i, ga[i], da[i])
+			}
+			if !semiring.ApproxEqual(ga[i].W, da[i].W, maxErr) {
+				t.Fatalf("state %d arc %d weight: %v vs %v", s, i, ga[i].W, da[i].W)
+			}
+		}
+	}
+}
+
+func TestAMCompressionRatioAndMix(t *testing.T) {
+	tk := buildTestTask(t, 4)
+	g := tk.AM.G
+	q := trainQ(t, g)
+	c, err := EncodeAM(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The format's premise (Section 3.4): most AM arcs fit the 20-bit form.
+	if frac := float64(c.ShortArcs) / float64(c.NumArcs()); frac < 0.7 {
+		t.Errorf("short-format arcs only %.1f%%", 100*frac)
+	}
+	ratio := float64(g.SizeBytes()) / float64(c.SizeBytes())
+	if ratio < 3 {
+		t.Errorf("AM compression ratio %.2fx < 3x", ratio)
+	}
+	t.Logf("AM: %d -> %d bytes (%.1fx), %d short / %d normal arcs",
+		g.SizeBytes(), c.SizeBytes(), ratio, c.ShortArcs, c.NormalArcs)
+}
+
+func TestAMVisitArcsOffsetsMonotone(t *testing.T) {
+	tk := buildTestTask(t, 5)
+	q := trainQ(t, tk.AM.G)
+	c, err := EncodeAM(tk.AM.G, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := wfst.StateID(0); int(s) < c.NumStates(); s++ {
+		last := uint64(0)
+		first := true
+		c.VisitArcs(s, func(_ wfst.Arc, off uint64, bits uint) bool {
+			if !first && off <= last {
+				t.Fatalf("state %d: non-monotone arc offsets", s)
+			}
+			if bits != 20 && bits != 58 {
+				t.Fatalf("state %d: arc width %d", s, bits)
+			}
+			first, last = false, off
+			return true
+		})
+	}
+}
+
+func TestEncodeAMFieldOverflow(t *testing.T) {
+	b := wfst.NewBuilder()
+	s0 := b.AddState()
+	b.SetStart(s0)
+	b.SetFinal(s0, semiring.One)
+	b.AddArc(s0, wfst.Arc{In: 1 << 13, Out: 0, W: 1, Next: s0}) // senone too wide
+	g := b.MustBuild()
+	q, _ := TrainQuantizer([]semiring.Weight{1}, 0)
+	if _, err := EncodeAM(g, q); err == nil {
+		t.Error("expected senone overflow error")
+	}
+}
+
+// --- LM format --------------------------------------------------------------
+
+func buildLMGraph(t testing.TB, seed int64) *lm.Graph {
+	t.Helper()
+	tk := buildTestTask(t, seed)
+	gr, err := tk.LM.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr
+}
+
+func TestLMRoundTrip(t *testing.T) {
+	gr := buildLMGraph(t, 6)
+	q := trainQ(t, gr.G)
+	c, err := EncodeLM(gr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := c.Decompress()
+	if err := dec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumStates() != gr.G.NumStates() || dec.NumArcs() != gr.G.NumArcs() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	maxErr := semiring.Weight(q.MaxError(CollectWeights(gr.G))) + 1e-6
+	for s := wfst.StateID(0); int(s) < gr.G.NumStates(); s++ {
+		ga, da := gr.G.Arcs(s), dec.Arcs(s)
+		if len(ga) != len(da) {
+			t.Fatalf("state %d arc count", s)
+		}
+		for i := range ga {
+			if ga[i].In != da[i].In || ga[i].Next != da[i].Next {
+				t.Fatalf("state %d arc %d: %+v vs %+v", s, i, ga[i], da[i])
+			}
+			if !semiring.ApproxEqual(ga[i].W, da[i].W, maxErr) {
+				t.Fatalf("state %d arc %d weight", s, i)
+			}
+		}
+	}
+}
+
+// FindArc on the packed LM must agree with binary search on the original.
+func TestLMFindArcAgainstReference(t *testing.T) {
+	gr := buildLMGraph(t, 7)
+	q := trainQ(t, gr.G)
+	c, err := EncodeLM(gr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := wfst.StateID(0); int(s) < gr.G.NumStates(); s++ {
+		for wd := int32(1); wd <= int32(gr.V); wd++ {
+			refIdx, refOK := gr.G.FindArc(s, wd, nil)
+			got, ok := c.FindArc(s, wd, nil)
+			if ok != refOK {
+				t.Fatalf("state %d word %d: found %v want %v", s, wd, ok, refOK)
+			}
+			if ok {
+				ref := gr.G.Arcs(s)[refIdx]
+				if got.Next != ref.Next {
+					t.Fatalf("state %d word %d: dest %d want %d", s, wd, got.Next, ref.Next)
+				}
+			}
+		}
+		refBo, refHas := gr.G.BackoffArc(s)
+		bo, has := c.BackoffArc(s, nil)
+		if has != refHas {
+			t.Fatalf("state %d: backoff presence %v want %v", s, has, refHas)
+		}
+		if has && bo.Next != refBo.Next {
+			t.Fatalf("state %d: backoff dest %d want %d", s, bo.Next, refBo.Next)
+		}
+	}
+}
+
+func TestLMProbesAreBounded(t *testing.T) {
+	gr := buildLMGraph(t, 8)
+	q := trainQ(t, gr.G)
+	c, err := EncodeLM(gr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary search probes <= ceil(log2(narcs))+1; unigram lookups = 1.
+	for s := wfst.StateID(0); int(s) < c.NumStates(); s++ {
+		for wd := int32(1); wd <= int32(gr.V); wd++ {
+			probes := 0
+			c.FindArc(s, wd, func(uint64, uint) { probes++ })
+			n := c.NumWordArcs(s)
+			if s == 0 {
+				if probes != 1 {
+					t.Fatalf("unigram lookup took %d probes", probes)
+				}
+				continue
+			}
+			bound := 1
+			for 1<<bound < n+1 {
+				bound++
+			}
+			if probes > bound+1 {
+				t.Fatalf("state %d (%d arcs): %d probes > bound %d", s, n, probes, bound)
+			}
+		}
+	}
+}
+
+func TestLMCompressionRatio(t *testing.T) {
+	gr := buildLMGraph(t, 9)
+	q := trainQ(t, gr.G)
+	c, err := EncodeLM(gr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(gr.G.SizeBytes()) / float64(c.SizeBytes())
+	if ratio < 2 {
+		t.Errorf("LM compression ratio %.2fx < 2x", ratio)
+	}
+	t.Logf("LM: %d -> %d bytes (%.1fx)", gr.G.SizeBytes(), c.SizeBytes(), ratio)
+}
+
+// --- Composed format ---------------------------------------------------------
+
+func TestComposedRoundTripAndRatio(t *testing.T) {
+	tk := buildTestTask(t, 10)
+	g, err := wfst.Compose(tk.AM.G, tk.LMGraph.G, wfst.ComposeOptions{MaxStates: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SortByInput()
+	q := trainQ(t, g)
+	c, err := EncodeComposed(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := c.Decompress()
+	if dec.NumStates() != g.NumStates() || dec.NumArcs() != g.NumArcs() {
+		t.Fatal("composed round trip changed shape")
+	}
+	maxErr := semiring.Weight(q.MaxError(CollectWeights(g))) + 1e-6
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s += 97 { // sample states
+		ga, da := g.Arcs(s), dec.Arcs(s)
+		for i := range ga {
+			if ga[i].In != da[i].In || ga[i].Out != da[i].Out || ga[i].Next != da[i].Next {
+				t.Fatalf("state %d arc %d mismatch", s, i)
+			}
+			if !semiring.ApproxEqual(ga[i].W, da[i].W, maxErr) {
+				t.Fatalf("state %d arc %d weight", s, i)
+			}
+		}
+	}
+	ratio := float64(g.SizeBytes()) / float64(c.SizeBytes())
+	if ratio < 2 {
+		t.Errorf("composed compression ratio %.2fx < 2x", ratio)
+	}
+	t.Logf("composed: %s -> %s (%.1fx)",
+		wfst.FormatBytes(g.SizeBytes()), wfst.FormatBytes(c.SizeBytes()), ratio)
+}
+
+// The paper's headline (Table 2): compressed on-the-fly datasets are much
+// smaller than the compressed fully-composed WFST.
+func TestOnTheFlyBeatsComposedCompression(t *testing.T) {
+	tk := buildTestTask(t, 11)
+	composed, err := wfst.Compose(tk.AM.G, tk.LMGraph.G, wfst.ComposeOptions{MaxStates: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed.SortByInput()
+	qc := trainQ(t, composed)
+	cc, err := EncodeComposed(composed, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := trainQ(t, tk.AM.G)
+	ca, err := EncodeAM(tk.AM.G, qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ql := trainQ(t, tk.LMGraph.G)
+	cl, err := EncodeLM(tk.LMGraph, ql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otf := ca.SizeBytes() + cl.SizeBytes()
+	if otf*4 > cc.SizeBytes() {
+		t.Errorf("compressed OTF %d not ≪ compressed composed %d", otf, cc.SizeBytes())
+	}
+	t.Logf("compressed: OTF %s vs composed %s (%.1fx)",
+		wfst.FormatBytes(otf), wfst.FormatBytes(cc.SizeBytes()),
+		float64(cc.SizeBytes())/float64(otf))
+}

@@ -1,0 +1,136 @@
+// Package compress implements the paper's Section 3.4 dataset compression:
+// 64-centroid K-means quantization of arc weights (32 -> 6 bits), the
+// packed AM arc format of Figure 5 (20-bit arcs with a 2-bit destination
+// tag, 58-bit arcs otherwise), the variable-width LM arc format (6-bit
+// unigram arcs, 45-bit n-gram arcs, 27-bit back-off arcs), and a
+// Price-et-al-style compressor for fully-composed WFSTs used as the
+// Table 2 comparison baseline.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/semiring"
+)
+
+// WeightBits is the quantized weight width: 64 clusters, per the paper.
+const WeightBits = 6
+
+// NumCentroids is the K-means cluster count.
+const NumCentroids = 1 << WeightBits
+
+// Quantizer maps float32 weights to 6-bit centroid indices. The centroid
+// table is the 256-byte SRAM structure the accelerator adds (Section 3.4).
+type Quantizer struct {
+	Centroids []float32 // sorted ascending, length <= NumCentroids
+}
+
+// TrainQuantizer runs 1-D K-means (Lloyd's algorithm with quantile
+// initialization) over the finite weights. Infinite weights are excluded;
+// they are represented structurally (absence of finality), not by index.
+func TrainQuantizer(weights []semiring.Weight, iters int) (*Quantizer, error) {
+	var vals []float64
+	for _, w := range weights {
+		if !semiring.IsZero(w) {
+			vals = append(vals, float64(w))
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("compress: no finite weights to quantize")
+	}
+	sort.Float64s(vals)
+	k := NumCentroids
+	if k > len(vals) {
+		k = len(vals)
+	}
+	// Quantile init.
+	cents := make([]float64, k)
+	for i := range cents {
+		cents[i] = vals[(2*i+1)*len(vals)/(2*k)]
+	}
+	if iters == 0 {
+		iters = 12
+	}
+	counts := make([]int, k)
+	sums := make([]float64, k)
+	for it := 0; it < iters; it++ {
+		for i := range counts {
+			counts[i], sums[i] = 0, 0
+		}
+		// vals sorted and cents sorted: sweep assignment.
+		ci := 0
+		for _, v := range vals {
+			for ci+1 < k && math.Abs(cents[ci+1]-v) <= math.Abs(cents[ci]-v) {
+				ci++
+			}
+			// ci may need to move back for the next value only if values
+			// decreased, which they cannot (sorted), so this is safe.
+			counts[ci]++
+			sums[ci] += v
+		}
+		moved := false
+		for i := range cents {
+			if counts[i] > 0 {
+				nc := sums[i] / float64(counts[i])
+				if nc != cents[i] {
+					cents[i] = nc
+					moved = true
+				}
+			}
+		}
+		sort.Float64s(cents)
+		ci = 0
+		if !moved {
+			break
+		}
+	}
+	q := &Quantizer{Centroids: make([]float32, k)}
+	for i, c := range cents {
+		q.Centroids[i] = float32(c)
+	}
+	return q, nil
+}
+
+// Encode returns the index of the nearest centroid (binary search).
+func (q *Quantizer) Encode(w semiring.Weight) uint8 {
+	v := float32(w)
+	lo, hi := 0, len(q.Centroids)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.Centroids[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first centroid >= v; the best is lo or lo-1.
+	if lo > 0 && v-q.Centroids[lo-1] <= q.Centroids[lo]-v {
+		return uint8(lo - 1)
+	}
+	return uint8(lo)
+}
+
+// Decode returns the centroid value for an index.
+func (q *Quantizer) Decode(idx uint8) semiring.Weight {
+	return semiring.Weight(q.Centroids[idx])
+}
+
+// MaxError returns the largest quantization error over a weight sample.
+func (q *Quantizer) MaxError(weights []semiring.Weight) float64 {
+	var worst float64
+	for _, w := range weights {
+		if semiring.IsZero(w) {
+			continue
+		}
+		e := math.Abs(float64(q.Decode(q.Encode(w)) - w))
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TableBytes is the centroid SRAM table size: 64 float32 entries.
+func (q *Quantizer) TableBytes() int64 { return int64(len(q.Centroids)) * 4 }

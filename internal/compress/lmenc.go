@@ -1,0 +1,261 @@
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/lm"
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// LM arc formats (Section 3.4):
+//
+//   - state 0 (unigram state): one arc per vocabulary word in word-ID order;
+//     the destination is implied (state = word ID), so only the 6-bit weight
+//     index is stored.
+//   - other states: fixed-width 45-bit arcs (18-bit word, 21-bit destination,
+//     6-bit weight), sorted by word ID for binary search, followed by one
+//     27-bit back-off arc (21-bit destination, 6-bit weight) stored last,
+//     exactly as the paper lays it out.
+const (
+	lmWordBits = 18
+	lmDestBits = 21
+
+	lmUnigramBits = WeightBits                           // 6
+	lmNgramBits   = lmWordBits + lmDestBits + WeightBits // 45
+	lmBackoffBits = lmDestBits + WeightBits              // 27
+)
+
+type lmState struct {
+	bitOff     uint64
+	narcs      uint32 // word arcs only (excludes the back-off arc)
+	hasBackoff bool
+	final      semiring.Weight
+}
+
+// LM is the compressed language-model transducer. It supports the two
+// hardware access patterns: O(1) unigram fetch by word ID and binary search
+// over a state's fixed-width arcs with a terminal back-off fetch.
+type LM struct {
+	Q      *Quantizer
+	V      int
+	states []lmState
+	data   *bitpack.Reader
+	nArcs  int
+}
+
+// EncodeLM compresses an LM graph built by lm.Model.BuildGraph, relying on
+// its state-numbering invariants (state 0 = unigram state with one arc per
+// word in order; every other state has a back-off arc).
+func EncodeLM(gr *lm.Graph, q *Quantizer) (*LM, error) {
+	g := gr.G
+	if g.NumStates() >= 1<<lmDestBits {
+		return nil, fmt.Errorf("compress: LM has %d states, format limit %d", g.NumStates(), 1<<lmDestBits)
+	}
+	if gr.V >= 1<<lmWordBits {
+		return nil, fmt.Errorf("compress: vocabulary %d exceeds %d bits", gr.V, lmWordBits)
+	}
+	c := &LM{Q: q, V: gr.V, states: make([]lmState, g.NumStates()), nArcs: g.NumArcs()}
+	var w bitpack.Writer
+
+	// State 0: verify and encode the unigram layout.
+	arcs0 := g.Arcs(0)
+	if len(arcs0) != gr.V {
+		return nil, fmt.Errorf("compress: state 0 has %d arcs, want %d", len(arcs0), gr.V)
+	}
+	c.states[0] = lmState{bitOff: 0, narcs: uint32(gr.V), final: g.Final(0)}
+	for i, a := range arcs0 {
+		if a.In != int32(i+1) || a.Next != wfst.StateID(i+1) {
+			return nil, fmt.Errorf("compress: state 0 arc %d violates the unigram layout", i)
+		}
+		w.WriteBits(uint64(q.Encode(a.W)), lmUnigramBits)
+	}
+
+	for s := wfst.StateID(1); int(s) < g.NumStates(); s++ {
+		rec := lmState{bitOff: w.Len(), final: g.Final(s)}
+		var backoff *wfst.Arc
+		for _, a := range g.Arcs(s) {
+			if a.In == wfst.Epsilon {
+				if backoff != nil {
+					return nil, fmt.Errorf("compress: state %d has two back-off arcs", s)
+				}
+				bo := a
+				backoff = &bo
+				continue
+			}
+			w.WriteBits(uint64(uint32(a.In)), lmWordBits)
+			w.WriteBits(uint64(uint32(a.Next)), lmDestBits)
+			w.WriteBits(uint64(q.Encode(a.W)), WeightBits)
+			rec.narcs++
+		}
+		if backoff == nil {
+			return nil, fmt.Errorf("compress: state %d lacks a back-off arc", s)
+		}
+		w.WriteBits(uint64(uint32(backoff.Next)), lmDestBits)
+		w.WriteBits(uint64(q.Encode(backoff.W)), WeightBits)
+		rec.hasBackoff = true
+		c.states[s] = rec
+	}
+	c.data = bitpack.NewReader(w.Bytes())
+	return c, nil
+}
+
+// NumStates returns the state count.
+func (c *LM) NumStates() int { return len(c.states) }
+
+// NumArcs returns the arc count including back-off arcs.
+func (c *LM) NumArcs() int { return c.nArcs }
+
+// Final returns the final (end-of-sentence) weight of s.
+func (c *LM) Final(s wfst.StateID) semiring.Weight { return c.states[s].final }
+
+// NumWordArcs returns the number of word-labelled arcs at s.
+func (c *LM) NumWordArcs(s wfst.StateID) int { return int(c.states[s].narcs) }
+
+// arcAt decodes word arc i of state s (s > 0).
+func (c *LM) arcAt(s wfst.StateID, i uint32) (word int32, dest wfst.StateID, wIdx uint8, bitOff uint64) {
+	bitOff = c.states[s].bitOff + uint64(i)*lmNgramBits
+	word = int32(c.data.ReadBits(bitOff, lmWordBits))
+	dest = wfst.StateID(c.data.ReadBits(bitOff+lmWordBits, lmDestBits))
+	wIdx = uint8(c.data.ReadBits(bitOff+lmWordBits+lmDestBits, WeightBits))
+	return
+}
+
+// FindArc performs the hardware Arc Issuer's lookup at state s for word.
+// For state 0 it is a direct index (the unigram trick); otherwise a binary
+// search over the fixed-width arcs. probe, if non-nil, receives the bit
+// offset of every arc record touched — the accelerator turns these into
+// LM Arc Cache accesses.
+func (c *LM) FindArc(s wfst.StateID, word int32, probe func(bitOff uint64, bits uint)) (wfst.Arc, bool) {
+	if word < 1 || int(word) > c.V {
+		return wfst.Arc{}, false
+	}
+	if s == 0 {
+		off := uint64(word-1) * lmUnigramBits
+		if probe != nil {
+			probe(off, lmUnigramBits)
+		}
+		wIdx := uint8(c.data.ReadBits(off, lmUnigramBits))
+		return wfst.Arc{In: word, Out: word, W: c.Q.Decode(wIdx), Next: wfst.StateID(word)}, true
+	}
+	lo, hi := uint32(0), c.states[s].narcs
+	for lo < hi {
+		mid := (lo + hi) / 2
+		wd, dest, wIdx, off := c.arcAt(s, mid)
+		if probe != nil {
+			probe(off, lmNgramBits)
+		}
+		switch {
+		case wd == word:
+			return wfst.Arc{In: word, Out: word, W: c.Q.Decode(wIdx), Next: dest}, true
+		case wd < word:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return wfst.Arc{}, false
+}
+
+// BackoffArc returns state s's back-off arc; ok is false at the unigram
+// state. probe reports the fetch like FindArc.
+func (c *LM) BackoffArc(s wfst.StateID, probe func(bitOff uint64, bits uint)) (wfst.Arc, bool) {
+	if s == 0 || !c.states[s].hasBackoff {
+		return wfst.Arc{}, false
+	}
+	off := c.states[s].bitOff + uint64(c.states[s].narcs)*lmNgramBits
+	if probe != nil {
+		probe(off, lmBackoffBits)
+	}
+	dest := wfst.StateID(c.data.ReadBits(off, lmDestBits))
+	wIdx := uint8(c.data.ReadBits(off+lmDestBits, WeightBits))
+	return wfst.Arc{In: wfst.Epsilon, Out: wfst.Epsilon, W: c.Q.Decode(wIdx), Next: dest}, true
+}
+
+// StateBitOffset exposes the arc-stream address of s for the accelerator.
+func (c *LM) StateBitOffset(s wfst.StateID) uint64 { return c.states[s].bitOff }
+
+// ArcAtOffset decodes the 45-bit n-gram arc at an absolute bit offset —
+// the fetch performed after an Offset Lookup Table hit, which skips the
+// binary search entirely.
+func (c *LM) ArcAtOffset(bitOff uint64) wfst.Arc {
+	word := int32(c.data.ReadBits(bitOff, lmWordBits))
+	dest := wfst.StateID(c.data.ReadBits(bitOff+lmWordBits, lmDestBits))
+	wIdx := uint8(c.data.ReadBits(bitOff+lmWordBits+lmDestBits, WeightBits))
+	return wfst.Arc{In: word, Out: word, W: c.Q.Decode(wIdx), Next: dest}
+}
+
+// UnigramBitOffset returns the bit offset of word's unigram arc (state 0).
+func (c *LM) UnigramBitOffset(word int32) uint64 {
+	return uint64(word-1) * lmUnigramBits
+}
+
+// FindArcLinear is the linear-scan lookup the paper reports as a 10x
+// slowdown; kept as the ablation baseline. probe reports every arc fetched.
+func (c *LM) FindArcLinear(s wfst.StateID, word int32, probe func(bitOff uint64, bits uint)) (wfst.Arc, bool) {
+	if word < 1 || int(word) > c.V {
+		return wfst.Arc{}, false
+	}
+	if s == 0 {
+		return c.FindArc(s, word, probe)
+	}
+	for i := uint32(0); i < c.states[s].narcs; i++ {
+		wd, dest, wIdx, off := c.arcAt(s, i)
+		if probe != nil {
+			probe(off, lmNgramBits)
+		}
+		if wd == word {
+			return wfst.Arc{In: word, Out: word, W: c.Q.Decode(wIdx), Next: dest}, true
+		}
+		if wd > word {
+			return wfst.Arc{}, false
+		}
+	}
+	return wfst.Arc{}, false
+}
+
+// Decompress reconstructs the LM WFST with quantized weights, arcs
+// input-sorted (back-off arc first, as the in-memory convention has it).
+func (c *LM) Decompress() *wfst.WFST {
+	b := wfst.NewBuilder()
+	for range c.states {
+		b.AddState()
+	}
+	b.SetStart(0)
+	for s := wfst.StateID(0); int(s) < len(c.states); s++ {
+		if !semiring.IsZero(c.states[s].final) {
+			b.SetFinal(s, c.states[s].final)
+		}
+		if s == 0 {
+			for wd := int32(1); wd <= int32(c.V); wd++ {
+				a, _ := c.FindArc(0, wd, nil)
+				b.AddArc(0, a)
+			}
+			continue
+		}
+		if bo, ok := c.BackoffArc(s, nil); ok {
+			b.AddArc(s, bo)
+		}
+		for i := uint32(0); i < c.states[s].narcs; i++ {
+			wd, dest, wIdx, _ := c.arcAt(s, i)
+			b.AddArc(s, wfst.Arc{In: wd, Out: wd, W: c.Q.Decode(wIdx), Next: dest})
+		}
+	}
+	g := b.MustBuild()
+	g.SortByInput()
+	return g
+}
+
+// SizeBytes reports the compressed footprint: 8-byte state records, packed
+// arcs, centroid table.
+func (c *LM) SizeBytes() int64 {
+	var bits int64 = int64(c.V) * lmUnigramBits
+	for _, s := range c.states[1:] {
+		bits += int64(s.narcs) * lmNgramBits
+		if s.hasBackoff {
+			bits += lmBackoffBits
+		}
+	}
+	return int64(len(c.states))*8 + (bits+7)/8 + c.Q.TableBytes()
+}

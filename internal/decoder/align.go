@@ -1,0 +1,162 @@
+package decoder
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Alignment is the result of forced alignment: for each frame, the senone
+// the reference transcript occupies, plus per-word end frames.
+type Alignment struct {
+	// Senones[f] is the senone aligned to frame f.
+	Senones []int32
+	// WordEnds[i] is the last frame of words[i].
+	WordEnds []int32
+	// Cost is the total alignment cost (acoustic + transition).
+	Cost semiring.Weight
+}
+
+// ForceAlign computes the Viterbi alignment of an utterance's acoustic
+// scores against a known word sequence over the AM graph: the standard
+// training-time operation that produces senone occupancies and word
+// boundaries (our synthesizer's ground truth is exactly such an alignment).
+// It searches the AM constrained to emit exactly `words`, tracking
+// (AM state, words emitted) pairs.
+func ForceAlign(am *wfst.WFST, cfg Config, scores [][]float32, words []int32) (*Alignment, error) {
+	if am.Start() == wfst.NoState {
+		return nil, fmt.Errorf("decoder: AM has no start state")
+	}
+	cfg = cfg.withDefaults()
+	nw := len(words)
+
+	// token per (amState, wordsEmitted); backpointers record (frame, senone,
+	// word-end) so the full frame alignment is recoverable.
+	type bp struct {
+		prev   int32
+		senone int32
+		word   bool
+	}
+	type atok struct {
+		cost semiring.Weight
+		bp   int32
+	}
+	arena := []bp{}
+	key := func(s wfst.StateID, emitted int) uint64 {
+		return uint64(uint32(s))<<32 | uint64(uint32(emitted))
+	}
+
+	cur := map[uint64]atok{key(am.Start(), 0): {semiring.One, -1}}
+	// Epsilon closure respecting word constraints (loop-back arcs).
+	closure := func(active map[uint64]atok) {
+		queue := make([]uint64, 0, len(active))
+		for k := range active {
+			queue = append(queue, k)
+		}
+		for len(queue) > 0 {
+			k := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			t, ok := active[k]
+			if !ok {
+				continue
+			}
+			s := wfst.StateID(k >> 32)
+			emitted := int(uint32(k))
+			for _, a := range am.Arcs(s) {
+				if a.In != wfst.Epsilon {
+					continue
+				}
+				ne := emitted
+				if a.Out != wfst.Epsilon {
+					if ne >= nw || a.Out != words[ne] {
+						continue
+					}
+					ne++
+				}
+				nk := key(a.Next, ne)
+				c := t.cost + a.W
+				if old, ok := active[nk]; !ok || c < old.cost {
+					active[nk] = atok{c, t.bp}
+					queue = append(queue, nk)
+				}
+			}
+		}
+	}
+	closure(cur)
+
+	for f := range scores {
+		frame := scores[f]
+		next := make(map[uint64]atok, len(cur)*2)
+		for k, t := range cur {
+			s := wfst.StateID(k >> 32)
+			emitted := int(uint32(k))
+			for _, a := range am.Arcs(s) {
+				if a.In == wfst.Epsilon {
+					continue
+				}
+				ne := emitted
+				isWord := a.Out != wfst.Epsilon
+				if isWord {
+					if ne >= nw || a.Out != words[ne] {
+						continue
+					}
+					ne++
+				}
+				c := t.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
+				nk := key(a.Next, ne)
+				if old, ok := next[nk]; !ok || c < old.cost {
+					arena = append(arena, bp{prev: t.bp, senone: a.In, word: isWord})
+					next[nk] = atok{c, int32(len(arena) - 1)}
+				}
+			}
+		}
+		closure(next)
+		if len(next) == 0 {
+			return nil, fmt.Errorf("decoder: alignment died at frame %d (transcript impossible?)", f)
+		}
+		cur = next
+	}
+
+	// Best final token that emitted every word and sits in a final AM state.
+	best := semiring.Zero
+	bestBP := int32(-1)
+	for k, t := range cur {
+		s := wfst.StateID(k >> 32)
+		if int(uint32(k)) != nw {
+			continue
+		}
+		fw := am.Final(s)
+		if semiring.IsZero(fw) {
+			continue
+		}
+		if c := t.cost + fw; c < best {
+			best, bestBP = c, t.bp
+		}
+	}
+	if semiring.IsZero(best) {
+		return nil, fmt.Errorf("decoder: no complete alignment for %d words over %d frames", nw, len(scores))
+	}
+
+	al := &Alignment{Cost: best, Senones: make([]int32, len(scores))}
+	f := len(scores) - 1
+	var wordEndsRev []int32
+	for i := bestBP; i >= 0; i = arena[i].prev {
+		al.Senones[f] = arena[i].senone
+		if arena[i].word {
+			wordEndsRev = append(wordEndsRev, int32(f))
+		}
+		f--
+	}
+	if f != -1 {
+		return nil, fmt.Errorf("decoder: alignment backtrace covered %d frames, want %d", len(scores)-1-f, len(scores))
+	}
+	al.WordEnds = make([]int32, len(wordEndsRev))
+	for i, e := range wordEndsRev {
+		al.WordEnds[len(wordEndsRev)-1-i] = e
+	}
+	if len(al.WordEnds) != nw {
+		return nil, fmt.Errorf("decoder: alignment found %d word ends, want %d", len(al.WordEnds), nw)
+	}
+	return al, nil
+}

@@ -1,0 +1,82 @@
+package decoder
+
+import (
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+func TestForceAlignBasics(t *testing.T) {
+	f := getFixture(t, 42)
+	for i, u := range f.tk.Test {
+		al, err := ForceAlign(f.tk.AM.G, Config{}, f.scores[i], u.Words)
+		if err != nil {
+			t.Fatalf("utt %d: %v", i, err)
+		}
+		if len(al.Senones) != len(f.scores[i]) {
+			t.Fatalf("utt %d: %d aligned frames for %d score frames",
+				i, len(al.Senones), len(f.scores[i]))
+		}
+		if len(al.WordEnds) != len(u.Words) {
+			t.Fatalf("utt %d: %d word ends for %d words", i, len(al.WordEnds), len(u.Words))
+		}
+		prev := int32(-1)
+		for j, e := range al.WordEnds {
+			if e <= prev || int(e) >= len(f.scores[i]) {
+				t.Fatalf("utt %d word %d: bad end frame %d", i, j, e)
+			}
+			prev = e
+		}
+		for fr, s := range al.Senones {
+			if s < 1 || int(s) > f.tk.AM.NumSenones {
+				t.Fatalf("utt %d frame %d: senone %d out of range", i, fr, s)
+			}
+		}
+		if semiring.IsZero(al.Cost) {
+			t.Fatalf("utt %d: infinite alignment cost", i)
+		}
+	}
+}
+
+// The forced alignment of the reference transcript can cost no less than
+// the free-decoding best path (which optimizes over all transcripts), and
+// when the decoder got the utterance right the two must coincide.
+func TestForceAlignConsistentWithDecode(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range f.tk.Test {
+		res := d.Decode(f.scores[i])
+		if !equalHyp(res.Words, u.Words) {
+			continue // decoder erred; alignment comparison not meaningful
+		}
+		al, err := ForceAlign(f.tk.AM.G, Config{}, f.scores[i], u.Words)
+		if err != nil {
+			t.Fatalf("utt %d: %v", i, err)
+		}
+		// Word end frames from alignment and decode should agree closely
+		// (decode includes LM weights, which can shift boundaries only when
+		// alternative alignments are nearly tied).
+		for j := range al.WordEnds {
+			diff := al.WordEnds[j] - res.WordEnds[j]
+			if diff < -3 || diff > 3 {
+				t.Errorf("utt %d word %d: aligned end %d vs decoded end %d",
+					i, j, al.WordEnds[j], res.WordEnds[j])
+			}
+		}
+	}
+}
+
+func TestForceAlignRejectsWrongTranscript(t *testing.T) {
+	f := getFixture(t, 42)
+	// A transcript longer than the audio can possibly fit must fail.
+	long := make([]int32, 200)
+	for i := range long {
+		long[i] = int32(i%f.tk.Lex.V() + 1)
+	}
+	if _, err := ForceAlign(f.tk.AM.G, Config{}, f.scores[0][:10], long); err == nil {
+		t.Error("expected alignment failure for impossible transcript")
+	}
+}

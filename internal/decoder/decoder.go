@@ -1,0 +1,220 @@
+// Package decoder implements the software reference Viterbi beam-search
+// decoders: the fully-composed baseline (searching one offline-composed
+// WFST, as in Yazdani et al. MICRO-49) and the paper's on-the-fly
+// composition decoder (tokens are (AM state, LM state) pairs; cross-word
+// arcs trigger LM look-ups with back-off, an offset memo table, and
+// preemptive back-off pruning).
+//
+// The two decoders explore exactly the same search space, so — given the
+// same beam — they produce the same hypothesis. That equivalence is the
+// package's central test oracle, mirroring the paper's claim that on-the-fly
+// composition changes memory behaviour, not results.
+package decoder
+
+import (
+	"sort"
+
+	"repro/internal/semiring"
+)
+
+// LookupKind selects how the on-the-fly decoder locates LM arcs
+// (Section 5.1 discusses all three: linear search is a 10x slowdown,
+// binary search 3x, and the Offset Lookup Table brings it to 18%).
+type LookupKind int
+
+const (
+	// LookupMemo is binary search backed by an offset memo table (the
+	// software analogue of the paper's Offset Lookup Table). Default.
+	LookupMemo LookupKind = iota
+	// LookupBinary is plain binary search over input-sorted arcs.
+	LookupBinary
+	// LookupLinear scans arcs in order; the paper's worst-case baseline.
+	LookupLinear
+)
+
+func (k LookupKind) String() string {
+	switch k {
+	case LookupMemo:
+		return "memo"
+	case LookupBinary:
+		return "binary"
+	case LookupLinear:
+		return "linear"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds beam-search parameters shared by both decoders.
+type Config struct {
+	// Beam is the pruning beam in cost units; hypotheses worse than the
+	// frame's best by more than Beam are discarded. Default 24, wide enough
+	// that decoding is model-limited rather than search-limited on the
+	// benchmark tasks (the paper's operating regime).
+	Beam semiring.Weight
+	// MaxActive caps the live tokens per frame (histogram pruning).
+	// Default 3000; 0 means unlimited.
+	MaxActive int
+	// AcousticScale multiplies acoustic log-likelihoods before they enter
+	// the search, balancing AM and LM dynamic ranges. Default 0.8.
+	AcousticScale float32
+	// PreemptivePruning enables the paper's Section 3.3 scheme: hypotheses
+	// are threshold-checked at every back-off hop and abandoned early.
+	// On-the-fly decoder only.
+	PreemptivePruning bool
+	// Lookup selects the LM arc-fetch strategy. On-the-fly decoder only.
+	Lookup LookupKind
+}
+
+func (c Config) withDefaults() Config {
+	if c.Beam == 0 {
+		c.Beam = 24
+	}
+	if c.MaxActive == 0 {
+		c.MaxActive = 3000
+	}
+	if c.AcousticScale == 0 {
+		c.AcousticScale = 0.8
+	}
+	return c
+}
+
+// Stats counts decoder work; the accelerator simulator consumes these to
+// charge cycles and memory traffic.
+type Stats struct {
+	Frames         int
+	TokensExpanded int64 // tokens alive at the start of a frame
+	TokensCreated  int64 // distinct (state) tokens materialized
+	TokensBeamCut  int64 // tokens dropped by beam/histogram pruning
+	ArcsTraversed  int64 // emitting arcs evaluated
+	EpsTraversed   int64 // non-emitting arcs evaluated
+
+	// On-the-fly specifics.
+	LMFetches        int64 // word resolutions triggered by cross-word arcs
+	LMProbes         int64 // arc-search probes (binary or linear steps)
+	BackoffHops      int64 // back-off arcs taken
+	MemoHits         int64
+	MemoMisses       int64
+	PreemptivePruned int64 // hypotheses abandoned mid back-off walk
+
+	// LatticeEntries is the number of word-lattice records written.
+	LatticeEntries int64
+}
+
+// Result is the decoder output for one utterance.
+type Result struct {
+	// Words is the best hypothesis word sequence.
+	Words []int32
+	// WordEnds[i] is the frame index at which Words[i]'s cross-word
+	// transition was taken (its end time, in frames); -1 for words emitted
+	// by non-emitting arcs.
+	WordEnds []int32
+	// Cost is the total path cost including the final weight.
+	Cost semiring.Weight
+	// ReachedFinal reports whether the best token was in a final state; if
+	// false the best partial hypothesis is returned.
+	ReachedFinal bool
+	Stats        Stats
+}
+
+// token is one live hypothesis: a path cost and a backpointer into the
+// word lattice.
+type token struct {
+	cost semiring.Weight
+	lat  int32
+}
+
+// lattice is an arena of word backpointers; index -1 is the empty history.
+// This is the compact word-lattice representation the Token Issuer writes
+// (the paper adopts the compact format of Price [22]).
+type lattice struct {
+	words  []int32
+	prev   []int32
+	frames []int32
+}
+
+func (l *lattice) add(word, prev, frame int32) int32 {
+	l.words = append(l.words, word)
+	l.prev = append(l.prev, prev)
+	l.frames = append(l.frames, frame)
+	return int32(len(l.words) - 1)
+}
+
+// backtrace returns the word sequence ending at entry idx along with the
+// frame at which each word completed.
+func (l *lattice) backtrace(idx int32) (words, ends []int32) {
+	for i := idx; i >= 0; i = l.prev[i] {
+		words = append(words, l.words[i])
+		ends = append(ends, l.frames[i])
+	}
+	for i, j := 0, len(words)-1; i < j; i, j = i+1, j-1 {
+		words[i], words[j] = words[j], words[i]
+		ends[i], ends[j] = ends[j], ends[i]
+	}
+	return words, ends
+}
+
+// Entries reports the number of lattice entries written (token-cache
+// traffic in the accelerator model).
+func (l *lattice) Entries() int { return len(l.words) }
+
+// beamPrune removes tokens worse than best+beam, then applies the
+// MaxActive histogram cap. It returns the surviving-token threshold used by
+// preemptive pruning and the number of removed tokens. Deterministic: ties
+// are broken by key.
+func beamPrune(active map[uint64]token, beam semiring.Weight, maxActive int) (semiring.Weight, int64) {
+	if len(active) == 0 {
+		return semiring.Zero, 0
+	}
+	best := semiring.Zero
+	for _, t := range active {
+		if t.cost < best {
+			best = t.cost
+		}
+	}
+	thr := best + beam
+	var cut int64
+	for k, t := range active {
+		if t.cost > thr {
+			delete(active, k)
+			cut++
+		}
+	}
+	if maxActive > 0 && len(active) > maxActive {
+		type kt struct {
+			k uint64
+			c semiring.Weight
+		}
+		all := make([]kt, 0, len(active))
+		for k, t := range active {
+			all = append(all, kt{k, t.cost})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].c != all[j].c {
+				return all[i].c < all[j].c
+			}
+			return all[i].k < all[j].k
+		})
+		for _, e := range all[maxActive:] {
+			delete(active, e.k)
+			cut++
+		}
+		thr = all[maxActive-1].c
+	}
+	return thr, cut
+}
+
+// relax performs the tropical-semiring token update: keep the better cost.
+// It reports whether the destination token was created or improved.
+func relax(m map[uint64]token, key uint64, cost semiring.Weight, lat int32) (created, improved bool) {
+	old, ok := m[key]
+	if !ok {
+		m[key] = token{cost, lat}
+		return true, true
+	}
+	if cost < old.cost {
+		m[key] = token{cost, lat}
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,266 @@
+package decoder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// OnTheFly is the paper's decoder: a one-pass Viterbi beam search that
+// composes the AM and LM transducers on demand. Tokens are (AM state,
+// LM state) pairs; word-internal AM arcs advance only the AM side, and
+// cross-word arcs additionally fetch the LM arc for the emitted word,
+// walking back-off arcs as needed (Section 2, Figure 3c).
+type OnTheFly struct {
+	am  *wfst.WFST
+	lm  *wfst.WFST
+	cfg Config
+	// memo is the software analogue of the Offset Lookup Table: it maps
+	// (LM state, word) to the resolved arc index from a previous binary
+	// search. It persists across utterances, as the hardware table does,
+	// because word recurrence is exactly the locality it exploits.
+	memo map[uint64]int32
+}
+
+// NewOnTheFly builds the on-the-fly decoder over separate AM and LM graphs.
+// The LM must be input-sorted (binary search requirement).
+func NewOnTheFly(amGraph, lmGraph *wfst.WFST, cfg Config) (*OnTheFly, error) {
+	if amGraph.Start() == wfst.NoState || lmGraph.Start() == wfst.NoState {
+		return nil, fmt.Errorf("decoder: on-the-fly graphs need start states")
+	}
+	if !lmGraph.InSorted() {
+		return nil, fmt.Errorf("decoder: LM graph must be input-sorted")
+	}
+	return &OnTheFly{am: amGraph, lm: lmGraph, cfg: cfg.withDefaults(), memo: make(map[uint64]int32)}, nil
+}
+
+// ResetMemo clears the offset memo table (for ablations that model a cold
+// table per utterance).
+func (d *OnTheFly) ResetMemo() { d.memo = make(map[uint64]int32) }
+
+func otfKey(am, lm wfst.StateID) uint64 {
+	return uint64(uint32(am))<<32 | uint64(uint32(lm))
+}
+
+// Decode runs the one-pass on-the-fly Viterbi search over acoustic scores.
+func (d *OnTheFly) Decode(scores [][]float32) *Result {
+	cfg := d.cfg
+	lat := &lattice{}
+	st := Stats{Frames: len(scores)}
+
+	cur := map[uint64]token{otfKey(d.am.Start(), d.lm.Start()): {semiring.One, -1}}
+	d.epsClosure(cur, lat, &st, semiring.Zero, -1)
+
+	keys := make([]uint64, 0, 64)
+	for f := range scores {
+		_, cut := beamPrune(cur, cfg.Beam, cfg.MaxActive)
+		st.TokensBeamCut += cut
+		st.TokensExpanded += int64(len(cur))
+		next := make(map[uint64]token, 2*len(cur))
+		frame := scores[f]
+
+		// Iterate tokens in sorted key order so the running-best threshold
+		// (and hence preemptive-pruning statistics) are deterministic.
+		keys = keys[:0]
+		for k := range cur {
+			keys = append(keys, k)
+		}
+		sortUint64(keys)
+
+		// Preemptive pruning compares against the best hypothesis created
+		// so far in this frame plus the beam. The frame's final threshold
+		// can only be tighter, so anything pruned here was doomed anyway —
+		// the safety argument of Section 3.3.
+		runningBest := semiring.Zero
+		thr := func() semiring.Weight {
+			if semiring.IsZero(runningBest) {
+				return semiring.Zero // +Inf: nothing to compare against yet
+			}
+			return runningBest + cfg.Beam
+		}
+
+		for _, key := range keys {
+			tok := cur[key]
+			amS := wfst.StateID(key >> 32)
+			lmS := wfst.StateID(uint32(key))
+			for _, a := range d.am.Arcs(amS) {
+				if a.In == wfst.Epsilon {
+					continue
+				}
+				st.ArcsTraversed++
+				c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
+				lmNext, latIdx := lmS, tok.lat
+				if a.Out != wfst.Epsilon {
+					var ok bool
+					var lmW semiring.Weight
+					lmNext, lmW, ok = d.resolve(lmS, a.Out, c, thr(), &st)
+					if !ok {
+						continue // preemptively pruned (or unresolvable word)
+					}
+					c += lmW
+					latIdx = lat.add(a.Out, tok.lat, int32(f))
+				}
+				if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
+					st.TokensCreated++
+				}
+				if c < runningBest {
+					runningBest = c
+				}
+			}
+		}
+		d.epsClosure(next, lat, &st, semiring.Zero, int32(f))
+		if len(next) == 0 {
+			return d.finish(cur, lat, st)
+		}
+		cur = next
+	}
+	return d.finish(cur, lat, st)
+}
+
+// sortUint64 sorts keys ascending (insertion for tiny slices, else stdlib).
+func sortUint64(keys []uint64) {
+	if len(keys) < 24 {
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// resolve locates the LM transition for word out of state s, walking the
+// back-off chain. base is the hypothesis cost before LM weights; with
+// preemptive pruning enabled, the walk aborts as soon as base plus the
+// accumulated back-off penalties crosses thr (Section 3.3: the Arc Issuer
+// re-checks the threshold after applying each back-off weight).
+func (d *OnTheFly) resolve(s wfst.StateID, word int32, base, thr semiring.Weight, st *Stats) (wfst.StateID, semiring.Weight, bool) {
+	st.LMFetches++
+	acc := semiring.One
+	for hops := 0; hops < 16; hops++ {
+		if idx, ok := d.find(s, word, st); ok {
+			a := d.lm.Arcs(s)[idx]
+			return a.Next, acc + a.W, true
+		}
+		bo, ok := d.lm.BackoffArc(s)
+		if !ok {
+			return wfst.NoState, semiring.Zero, false
+		}
+		st.BackoffHops++
+		acc += bo.W
+		s = bo.Next
+		if d.cfg.PreemptivePruning && base+acc > thr {
+			st.PreemptivePruned++
+			return wfst.NoState, semiring.Zero, false
+		}
+	}
+	return wfst.NoState, semiring.Zero, false
+}
+
+// find locates the arc for word at LM state s according to the configured
+// lookup strategy, counting probes and memo hits.
+func (d *OnTheFly) find(s wfst.StateID, word int32, st *Stats) (int, bool) {
+	switch d.cfg.Lookup {
+	case LookupLinear:
+		var probes int
+		idx, ok := d.lm.FindArcLinear(s, word, &probes)
+		st.LMProbes += int64(probes)
+		return idx, ok
+	case LookupBinary:
+		var probes int
+		idx, ok := d.lm.FindArc(s, word, &probes)
+		st.LMProbes += int64(probes)
+		return idx, ok
+	default: // LookupMemo
+		mk := uint64(uint32(s))<<20 | uint64(uint32(word))
+		if idx, hit := d.memo[mk]; hit {
+			st.MemoHits++
+			return int(idx), true
+		}
+		var probes int
+		idx, ok := d.lm.FindArc(s, word, &probes)
+		st.LMProbes += int64(probes)
+		st.MemoMisses++
+		if ok {
+			d.memo[mk] = int32(idx)
+		}
+		return idx, ok
+	}
+}
+
+// epsClosure relaxes non-emitting AM arcs within a frame. A non-emitting
+// arc with a word output (possible in general transducers, though not
+// produced by our AM builder) still performs the LM transition.
+func (d *OnTheFly) epsClosure(active map[uint64]token, lat *lattice, st *Stats, thr semiring.Weight, frame int32) {
+	queue := make([]uint64, 0, len(active))
+	for k := range active {
+		queue = append(queue, k)
+	}
+	for len(queue) > 0 {
+		key := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		tok, ok := active[key]
+		if !ok {
+			continue
+		}
+		amS := wfst.StateID(key >> 32)
+		lmS := wfst.StateID(uint32(key))
+		for _, a := range d.am.Arcs(amS) {
+			if a.In != wfst.Epsilon {
+				continue
+			}
+			st.EpsTraversed++
+			c := tok.cost + a.W
+			lmNext, latIdx := lmS, tok.lat
+			if a.Out != wfst.Epsilon {
+				var okRes bool
+				var lmW semiring.Weight
+				lmNext, lmW, okRes = d.resolve(lmS, a.Out, c, thr, st)
+				if !okRes {
+					continue
+				}
+				c += lmW
+				latIdx = lat.add(a.Out, tok.lat, frame)
+			}
+			created, improved := relax(active, otfKey(a.Next, lmNext), c, latIdx)
+			if created {
+				st.TokensCreated++
+			}
+			if improved {
+				queue = append(queue, otfKey(a.Next, lmNext))
+			}
+		}
+	}
+}
+
+// finish mirrors the composed decoder: a token is final when both component
+// states accept, with the product final weight.
+func (d *OnTheFly) finish(active map[uint64]token, lat *lattice, st Stats) *Result {
+	res := &Result{Cost: semiring.Zero, Stats: st}
+	bestAny, bestAnyLat := semiring.Zero, int32(-1)
+	for key, tok := range active {
+		amS := wfst.StateID(key >> 32)
+		lmS := wfst.StateID(uint32(key))
+		fa, fl := d.am.Final(amS), d.lm.Final(lmS)
+		if !semiring.IsZero(fa) && !semiring.IsZero(fl) {
+			c := tok.cost + fa + fl
+			if c < res.Cost {
+				res.Cost = c
+				res.Words, res.WordEnds = lat.backtrace(tok.lat)
+				res.ReachedFinal = true
+			}
+		}
+		if tok.cost < bestAny {
+			bestAny, bestAnyLat = tok.cost, tok.lat
+		}
+	}
+	if !res.ReachedFinal && !semiring.IsZero(bestAny) {
+		res.Cost = bestAny
+		res.Words, res.WordEnds = lat.backtrace(bestAnyLat)
+	}
+	res.Stats.LatticeEntries = int64(lat.Entries())
+	return res
+}

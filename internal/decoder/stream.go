@@ -1,0 +1,134 @@
+package decoder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Stream is an incremental (frame-at-a-time) interface over the on-the-fly
+// decoder — the shape a real-time recognizer exposes: acoustic score rows
+// are pushed as the GPU produces each batch, and the current-best partial
+// hypothesis is available at any time. A Stream fed the same rows as a
+// batch Decode call produces exactly the same result.
+type Stream struct {
+	d      *OnTheFly
+	lat    *lattice
+	cur    map[uint64]token
+	st     Stats
+	dead   bool
+	frozen map[uint64]token // last non-empty frontier if the search dies
+}
+
+// NewStream starts an incremental decode on d.
+func (d *OnTheFly) NewStream() *Stream {
+	s := &Stream{
+		d:   d,
+		lat: &lattice{},
+		cur: map[uint64]token{otfKey(d.am.Start(), d.lm.Start()): {semiring.One, -1}},
+	}
+	d.epsClosure(s.cur, s.lat, &s.st, semiring.Zero, -1)
+	return s
+}
+
+// Push consumes one frame of acoustic scores (1-based senone indexing).
+func (s *Stream) Push(frame []float32) error {
+	if s.dead {
+		return nil // search died earlier; Finish reports the best partial
+	}
+	if len(frame) == 0 {
+		return fmt.Errorf("decoder: empty frame")
+	}
+	cfg := s.d.cfg
+	f := int32(s.st.Frames)
+	s.st.Frames++
+	_, cut := beamPrune(s.cur, cfg.Beam, cfg.MaxActive)
+	s.st.TokensBeamCut += cut
+	s.st.TokensExpanded += int64(len(s.cur))
+	next := make(map[uint64]token, 2*len(s.cur))
+
+	keys := make([]uint64, 0, len(s.cur))
+	for k := range s.cur {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	runningBest := semiring.Zero
+	thr := func() semiring.Weight {
+		if semiring.IsZero(runningBest) {
+			return semiring.Zero
+		}
+		return runningBest + cfg.Beam
+	}
+	for _, key := range keys {
+		tok := s.cur[key]
+		amS := wfst.StateID(key >> 32)
+		lmS := wfst.StateID(uint32(key))
+		for _, a := range s.d.am.Arcs(amS) {
+			if a.In == wfst.Epsilon {
+				continue
+			}
+			s.st.ArcsTraversed++
+			c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
+			lmNext, latIdx := lmS, tok.lat
+			if a.Out != wfst.Epsilon {
+				var ok bool
+				var lmW semiring.Weight
+				lmNext, lmW, ok = s.d.resolve(lmS, a.Out, c, thr(), &s.st)
+				if !ok {
+					continue
+				}
+				c += lmW
+				latIdx = s.lat.add(a.Out, tok.lat, f)
+			}
+			if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
+				s.st.TokensCreated++
+			}
+			if c < runningBest {
+				runningBest = c
+			}
+		}
+	}
+	s.d.epsClosure(next, s.lat, &s.st, semiring.Zero, f)
+	if len(next) == 0 {
+		s.dead = true
+		s.frozen = s.cur
+		return nil
+	}
+	s.cur = next
+	return nil
+}
+
+// Partial returns the current best hypothesis without ending the stream —
+// what a UI would display while the user is still speaking. Finality is
+// ignored: the utterance is not over.
+func (s *Stream) Partial() []int32 {
+	frontier := s.cur
+	if s.dead {
+		frontier = s.frozen
+	}
+	best := semiring.Zero
+	lat := int32(-1)
+	for _, t := range frontier {
+		if t.cost < best {
+			best, lat = t.cost, t.lat
+		}
+	}
+	if semiring.IsZero(best) {
+		return nil
+	}
+	words, _ := s.lat.backtrace(lat)
+	return words
+}
+
+// Finish ends the utterance and returns the final result, identical to a
+// batch Decode over the same frames.
+func (s *Stream) Finish() *Result {
+	frontier := s.cur
+	if s.dead {
+		frontier = s.frozen
+	}
+	return s.d.finish(frontier, s.lat, s.st)
+}

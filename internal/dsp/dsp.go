@@ -1,0 +1,254 @@
+// Package dsp provides the signal-processing front-end of Section 2's
+// pipeline ("decoders split the input audio signal into frames of,
+// typically, 10 milliseconds ... each frame is represented through a
+// feature vector using signal processing techniques"): a formant-style
+// waveform synthesizer standing in for recorded speech, and a
+// log-filterbank feature extractor (pre-emphasis, Hamming window, Goertzel
+// filterbank at mel-spaced frequencies).
+//
+// The template-based front-end in internal/acoustic is the default used by
+// the benchmark tasks; this package is the physically-grounded alternative:
+// senone templates are *measured* from clean synthesized audio rather than
+// sampled, so discrimination emerges from the signal path.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes the front-end. Defaults mirror common ASR settings:
+// 16 kHz audio, 10 ms frame shift, 25 ms analysis window.
+type Config struct {
+	SampleRate int // Hz; default 16000
+	FrameShift int // samples between frames; default 160 (10 ms)
+	FrameLen   int // analysis window length; default 400 (25 ms)
+	NumFilters int // mel filterbank size = feature dimension; default 20
+	PreEmph    float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleRate == 0 {
+		c.SampleRate = 16000
+	}
+	if c.FrameShift == 0 {
+		c.FrameShift = 160
+	}
+	if c.FrameLen == 0 {
+		c.FrameLen = 400
+	}
+	if c.NumFilters == 0 {
+		c.NumFilters = 20
+	}
+	if c.PreEmph == 0 {
+		c.PreEmph = 0.97
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.FrameLen < c.FrameShift {
+		return fmt.Errorf("dsp: frame length %d < shift %d", c.FrameLen, c.FrameShift)
+	}
+	if c.NumFilters < 2 {
+		return fmt.Errorf("dsp: need at least 2 filters")
+	}
+	return nil
+}
+
+// --- Feature extraction -------------------------------------------------------
+
+// Frontend converts waveforms to log-filterbank feature frames.
+type Frontend struct {
+	cfg     Config
+	centers []float64 // filter center frequencies, Hz
+	window  []float64 // Hamming window
+}
+
+// NewFrontend builds the extractor with mel-spaced filter centers between
+// 100 Hz and 90% of Nyquist.
+func NewFrontend(cfg Config) (*Frontend, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fe := &Frontend{cfg: cfg}
+	lo, hi := hzToMel(100), hzToMel(0.9*float64(cfg.SampleRate)/2)
+	fe.centers = make([]float64, cfg.NumFilters)
+	for i := range fe.centers {
+		mel := lo + (hi-lo)*float64(i)/float64(cfg.NumFilters-1)
+		fe.centers[i] = melToHz(mel)
+	}
+	fe.window = make([]float64, cfg.FrameLen)
+	for i := range fe.window {
+		fe.window[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(cfg.FrameLen-1))
+	}
+	return fe, nil
+}
+
+func hzToMel(f float64) float64 { return 2595 * math.Log10(1+f/700) }
+func melToHz(m float64) float64 { return 700 * (math.Pow(10, m/2595) - 1) }
+
+// Dim returns the feature dimension.
+func (fe *Frontend) Dim() int { return fe.cfg.NumFilters }
+
+// NumFrames returns how many frames a waveform yields.
+func (fe *Frontend) NumFrames(samples int) int {
+	if samples < fe.cfg.FrameLen {
+		return 0
+	}
+	return (samples-fe.cfg.FrameLen)/fe.cfg.FrameShift + 1
+}
+
+// Features extracts log-filterbank frames from a waveform.
+func (fe *Frontend) Features(wave []float64) [][]float32 {
+	n := fe.NumFrames(len(wave))
+	out := make([][]float32, n)
+	buf := make([]float64, fe.cfg.FrameLen)
+	for f := 0; f < n; f++ {
+		off := f * fe.cfg.FrameShift
+		// Pre-emphasis + window.
+		prev := 0.0
+		if off > 0 {
+			prev = wave[off-1]
+		}
+		for i := 0; i < fe.cfg.FrameLen; i++ {
+			s := wave[off+i] - fe.cfg.PreEmph*prev
+			prev = wave[off+i]
+			buf[i] = s * fe.window[i]
+		}
+		row := make([]float32, fe.cfg.NumFilters)
+		for k, fc := range fe.centers {
+			row[k] = float32(math.Log(goertzelPower(buf, fc, float64(fe.cfg.SampleRate)) + 1e-10))
+		}
+		out[f] = row
+	}
+	return out
+}
+
+// goertzelPower returns the normalized spectral power of buf at frequency
+// f using the Goertzel recurrence — a single-bin DFT without an FFT.
+func goertzelPower(buf []float64, f, rate float64) float64 {
+	w := 2 * math.Pi * f / rate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range buf {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / float64(len(buf)*len(buf))
+}
+
+// --- Waveform synthesis ---------------------------------------------------------
+
+// Voice maps each senone to a small set of formants (frequency + amplitude
+// pairs); synthesized audio for a senone is the sum of those sinusoids plus
+// noise. This is the closest synthetic stand-in for recorded phones that
+// still exercises the whole front-end.
+type Voice struct {
+	cfg Config
+	fe  *Frontend
+	// freqs[s] and amps[s] are the formants of senone s (1-based).
+	freqs [][]float64
+	amps  [][]float64
+}
+
+// NewVoice samples a voice for numSenones senones.
+func NewVoice(rng *rand.Rand, numSenones int, cfg Config) (*Voice, error) {
+	cfg = cfg.withDefaults()
+	fe, err := NewFrontend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if numSenones < 1 {
+		return nil, fmt.Errorf("dsp: need at least one senone")
+	}
+	v := &Voice{cfg: cfg, fe: fe,
+		freqs: make([][]float64, numSenones+1),
+		amps:  make([][]float64, numSenones+1)}
+	nyq := float64(cfg.SampleRate) / 2
+	for s := 1; s <= numSenones; s++ {
+		k := 3
+		fr := make([]float64, k)
+		am := make([]float64, k)
+		for i := 0; i < k; i++ {
+			fr[i] = 150 + rng.Float64()*(0.85*nyq-150)
+			am[i] = 0.3 + rng.Float64()*0.7
+		}
+		v.freqs[s], v.amps[s] = fr, am
+	}
+	return v, nil
+}
+
+// Frontend returns the voice's matched feature extractor.
+func (v *Voice) Frontend() *Frontend { return v.fe }
+
+// Synthesize renders a senone occupancy sequence to audio: each senone
+// holds for holdFrames frames of samples, with additive noise at the given
+// SNR-ish level (0 = clean).
+func (v *Voice) Synthesize(rng *rand.Rand, senones []int32, holdFrames int, noise float64) []float64 {
+	if holdFrames < 1 {
+		holdFrames = 3
+	}
+	samplesPer := holdFrames * v.cfg.FrameShift
+	wave := make([]float64, 0, len(senones)*samplesPer+v.cfg.FrameLen)
+	var tIdx int
+	for _, s := range senones {
+		fr, am := v.freqs[s], v.amps[s]
+		for i := 0; i < samplesPer; i++ {
+			t := float64(tIdx) / float64(v.cfg.SampleRate)
+			var x float64
+			for j := range fr {
+				x += am[j] * math.Sin(2*math.Pi*fr[j]*t)
+			}
+			if noise > 0 {
+				x += rng.NormFloat64() * noise
+			}
+			wave = append(wave, x)
+			tIdx++
+		}
+	}
+	// Pad so the final frames are analyzable.
+	for i := 0; i < v.cfg.FrameLen; i++ {
+		wave = append(wave, 0)
+	}
+	return wave
+}
+
+// Templates measures each senone's mean feature template under the given
+// noise level — the calibration ("training") pass that replaces
+// internal/acoustic's sampled templates when this front-end is used.
+// Matched noise conditions matter: the broadband noise floor shifts every
+// log-filterbank channel, just as real acoustic models are trained on
+// representative recording conditions.
+func (v *Voice) Templates(noise float64) [][]float32 {
+	out := make([][]float32, len(v.freqs))
+	rng := rand.New(rand.NewSource(1))
+	for s := 1; s < len(v.freqs); s++ {
+		tmpl := make([]float32, v.fe.Dim())
+		n := 0
+		for rep := 0; rep < 4; rep++ {
+			wave := v.Synthesize(rng, []int32{int32(s)}, 8, noise)
+			feats := v.fe.Features(wave)
+			// Average the steady-state frames (skip the onset and tail).
+			for f := 1; f < len(feats)-2; f++ {
+				for d, val := range feats[f] {
+					tmpl[d] += val
+				}
+				n++
+			}
+		}
+		if n > 0 {
+			for d := range tmpl {
+				tmpl[d] /= float32(n)
+			}
+		}
+		out[s] = tmpl
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{FrameShift: 400, FrameLen: 100}).Validate(); err == nil {
+		t.Error("expected error for shift > length")
+	}
+	if _, err := NewFrontend(Config{NumFilters: 1}); err == nil {
+		t.Error("expected error for single filter")
+	}
+}
+
+// Goertzel correctness: a pure tone at a filter's center frequency must
+// dominate that filter's output.
+func TestGoertzelSelectsTone(t *testing.T) {
+	fe, err := NewFrontend(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(fe.cfg.SampleRate)
+	for _, k := range []int{2, 8, 15} {
+		f := fe.centers[k]
+		wave := make([]float64, 4*fe.cfg.FrameLen)
+		for i := range wave {
+			wave[i] = math.Sin(2 * math.Pi * f * float64(i) / rate)
+		}
+		feats := fe.Features(wave)
+		if len(feats) == 0 {
+			t.Fatal("no frames")
+		}
+		row := feats[1]
+		best := 0
+		for d := range row {
+			if row[d] > row[best] {
+				best = d
+			}
+		}
+		if best != k {
+			t.Errorf("tone at filter %d peaked at filter %d", k, best)
+		}
+	}
+}
+
+func TestNumFrames(t *testing.T) {
+	fe, _ := NewFrontend(Config{})
+	if fe.NumFrames(fe.cfg.FrameLen) != 1 {
+		t.Error("exactly one window should give one frame")
+	}
+	if fe.NumFrames(10) != 0 {
+		t.Error("sub-window waveform should give zero frames")
+	}
+	n := fe.NumFrames(fe.cfg.FrameLen + 5*fe.cfg.FrameShift)
+	if n != 6 {
+		t.Errorf("frames = %d, want 6", n)
+	}
+	if got := len(fe.Features(make([]float64, fe.cfg.FrameLen+5*fe.cfg.FrameShift))); got != 6 {
+		t.Errorf("Features returned %d frames, want 6", got)
+	}
+}
+
+// End-to-end discriminability: features of noisy senone audio must be
+// closest to that senone's measured template for a large majority of frames.
+func TestVoiceDiscriminative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v, err := NewVoice(rng, 12, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates := v.Templates(0.3)
+	correct, total := 0, 0
+	for s := int32(1); s <= 12; s++ {
+		wave := v.Synthesize(rng, []int32{s}, 6, 0.3)
+		feats := v.Frontend().Features(wave)
+		for f := 1; f < len(feats)-2; f++ {
+			best, bestD := 0, math.Inf(1)
+			for cand := 1; cand <= 12; cand++ {
+				var d float64
+				for k := range feats[f] {
+					diff := float64(feats[f][k] - templates[cand][k])
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = cand, d
+				}
+			}
+			total++
+			if int32(best) == s {
+				correct++
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.8 {
+		t.Errorf("frame template accuracy %.2f < 0.8", acc)
+	}
+}
+
+func TestSynthesizeDeterministicWhenClean(t *testing.T) {
+	v, err := NewVoice(rand.New(rand.NewSource(3)), 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := v.Synthesize(rand.New(rand.NewSource(1)), []int32{1, 2}, 3, 0)
+	w2 := v.Synthesize(rand.New(rand.NewSource(99)), []int32{1, 2}, 3, 0)
+	if len(w1) != len(w2) {
+		t.Fatal("clean synthesis length differs")
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("clean synthesis depends on rng")
+		}
+	}
+}
+
+func TestNewVoiceErrors(t *testing.T) {
+	if _, err := NewVoice(rand.New(rand.NewSource(1)), 0, Config{}); err == nil {
+		t.Error("expected error for zero senones")
+	}
+}

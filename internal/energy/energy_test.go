@@ -1,0 +1,67 @@
+package energy
+
+import "testing"
+
+func TestSRAMScaling(t *testing.T) {
+	// Energy and leakage must grow monotonically with capacity.
+	sizes := []int64{8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20}
+	for i := 1; i < len(sizes); i++ {
+		if SRAMReadPJ(sizes[i]) <= SRAMReadPJ(sizes[i-1]) {
+			t.Errorf("read energy not monotone at %d bytes", sizes[i])
+		}
+		if SRAMLeakageMW(sizes[i]) <= SRAMLeakageMW(sizes[i-1]) {
+			t.Errorf("leakage not monotone at %d bytes", sizes[i])
+		}
+		if SRAMAreaMM2(sizes[i]) <= SRAMAreaMM2(sizes[i-1]) {
+			t.Errorf("area not monotone at %d bytes", sizes[i])
+		}
+	}
+	// Sub-linear (sqrt) scaling: 4x capacity must cost < 4x read energy.
+	if SRAMReadPJ(1<<20) >= 4*SRAMReadPJ(1<<18) {
+		t.Error("read energy scaling is not sub-linear")
+	}
+	// Writes cost more than reads.
+	if SRAMWritePJ(64<<10) <= SRAMReadPJ(64<<10) {
+		t.Error("write energy should exceed read energy")
+	}
+}
+
+func TestDRAMVsSRAMGap(t *testing.T) {
+	// The paper's premise: a DRAM byte costs an order of magnitude more than
+	// an on-chip access. A 64-byte line from DRAM vs a 64 KB SRAM read:
+	dramLine := float64(64) * DRAMEnergyPerBytePJ
+	sram := SRAMReadPJ(64 << 10)
+	if dramLine < 10*sram {
+		t.Errorf("DRAM line (%.0f pJ) not >> SRAM access (%.1f pJ)", dramLine, sram)
+	}
+}
+
+func TestAreaBudget(t *testing.T) {
+	// UNFOLD's SRAM inventory (Table 3) plus logic should land near the
+	// paper's 21.5 mm^2.
+	var a float64 = PipelineAreaMM2
+	for _, kb := range []int64{256, 512, 32, 128, 64, 576, 192} {
+		a += SRAMAreaMM2(kb << 10)
+	}
+	if a < 15 || a > 28 {
+		t.Errorf("UNFOLD area model %.1f mm^2 far from paper's 21.5", a)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Joules(1e12) != 1 {
+		t.Error("Joules conversion wrong")
+	}
+	if MilliJoules(1e9) != 1 {
+		t.Error("MilliJoules conversion wrong")
+	}
+	if LeakageJoules(1000, 2) != 2 {
+		t.Errorf("LeakageJoules(1000 mW, 2 s) = %v, want 2 J", LeakageJoules(1000, 2))
+	}
+}
+
+func TestGPUModelConstants(t *testing.T) {
+	if GPUAvgPowerW <= 0 || GPUSpeedupVsGo <= 0 {
+		t.Error("GPU model constants must be positive")
+	}
+}

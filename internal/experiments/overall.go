@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/decoder"
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/system"
+)
+
+// Fig1 reproduces Figure 1: the execution-time split between the Viterbi
+// search and the acoustic scorer (GMM/DNN/RNN) in the software decoder.
+// Both components are measured as real wall time of this repository's
+// implementations.
+func Fig1(opt Options) error {
+	opt = opt.withDefaults()
+	header(opt.Out, "Figure 1: software execution-time breakdown (Viterbi vs scorer)")
+	fmt.Fprintf(opt.Out, "%-20s %-8s %12s %12s %10s\n", "Task", "Scorer", "Viterbi", "Acoustic", "Viterbi %")
+	for _, spec := range defaultSpecs(opt) {
+		b, err := buildBundle(spec, opt)
+		if err != nil {
+			return err
+		}
+		vit, _, err := b.softwareDecodeTime()
+		if err != nil {
+			return err
+		}
+		ac := b.scorerTime()
+		fmt.Fprintf(opt.Out, "%-20s %-8s %12s %12s %9.1f%%\n",
+			spec.Name, b.tk.Scorer.Name(), vit.Round(1e5), ac.Round(1e5),
+			100*vit.Seconds()/(vit.Seconds()+ac.Seconds()))
+	}
+	fmt.Fprintln(opt.Out, "\nPaper: Viterbi is >78% of Kaldi time and >55% of EESEN time on a Tegra X1.")
+	fmt.Fprintln(opt.Out, "Note: our miniature scorers are cheaper relative to search than production GMM/DNN/LSTM")
+	fmt.Fprintln(opt.Out, "models, so the Viterbi share here is an upper-bound sanity check, not a calibrated split.")
+	return nil
+}
+
+// Tab6 reproduces Table 6: the word error rate per task, decoded by the
+// UNFOLD simulator (functional emulation), plus the fully-composed result
+// to confirm the compression/on-the-fly machinery adds no material loss.
+func Tab6(opt Options) error {
+	opt = opt.withDefaults()
+	header(opt.Out, "Table 6: word error rate (%)")
+	fmt.Fprintf(opt.Out, "%-20s %10s %14s %10s %12s\n",
+		"Task", "UNFOLD", "FC(optimized)", "FC(exact)", "Quant delta")
+	for _, spec := range defaultSpecs(opt) {
+		b, err := buildBundle(spec, opt)
+		if err != nil {
+			return err
+		}
+		u, err := b.unfoldAccel(preemptive())
+		if err != nil {
+			return err
+		}
+		_, perU := u.DecodeAll(b.scores)
+		base, err := b.baselineAccel(decoder.Config{})
+		if err != nil {
+			return err
+		}
+		_, perB := base.DecodeAll(b.scores)
+		raw, err := b.compose()
+		if err != nil {
+			return err
+		}
+		exact, err := decoder.NewComposed(raw, decoder.Config{})
+		if err != nil {
+			return err
+		}
+		var wu, wb, we metrics.WERAccumulator
+		for i := range b.refs {
+			wu.Add(b.refs[i], perU[i].Words)
+			wb.Add(b.refs[i], perB[i].Words)
+			we.Add(b.refs[i], exact.Decode(b.scores[i]).Words)
+		}
+		fmt.Fprintf(opt.Out, "%-20s %9.2f%% %13.2f%% %9.2f%% %+11.2f\n",
+			spec.Name, wu.WER(), wb.WER(), we.WER(), wu.WER()-we.WER())
+	}
+	fmt.Fprintln(opt.Out, "\nPaper: 22.59 (TEDLIUM-Kaldi), 10.62 (Librispeech), 13.26 (Voxforge), 27.72 (TEDLIUM-EESEN);")
+	fmt.Fprintln(opt.Out, "on-the-fly + quantization changes WER by < 0.01%. FC(exact) decodes the raw composition")
+	fmt.Fprintln(opt.Out, "with float weights — the quant delta isolates the 6-bit weight effect; FC(optimized) is")
+	fmt.Fprintln(opt.Out, "the pushed+minimized graph the baseline accelerator ships, whose beam behaviour differs.")
+	return nil
+}
+
+// Fig12 reproduces Figure 12: overall ASR decoding time per second of
+// speech (scorer on the GPU model + Viterbi on each platform).
+func Fig12(opt Options) error {
+	opt = opt.withDefaults()
+	header(opt.Out, "Figure 12: overall ASR decoding time per 1 s of speech (ms)")
+	fmt.Fprintf(opt.Out, "%-20s %12s %12s %12s\n", "Task", "GPU-only", "Reza et al.", "UNFOLD")
+	var sumG, sumB, sumU float64
+	n := 0
+	for _, spec := range defaultSpecs(opt) {
+		b, err := buildBundle(spec, opt)
+		if err != nil {
+			return err
+		}
+		audio := b.audioSeconds()
+		frames := int(audio * 100)
+		swVit, _, err := b.softwareDecodeTime()
+		if err != nil {
+			return err
+		}
+		gm := system.GPUModel{}
+		gpuScorer := gm.ScoreSeconds(b.tk.Scorer, frames)
+		gpuVit := swVit.Seconds() / energy.GPUSpeedupVsGo
+
+		base, err := b.baselineAccel(decoder.Config{})
+		if err != nil {
+			return err
+		}
+		rb, _ := base.DecodeAll(b.scores)
+		u, err := b.unfoldAccel(preemptive())
+		if err != nil {
+			return err
+		}
+		ru, _ := u.DecodeAll(b.scores)
+
+		// GPU and accelerator work on batches in parallel (Section 5.2);
+		// system.Pipeline computes the two-stage makespan.
+		repB, err := system.Pipeline(gm, b.tk.Scorer, frames, 100, rb.Seconds, rb.TotalEnergyJ)
+		if err != nil {
+			return err
+		}
+		repU, err := system.Pipeline(gm, b.tk.Scorer, frames, 100, ru.Seconds, ru.TotalEnergyJ)
+		if err != nil {
+			return err
+		}
+		gpuOnly := (gpuScorer + gpuVit) / audio * 1e3
+		withBase := repB.PipelineSeconds / audio * 1e3
+		withUnfold := repU.PipelineSeconds / audio * 1e3
+		sumG += gpuOnly
+		sumB += withBase
+		sumU += withUnfold
+		n++
+		fmt.Fprintf(opt.Out, "%-20s %12.2f %12.2f %12.2f\n", spec.Name, gpuOnly, withBase, withUnfold)
+	}
+	fmt.Fprintf(opt.Out, "%-20s %12.2f %12.2f %12.2f\n", "Average",
+		sumG/float64(n), sumB/float64(n), sumU/float64(n))
+	fmt.Fprintln(opt.Out, "\nPaper: accelerated configs are ~3.4x faster than GPU-only and within a few ms of each other.")
+	return nil
+}
+
+// Fig13 reproduces Figure 13: overall ASR energy per second of speech.
+func Fig13(opt Options) error {
+	opt = opt.withDefaults()
+	header(opt.Out, "Figure 13: overall ASR energy per 1 s of speech (mJ)")
+	fmt.Fprintf(opt.Out, "%-20s %12s %12s %12s\n", "Task", "GPU-only", "Reza et al.", "UNFOLD")
+	var sumG, sumB, sumU float64
+	n := 0
+	for _, spec := range defaultSpecs(opt) {
+		b, err := buildBundle(spec, opt)
+		if err != nil {
+			return err
+		}
+		audio := b.audioSeconds()
+		frames := int(audio * 100)
+		swVit, _, err := b.softwareDecodeTime()
+		if err != nil {
+			return err
+		}
+		gm := system.GPUModel{}
+		gpuScorerJ := gm.ScoreEnergyJ(b.tk.Scorer, frames)
+		gpuVitJ := swVit.Seconds() / energy.GPUSpeedupVsGo * energy.GPUAvgPowerW
+
+		base, err := b.baselineAccel(decoder.Config{})
+		if err != nil {
+			return err
+		}
+		rb, _ := base.DecodeAll(b.scores)
+		u, err := b.unfoldAccel(preemptive())
+		if err != nil {
+			return err
+		}
+		ru, _ := u.DecodeAll(b.scores)
+
+		gpuOnly := (gpuScorerJ + gpuVitJ) / audio * 1e3
+		withBase := (gpuScorerJ + rb.TotalEnergyJ) / audio * 1e3
+		withUnfold := (gpuScorerJ + ru.TotalEnergyJ) / audio * 1e3
+		sumG += gpuOnly
+		sumB += withBase
+		sumU += withUnfold
+		n++
+		fmt.Fprintf(opt.Out, "%-20s %12.2f %12.2f %12.2f\n", spec.Name, gpuOnly, withBase, withUnfold)
+	}
+	fmt.Fprintf(opt.Out, "%-20s %12.2f %12.2f %12.2f\n", "Average",
+		sumG/float64(n), sumB/float64(n), sumU/float64(n))
+	fmt.Fprintln(opt.Out, "\nPaper: both accelerated configs save ~1.5x vs GPU-only; the scorer dominates once the")
+	fmt.Fprintln(opt.Out, "search is accelerated, which is why UNFOLD and the baseline look similar end-to-end.")
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

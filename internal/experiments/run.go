@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps experiment IDs to runners, in the paper's order.
+var registry = []struct {
+	ID    string
+	Desc  string
+	Run   func(Options) error
+	Heavy bool // requires offline composition of every task
+}{
+	{"fig1", "Figure 1: Viterbi vs scorer execution-time split", Fig1, false},
+	{"tab1", "Table 1: AM/LM/composed WFST sizes", Tab1, true},
+	{"tab2", "Table 2: compressed sizes, on-the-fly vs composed", Tab2, true},
+	{"fig6", "Figure 6: cache miss ratio vs capacity", Fig6, false},
+	{"fig7", "Figure 7: offset lookup table size sweep", Fig7, false},
+	{"fig8", "Figure 8: dataset sizes across configurations", Fig8, true},
+	{"fig9", "Figure 9: search energy per second of speech", Fig9, true},
+	{"fig10", "Figure 10: accelerator power breakdown", Fig10, true},
+	{"fig11", "Figure 11: memory bandwidth by stream", Fig11, true},
+	{"tab5", "Table 5: decode latency per utterance", Tab5, true},
+	{"tab6", "Table 6: word error rate", Tab6, true},
+	{"fig12", "Figure 12: overall ASR decode time", Fig12, true},
+	{"fig13", "Figure 13: overall ASR energy", Fig13, true},
+	{"prune", "Preemptive pruning ablation (Section 3.3)", Prune, false},
+	{"search", "LM arc-fetch strategy ablation (Section 5.1)", Search, true},
+	{"equiv", "On-the-fly vs composed equivalence oracle", Equiv, true},
+	{"minimize", "Bisimulation minimization of the composed WFST", MinimizeExp, true},
+	{"twopass", "One-pass vs two-pass on-the-fly decoding (Section 6)", TwoPassExp, false},
+	{"cdep", "Context-independent vs context-dependent AM (Section 5.3)", CDep, false},
+	{"tradeoff", "Cache-budget trade-off sweep (Section 4 methodology)", Tradeoff, false},
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Describe returns a map of ID to description.
+func Describe() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, e := range registry {
+		out[e.ID] = e.Desc
+	}
+	return out
+}
+
+// Run executes one experiment by ID, or every experiment for "all".
+func Run(id string, opt Options) error {
+	opt = opt.withDefaults()
+	if id == "all" {
+		for _, e := range registry {
+			if err := e.Run(opt); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(opt)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return fmt.Errorf("unknown experiment %q (known: %v, plus \"all\")", id, known)
+}

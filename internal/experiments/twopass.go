@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/decoder"
+	"repro/internal/metrics"
+)
+
+// TwoPassExp contrasts the paper's chosen one-pass on-the-fly strategy with
+// the two-pass alternative of the related-work section ([17]): a unigram
+// first pass producing an N-best lattice, rescored by the full LM after the
+// utterance ends. The paper argues two-pass inflates response latency
+// because rescoring cannot begin until the final frame; this experiment
+// measures both accuracy and the latency structure.
+func TwoPassExp(opt Options) error {
+	opt = opt.withDefaults()
+	header(opt.Out, "Ablation: one-pass vs two-pass on-the-fly decoding")
+	fmt.Fprintf(opt.Out, "%-20s %10s %10s %12s %12s %10s\n",
+		"Task", "1-pass WER", "2-pass WER", "1-pass ms", "2-pass ms", "Cands")
+	for _, spec := range defaultSpecs(opt) {
+		b, err := buildBundle(spec, opt)
+		if err != nil {
+			return err
+		}
+		one, err := decoder.NewOnTheFly(b.tk.AM.G, b.tk.LMGraph.G, decoder.Config{PreemptivePruning: true})
+		if err != nil {
+			return err
+		}
+		two, err := decoder.NewTwoPass(b.tk.AM.G, b.tk.LMGraph.G, decoder.Config{}, 8)
+		if err != nil {
+			return err
+		}
+		var w1, w2 metrics.WERAccumulator
+		var t1, t2 time.Duration
+		var cands int
+		for i, sc := range b.scores {
+			start := time.Now()
+			r1 := one.Decode(sc)
+			t1 += time.Since(start)
+			start = time.Now()
+			r2 := two.Decode(sc)
+			t2 += time.Since(start)
+			w1.Add(b.refs[i], r1.Words)
+			w2.Add(b.refs[i], r2.Words)
+			cands += r2.Candidates
+		}
+		fmt.Fprintf(opt.Out, "%-20s %9.2f%% %9.2f%% %12.2f %12.2f %10.1f\n",
+			spec.Name, w1.WER(), w2.WER(),
+			float64(t1.Milliseconds()), float64(t2.Milliseconds()),
+			float64(cands)/float64(len(b.scores)))
+	}
+	fmt.Fprintln(opt.Out, "\nThe structural difference the paper cares about: the one-pass decoder emits its")
+	fmt.Fprintln(opt.Out, "result as the last frame arrives, while the two-pass rescoring step serializes")
+	fmt.Fprintln(opt.Out, "after the full utterance — the response-latency penalty of [17].")
+	return nil
+}

@@ -1,0 +1,191 @@
+package lm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/semiring"
+)
+
+// ARPA-style text serialization. Probabilities are written as log10 values,
+// as the ARPA convention requires; words are written as their decimal IDs
+// and the end-of-sentence token as "</s>". This is a faithful structural
+// analogue of the files Kaldi's arpa2fst consumes.
+
+const eosWord = "</s>"
+
+func toLog10(w semiring.Weight) float64 {
+	if semiring.IsZero(w) {
+		return -99
+	}
+	return -float64(w) / math.Ln10
+}
+
+func fromLog10(l float64) semiring.Weight {
+	return semiring.Weight(-l * math.Ln10)
+}
+
+func (m *Model) wordStr(w int32) string {
+	if w == m.eos() {
+		return eosWord
+	}
+	return strconv.Itoa(int(w))
+}
+
+// WriteARPA writes the model in ARPA text format.
+func (m *Model) WriteARPA(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\\data\\\n")
+	fmt.Fprintf(bw, "ngram 1=%d\n", m.V+1)
+	if m.Order >= 2 {
+		fmt.Fprintf(bw, "ngram 2=%d\n", len(m.Bi))
+	}
+	if m.Order >= 3 {
+		fmt.Fprintf(bw, "ngram 3=%d\n", len(m.Tri))
+	}
+
+	fmt.Fprintf(bw, "\n\\1-grams:\n")
+	for wd := int32(1); wd <= m.eos(); wd++ {
+		g := m.Uni[wd]
+		if wd == m.eos() {
+			fmt.Fprintf(bw, "%.6f\t%s\n", toLog10(g.Cost), m.wordStr(wd))
+		} else {
+			fmt.Fprintf(bw, "%.6f\t%s\t%.6f\n", toLog10(g.Cost), m.wordStr(wd), toLog10(g.Bow))
+		}
+	}
+
+	if m.Order >= 2 {
+		fmt.Fprintf(bw, "\n\\2-grams:\n")
+		keys := make([]uint64, 0, len(m.Bi))
+		for k := range m.Bi {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			g := m.Bi[k]
+			w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+			if w2 == m.eos() || m.Order == 2 {
+				fmt.Fprintf(bw, "%.6f\t%s %s\n", toLog10(g.Cost), m.wordStr(w1), m.wordStr(w2))
+			} else {
+				fmt.Fprintf(bw, "%.6f\t%s %s\t%.6f\n", toLog10(g.Cost), m.wordStr(w1), m.wordStr(w2), toLog10(g.Bow))
+			}
+		}
+	}
+
+	if m.Order >= 3 {
+		fmt.Fprintf(bw, "\n\\3-grams:\n")
+		keys := make([]uint64, 0, len(m.Tri))
+		for k := range m.Tri {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			w1, w2, w3 := int32(k>>40), int32((k>>20)&0xFFFFF), int32(k&0xFFFFF)
+			fmt.Fprintf(bw, "%.6f\t%s %s %s\n", toLog10(m.Tri[k]), m.wordStr(w1), m.wordStr(w2), m.wordStr(w3))
+		}
+	}
+
+	fmt.Fprintf(bw, "\n\\end\\\n")
+	return bw.Flush()
+}
+
+// ReadARPA parses a model written by WriteARPA. vocab must match the
+// original vocabulary size (ARPA files do not record it separately when
+// words are bare IDs).
+func ReadARPA(r io.Reader, vocab int) (*Model, error) {
+	m := &Model{
+		V:           vocab,
+		Order:       1,
+		Uni:         make([]Gram, vocab+2),
+		Bi:          make(map[uint64]Gram),
+		Tri:         make(map[uint64]semiring.Weight),
+		BiContexts:  make(map[int32][]int32),
+		TriContexts: make(map[uint64][]int32),
+	}
+	parseWord := func(s string) (int32, error) {
+		if s == eosWord {
+			return m.eos(), nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > vocab {
+			return 0, fmt.Errorf("lm: bad word %q", s)
+		}
+		return int32(n), nil
+	}
+
+	section := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "\\data\\" || strings.HasPrefix(line, "ngram "):
+			continue
+		case line == "\\1-grams:":
+			section = 1
+			continue
+		case line == "\\2-grams:":
+			section, m.Order = 2, 2
+			continue
+		case line == "\\3-grams:":
+			section, m.Order = 3, 3
+			continue
+		case line == "\\end\\":
+			section = -1
+			continue
+		}
+		if section <= 0 {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < section+1 {
+			return nil, fmt.Errorf("lm: malformed %d-gram line %q", section, line)
+		}
+		logp, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("lm: bad probability in %q: %w", line, err)
+		}
+		words := make([]int32, section)
+		for i := 0; i < section; i++ {
+			words[i], err = parseWord(fields[1+i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		bow := semiring.One
+		if len(fields) > section+1 {
+			b, err := strconv.ParseFloat(fields[section+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("lm: bad back-off in %q: %w", line, err)
+			}
+			bow = fromLog10(b)
+		}
+		cost := fromLog10(logp)
+		switch section {
+		case 1:
+			m.Uni[words[0]] = Gram{Cost: cost, Bow: bow}
+		case 2:
+			m.Bi[key2(words[0], words[1])] = Gram{Cost: cost, Bow: bow}
+			if words[1] != m.eos() {
+				m.BiContexts[words[0]] = append(m.BiContexts[words[0]], words[1])
+			}
+		case 3:
+			k := key3(words[0], words[1], words[2])
+			m.Tri[k] = cost
+			if words[2] != m.eos() {
+				ctx := k >> 20
+				m.TriContexts[ctx] = append(m.TriContexts[ctx], words[2])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	m.sortContexts()
+	return m, nil
+}

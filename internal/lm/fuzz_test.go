@@ -1,0 +1,35 @@
+package lm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadARPA checks the text parser never panics on malformed input and
+// only returns models or errors.
+func FuzzReadARPA(f *testing.F) {
+	// Seed with a real model plus broken variants.
+	m, _ := Train([][]int32{{1, 2, 3}, {2, 3, 1}, {3, 1}}, 3, TrainOptions{})
+	var buf bytes.Buffer
+	if m != nil {
+		_ = m.WriteARPA(&buf)
+	}
+	f.Add(buf.String(), 3)
+	f.Add("\\1-grams:\n-0.5\t1\t-0.1\n\\end\\\n", 3)
+	f.Add("\\1-grams:\nnot-a-number 1 0\n", 3)
+	f.Add("\\3-grams:\n-0.5\t1 2\n", 3)
+	f.Add("", 5)
+	f.Fuzz(func(t *testing.T, text string, vocab int) {
+		if vocab < 1 || vocab > 1000 {
+			return
+		}
+		model, err := ReadARPA(bytes.NewReader([]byte(text)), vocab)
+		if err == nil && model == nil {
+			t.Fatal("nil model without error")
+		}
+		if model != nil && err == nil {
+			// A returned model must at least not crash basic queries.
+			_ = model.CondCost([]int32{1}, 1)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package lm
+
+import (
+	"sort"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Graph is the LM WFST plus the state-numbering metadata the compressed
+// encoder relies on.
+//
+// State-numbering convention (exactly the paper's Figure 3b, which the
+// compressed LM format of Section 3.4 assumes):
+//
+//	state 0            — empty history; its i-th arc carries word ID i and
+//	                     its destination is state i, so unigram arcs need
+//	                     only store a weight.
+//	states 1..V        — one-word histories, one per vocabulary word.
+//	states V+1..       — two-word histories, one per bigram context that
+//	                     retained trigram continuations.
+//
+// Every non-zero state's last conceptual arc is its back-off arc (stored
+// input-sorted in the WFST, where epsilon sorts first; the compressed layout
+// re-orders it to the end as the paper describes).
+type Graph struct {
+	G *wfst.WFST
+	// TriContextKeys[i] is the packed (w1,w2) context of state V+1+i,
+	// sorted ascending for determinism.
+	TriContextKeys []uint64
+	// V is the vocabulary size (states 1..V are the one-word histories).
+	V int
+}
+
+// BuildGraph converts the model into its WFST form.
+func (m *Model) BuildGraph() (*Graph, error) {
+	triKeys := make([]uint64, 0, len(m.TriContexts))
+	for k := range m.TriContexts {
+		triKeys = append(triKeys, k)
+	}
+	sort.Slice(triKeys, func(i, j int) bool { return triKeys[i] < triKeys[j] })
+	triState := make(map[uint64]wfst.StateID, len(triKeys))
+	for i, k := range triKeys {
+		triState[k] = wfst.StateID(m.V + 1 + i)
+	}
+
+	b := wfst.NewBuilder()
+	total := 1 + m.V + len(triKeys)
+	for i := 0; i < total; i++ {
+		b.AddState()
+	}
+	b.SetStart(0)
+	eos := m.eos()
+
+	// State 0: one unigram arc per word, destination = word ID.
+	for w := int32(1); w <= int32(m.V); w++ {
+		b.AddArc(0, wfst.Arc{In: w, Out: w, W: m.Uni[w].Cost, Next: wfst.StateID(w)})
+	}
+	b.SetFinal(0, m.Uni[eos].Cost)
+
+	// One-word history states.
+	for w1 := int32(1); w1 <= int32(m.V); w1++ {
+		s := wfst.StateID(w1)
+		b.AddArc(s, wfst.Arc{In: wfst.Epsilon, Out: wfst.Epsilon, W: m.Uni[w1].Bow, Next: 0})
+		for _, w2 := range m.BiContexts[w1] {
+			dst := wfst.StateID(w2)
+			if ts, ok := triState[key2(w1, w2)]; ok {
+				dst = ts
+			}
+			b.AddArc(s, wfst.Arc{In: w2, Out: w2, W: m.Bi[key2(w1, w2)].Cost, Next: dst})
+		}
+		b.SetFinal(s, m.CondCost([]int32{w1}, eos))
+	}
+
+	// Two-word history states.
+	for i, ctx := range triKeys {
+		s := wfst.StateID(m.V + 1 + i)
+		w1, w2 := int32(ctx>>20), int32(ctx&0xFFFFF)
+		b.AddArc(s, wfst.Arc{In: wfst.Epsilon, Out: wfst.Epsilon, W: m.Bi[ctx].Bow, Next: wfst.StateID(w2)})
+		for _, w3 := range m.TriContexts[ctx] {
+			dst := wfst.StateID(w3)
+			if ts, ok := triState[key2(w2, w3)]; ok {
+				dst = ts
+			}
+			b.AddArc(s, wfst.Arc{In: w3, Out: w3, W: m.Tri[key3(w1, w2, w3)], Next: dst})
+		}
+		b.SetFinal(s, m.CondCost([]int32{w1, w2}, eos))
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.SortByInput()
+	return &Graph{G: g, TriContextKeys: triKeys, V: m.V}, nil
+}
+
+// PathCost walks the graph for a word sequence from the start state using
+// back-off resolution and returns the total cost including the final weight.
+// It must equal Model.SequenceCost up to float rounding — the invariant the
+// graph builder is tested against.
+func (gr *Graph) PathCost(sent []int32) semiring.Weight {
+	s := gr.G.Start()
+	cost := semiring.One
+	for _, w := range sent {
+		next, aw, _, ok := gr.G.ResolveWord(s, w)
+		if !ok {
+			return semiring.Zero
+		}
+		cost = semiring.Times(cost, aw)
+		s = next
+	}
+	return semiring.Times(cost, gr.G.Final(s))
+}

@@ -1,0 +1,297 @@
+package lm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// genCorpus samples sentences from a hidden Markov chain over the vocabulary
+// so the trained model has genuine structure (skewed successors).
+func genCorpus(rng *rand.Rand, vocab, sentences, maxLen int) [][]int32 {
+	succ := make([][]int32, vocab+1)
+	for w := 1; w <= vocab; w++ {
+		n := rng.Intn(4) + 2
+		succ[w] = make([]int32, n)
+		for i := range succ[w] {
+			succ[w][i] = int32(rng.Intn(vocab) + 1)
+		}
+	}
+	corpus := make([][]int32, sentences)
+	for i := range corpus {
+		length := rng.Intn(maxLen) + 1
+		sent := make([]int32, length)
+		w := int32(rng.Intn(vocab) + 1)
+		for j := 0; j < length; j++ {
+			sent[j] = w
+			if rng.Float64() < 0.8 {
+				w = succ[w][rng.Intn(len(succ[w]))]
+			} else {
+				w = int32(rng.Intn(vocab) + 1)
+			}
+		}
+		corpus[i] = sent
+	}
+	return corpus
+}
+
+func trainSmall(t testing.TB, seed int64, vocab, sentences int, opts TrainOptions) (*Model, [][]int32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	corpus := genCorpus(rng, vocab, sentences, 12)
+	m, err := Train(corpus, vocab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, corpus
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 10, TrainOptions{}); err == nil {
+		t.Error("expected error for empty corpus")
+	}
+	if _, err := Train([][]int32{{1, 99}}, 10, TrainOptions{}); err == nil {
+		t.Error("expected error for out-of-range word")
+	}
+	if _, err := Train([][]int32{{1}}, 1<<20, TrainOptions{}); err == nil {
+		t.Error("expected error for oversized vocabulary")
+	}
+	if _, err := Train([][]int32{{1}}, 2, TrainOptions{Order: 5}); err == nil {
+		t.Error("expected error for unsupported order")
+	}
+}
+
+// Core LM invariant: P(w | context) sums to 1 over the vocabulary + EOS,
+// from any context, at every order.
+func TestDistributionsNormalized(t *testing.T) {
+	for _, order := range []int{1, 2, 3} {
+		m, corpus := trainSmall(t, 7, 20, 60, TrainOptions{Order: order})
+		contexts := [][]int32{nil}
+		for _, sent := range corpus[:5] {
+			for i := range sent {
+				if i >= 1 {
+					contexts = append(contexts, sent[i-1:i+1])
+				}
+				contexts = append(contexts, sent[i:i+1])
+			}
+		}
+		for _, ctx := range contexts {
+			var sum float64
+			for w := int32(1); w <= m.EOSToken(); w++ {
+				sum += semiring.ToProb(m.CondCost(ctx, w))
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				t.Fatalf("order %d: P(.|%v) sums to %v", order, ctx, sum)
+			}
+		}
+	}
+}
+
+func TestSeenNGramsCheaperThanBackoff(t *testing.T) {
+	m, _ := trainSmall(t, 3, 15, 80, TrainOptions{})
+	// A trained model must give seen bigrams lower cost than the model with
+	// those bigrams pruned away would.
+	found := false
+	for k := range m.Bi {
+		w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+		if w2 == m.EOSToken() {
+			continue
+		}
+		direct := m.Bi[k].Cost
+		backed := semiring.Times(m.Uni[w1].Bow, m.Uni[w2].Cost)
+		if direct < backed {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no seen bigram is cheaper than its backed-off estimate")
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	m, _ := trainSmall(t, 11, 12, 50, TrainOptions{})
+	gr, err := m.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gr.G
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 1+m.V+len(gr.TriContextKeys) {
+		t.Fatalf("states = %d, want %d", g.NumStates(), 1+m.V+len(gr.TriContextKeys))
+	}
+	// State 0: exactly V arcs, i-th arc = word i, destination i (the
+	// invariant the 6-bit unigram encoding relies on).
+	arcs := g.Arcs(0)
+	if len(arcs) != m.V {
+		t.Fatalf("state 0 has %d arcs, want %d", len(arcs), m.V)
+	}
+	for i, a := range arcs {
+		if a.In != int32(i+1) || a.Next != wfst.StateID(i+1) || a.In != a.Out {
+			t.Fatalf("state 0 arc %d = %+v violates unigram layout", i, a)
+		}
+	}
+	if _, ok := g.BackoffArc(0); ok {
+		t.Error("state 0 must not have a back-off arc")
+	}
+	// Every other state has a back-off arc.
+	for s := wfst.StateID(1); int(s) < g.NumStates(); s++ {
+		if _, ok := g.BackoffArc(s); !ok {
+			t.Fatalf("state %d lacks a back-off arc", s)
+		}
+	}
+	// All states final with finite weight (EOS is always possible).
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		if !g.IsFinal(s) {
+			t.Fatalf("state %d is not final", s)
+		}
+	}
+}
+
+// The graph must score any sentence identically to the model it was built
+// from — this is the invariant that makes offline and on-the-fly composition
+// interchangeable.
+func TestGraphPathCostMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := rng.Intn(15) + 3
+		corpus := genCorpus(rng, vocab, 30, 10)
+		m, err := Train(corpus, vocab, TrainOptions{})
+		if err != nil {
+			return false
+		}
+		gr, err := m.BuildGraph()
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			n := rng.Intn(8) + 1
+			sent := make([]int32, n)
+			for i := range sent {
+				sent[i] = int32(rng.Intn(vocab) + 1)
+			}
+			want := m.SequenceCost(sent)
+			got := gr.PathCost(sent)
+			if !semiring.ApproxEqual(got, want, 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinCountPruningForcesBackoff(t *testing.T) {
+	m1, corpus := trainSmall(t, 5, 18, 100, TrainOptions{MinCount: 1})
+	m2, err := Train(corpus, 18, TrainOptions{MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumBigrams() >= m1.NumBigrams() {
+		t.Errorf("pruned model has %d bigrams, unpruned %d", m2.NumBigrams(), m1.NumBigrams())
+	}
+	if m2.NumTrigrams() >= m1.NumTrigrams() {
+		t.Errorf("pruned model has %d trigrams, unpruned %d", m2.NumTrigrams(), m1.NumTrigrams())
+	}
+	// Pruned distributions must still normalize.
+	var sum float64
+	for w := int32(1); w <= m2.EOSToken(); w++ {
+		sum += semiring.ToProb(m2.CondCost([]int32{1}, w))
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Errorf("pruned P(.|1) sums to %v", sum)
+	}
+}
+
+func TestPerplexityOrdering(t *testing.T) {
+	m, corpus := trainSmall(t, 9, 15, 200, TrainOptions{})
+	trainPPL := m.Perplexity(corpus)
+	// Uniform-random corpus over the same vocabulary must score worse.
+	rng := rand.New(rand.NewSource(99))
+	random := make([][]int32, 50)
+	for i := range random {
+		sent := make([]int32, rng.Intn(10)+1)
+		for j := range sent {
+			sent[j] = int32(rng.Intn(15) + 1)
+		}
+		random[i] = sent
+	}
+	randPPL := m.Perplexity(random)
+	if trainPPL >= randPPL {
+		t.Errorf("train PPL %.2f >= random PPL %.2f", trainPPL, randPPL)
+	}
+	// Higher order should not hurt on training data.
+	m1, err := Train(corpus, 15, TrainOptions{Order: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Perplexity(corpus) >= m1.Perplexity(corpus) {
+		t.Errorf("trigram PPL %.2f >= unigram PPL %.2f on train data",
+			m.Perplexity(corpus), m1.Perplexity(corpus))
+	}
+}
+
+func TestARPARoundTrip(t *testing.T) {
+	m, _ := trainSmall(t, 13, 12, 80, TrainOptions{})
+	var buf bytes.Buffer
+	if err := m.WriteARPA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadARPA(bytes.NewReader(buf.Bytes()), m.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.V != m.V || m2.Order != m.Order {
+		t.Fatalf("header mismatch: V %d/%d order %d/%d", m2.V, m.V, m2.Order, m.Order)
+	}
+	if m2.NumBigrams() != m.NumBigrams() || m2.NumTrigrams() != m.NumTrigrams() {
+		t.Fatalf("ngram counts differ: bi %d/%d tri %d/%d",
+			m2.NumBigrams(), m.NumBigrams(), m2.NumTrigrams(), m.NumTrigrams())
+	}
+	// Conditional costs must survive the text round trip (ARPA stores 6
+	// decimals of log10, so tolerate small error).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		ctx := []int32{int32(rng.Intn(m.V) + 1), int32(rng.Intn(m.V) + 1)}[:rng.Intn(3)]
+		w := int32(rng.Intn(m.V) + 1)
+		a, b := m.CondCost(ctx, w), m2.CondCost(ctx, w)
+		if !semiring.ApproxEqual(a, b, 1e-3) {
+			t.Fatalf("CondCost(%v, %d): %v vs %v", ctx, w, a, b)
+		}
+	}
+}
+
+func TestReadARPARejectsGarbage(t *testing.T) {
+	bad := "\\1-grams:\nnot-a-number 1 0\n"
+	if _, err := ReadARPA(bytes.NewReader([]byte(bad)), 5); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestBigramOrderModel(t *testing.T) {
+	m, corpus := trainSmall(t, 21, 10, 60, TrainOptions{Order: 2})
+	if m.NumTrigrams() != 0 {
+		t.Errorf("order-2 model has %d trigrams", m.NumTrigrams())
+	}
+	gr, err := m.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, want := gr.G.NumStates(), 1+m.V; g != want {
+		t.Errorf("bigram graph states = %d, want %d", g, want)
+	}
+	for _, sent := range corpus[:3] {
+		if !semiring.ApproxEqual(gr.PathCost(sent), m.SequenceCost(sent), 1e-3) {
+			t.Errorf("bigram path cost mismatch")
+		}
+	}
+}

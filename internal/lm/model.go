@@ -1,0 +1,332 @@
+// Package lm implements the language-model substrate: a back-off trigram
+// estimator trained on word-ID sequences, conversion to the LM WFST of the
+// paper's Figure 3b (unigram state 0, one-word history states 1..V, two-word
+// history states, epsilon back-off arcs), and an ARPA-style text format.
+//
+// Word IDs are 1-based; 0 is the WFST epsilon label. The end-of-sentence
+// event is modelled as final weights on history states rather than as an
+// explicit </s> arc, matching the paper's graph.
+package lm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/semiring"
+)
+
+// eosOffset derives the internal end-of-sentence token ID from the
+// vocabulary size; it never appears on an arc.
+const maxWordBits = 18 // the compressed LM format stores 18-bit word IDs
+
+// Gram holds a conditional probability and, for entries that are also
+// contexts, a back-off weight. Both are costs (negative natural logs).
+type Gram struct {
+	Cost semiring.Weight // -ln P(w | context)
+	Bow  semiring.Weight // -ln back-off weight of the extended context
+}
+
+// Model is a back-off trigram language model.
+type Model struct {
+	// V is the vocabulary size; word IDs are 1..V.
+	V int
+	// Order is 1, 2 or 3.
+	Order int
+	// Uni[w] for w in 1..V+1 (V+1 is the internal end-of-sentence token).
+	Uni []Gram
+	// Bi maps key2(w1,w2) to the bigram entry. w2 may be the EOS token.
+	Bi map[uint64]Gram
+	// Tri maps key3(w1,w2,w3) to the trigram cost. w3 may be the EOS token.
+	Tri map[uint64]semiring.Weight
+	// BiContexts lists, per w1, the seen successors w2 (sorted), used to
+	// enumerate arcs when building the WFST.
+	BiContexts map[int32][]int32
+	// TriContexts lists, per key2(w1,w2) that has trigram continuations,
+	// the seen successors w3 (sorted).
+	TriContexts map[uint64][]int32
+}
+
+func (m *Model) eos() int32 { return int32(m.V + 1) }
+
+// key2 and key3 pack n-gram word tuples into map keys. Words fit in 18 bits
+// (the compressed format's width); 20 bits of room keeps packing simple.
+func key2(w1, w2 int32) uint64 { return uint64(uint32(w1))<<20 | uint64(uint32(w2)) }
+func key3(w1, w2, w3 int32) uint64 {
+	return uint64(uint32(w1))<<40 | uint64(uint32(w2))<<20 | uint64(uint32(w3))
+}
+
+// TrainOptions controls estimation.
+type TrainOptions struct {
+	// Order of the model: 1, 2 or 3 (default 3).
+	Order int
+	// Discount is the absolute-discount mass D in (0, 1); default 0.5.
+	Discount float64
+	// MinCount prunes n-grams (n >= 2) seen fewer than this many times;
+	// default 1 (keep all). Pruning is what makes back-off arcs necessary,
+	// the effect Section 3.3's preemptive pruning targets.
+	MinCount int
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Order == 0 {
+		o.Order = 3
+	}
+	if o.Discount == 0 {
+		o.Discount = 0.5
+	}
+	if o.MinCount == 0 {
+		o.MinCount = 1
+	}
+	return o
+}
+
+// Train estimates a back-off model from a corpus of sentences. Each sentence
+// is a sequence of word IDs in 1..vocab. Unigrams are add-one smoothed so
+// every vocabulary word has a unigram arc (required by the compressed LM
+// layout, where state 0 has exactly one arc per word); higher orders use
+// absolute discounting with the freed mass assigned to the back-off weight.
+func Train(corpus [][]int32, vocab int, opts TrainOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	if opts.Order < 1 || opts.Order > 3 {
+		return nil, fmt.Errorf("lm: unsupported order %d", opts.Order)
+	}
+	if vocab < 1 || vocab >= 1<<maxWordBits {
+		return nil, fmt.Errorf("lm: vocabulary size %d out of range [1, 2^18)", vocab)
+	}
+	m := &Model{
+		V:           vocab,
+		Order:       opts.Order,
+		Uni:         make([]Gram, vocab+2),
+		Bi:          make(map[uint64]Gram),
+		Tri:         make(map[uint64]semiring.Weight),
+		BiContexts:  make(map[int32][]int32),
+		TriContexts: make(map[uint64][]int32),
+	}
+	eos := m.eos()
+
+	c1 := make([]int, vocab+2)
+	c2 := make(map[uint64]int)
+	c3 := make(map[uint64]int)
+	total := 0
+	for _, sent := range corpus {
+		ext := make([]int32, 0, len(sent)+1)
+		for _, w := range sent {
+			if w < 1 || int(w) > vocab {
+				return nil, fmt.Errorf("lm: word ID %d out of range [1,%d]", w, vocab)
+			}
+			ext = append(ext, w)
+		}
+		ext = append(ext, eos)
+		for i, w := range ext {
+			c1[w]++
+			total++
+			if opts.Order >= 2 && i >= 1 {
+				c2[key2(ext[i-1], w)]++
+			}
+			if opts.Order >= 3 && i >= 2 {
+				c3[key3(ext[i-2], ext[i-1], w)]++
+			}
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("lm: empty training corpus")
+	}
+
+	// Unigrams: add-one over V words + EOS.
+	denom := float64(total + vocab + 1)
+	for w := int32(1); w <= eos; w++ {
+		m.Uni[w] = Gram{Cost: semiring.FromProb(float64(c1[w]+1) / denom), Bow: semiring.One}
+	}
+
+	D := opts.Discount
+	if opts.Order >= 2 {
+		// Per-context totals and distinct-successor counts for bigrams.
+		ctxTotal := make([]int, vocab+2)
+		ctxTypes := make([]int, vocab+2)
+		for k, c := range c2 {
+			if c < opts.MinCount {
+				continue
+			}
+			w1 := int32(k >> 20)
+			ctxTotal[w1] += c
+			ctxTypes[w1]++
+		}
+		for k, c := range c2 {
+			if c < opts.MinCount {
+				continue
+			}
+			w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+			p := (float64(c) - D) / float64(ctxTotal[w1])
+			if p <= 0 {
+				continue
+			}
+			m.Bi[k] = Gram{Cost: semiring.FromProb(p), Bow: semiring.One}
+			if w2 != eos {
+				m.BiContexts[w1] = append(m.BiContexts[w1], w2)
+			}
+		}
+		// Normalize back-off weights so each conditional distribution sums
+		// to exactly 1: bow = freed mass / unigram mass of unseen words.
+		sumLower := make([]float64, vocab+2)
+		for k := range m.Bi {
+			w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+			sumLower[w1] += semiring.ToProb(m.Uni[w2].Cost)
+		}
+		for w1 := int32(1); w1 <= int32(vocab); w1++ {
+			if ctxTotal[w1] == 0 {
+				continue
+			}
+			freed := D * float64(ctxTypes[w1]) / float64(ctxTotal[w1])
+			unseen := 1 - sumLower[w1]
+			if unseen < 1e-9 {
+				unseen = 1e-9
+			}
+			g := m.Uni[w1]
+			g.Bow = semiring.FromProb(freed / unseen)
+			m.Uni[w1] = g
+		}
+	}
+
+	if opts.Order >= 3 {
+		ctxTotal := make(map[uint64]int)
+		ctxTypes := make(map[uint64]int)
+		for k, c := range c3 {
+			if c < opts.MinCount {
+				continue
+			}
+			ctx := k >> 20 // key2(w1,w2)
+			// A trigram is only usable if its bigram context survived pruning.
+			if _, ok := m.Bi[ctx]; !ok {
+				continue
+			}
+			ctxTotal[ctx] += c
+			ctxTypes[ctx]++
+		}
+		for k, c := range c3 {
+			if c < opts.MinCount {
+				continue
+			}
+			ctx := k >> 20
+			tot, ok := ctxTotal[ctx]
+			if !ok {
+				continue
+			}
+			p := (float64(c) - D) / float64(tot)
+			if p <= 0 {
+				continue
+			}
+			w3 := int32(k & 0xFFFFF)
+			m.Tri[k] = semiring.FromProb(p)
+			if w3 != eos {
+				m.TriContexts[ctx] = append(m.TriContexts[ctx], w3)
+			} else if _, seen := m.TriContexts[ctx]; !seen {
+				// A context whose only retained trigram predicts EOS still
+				// needs a history state, or the graph would lose that
+				// trigram's final weight and the back-off penalty.
+				m.TriContexts[ctx] = []int32{}
+			}
+		}
+		// Normalized back-off: freed mass / bigram-level mass of unseen words.
+		sumLower := make(map[uint64]float64, len(ctxTotal))
+		for k := range m.Tri {
+			ctx := k >> 20
+			w2, w3 := int32((k>>20)&0xFFFFF), int32(k&0xFFFFF)
+			sumLower[ctx] += semiring.ToProb(m.CondCost([]int32{w2}, w3))
+		}
+		for ctx, tot := range ctxTotal {
+			freed := D * float64(ctxTypes[ctx]) / float64(tot)
+			unseen := 1 - sumLower[ctx]
+			if unseen < 1e-9 {
+				unseen = 1e-9
+			}
+			g := m.Bi[ctx]
+			g.Bow = semiring.FromProb(freed / unseen)
+			m.Bi[ctx] = g
+		}
+	}
+
+	m.sortContexts()
+	return m, nil
+}
+
+func (m *Model) sortContexts() {
+	for _, succ := range m.BiContexts {
+		sortInt32(succ)
+	}
+	for _, succ := range m.TriContexts {
+		sortInt32(succ)
+	}
+}
+
+func sortInt32(s []int32) {
+	// Insertion sort: successor lists are short and this avoids an
+	// interface-based sort in a hot build loop.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// CondCost returns -ln P(w | context) with back-off, where context holds the
+// up to two most recent words (oldest first) and w may be EOSToken.
+// This is the reference the WFST path weights are checked against.
+func (m *Model) CondCost(context []int32, w int32) semiring.Weight {
+	if len(context) > 2 {
+		context = context[len(context)-2:]
+	}
+	if m.Order >= 3 && len(context) == 2 {
+		ctx := key2(context[0], context[1])
+		if c, ok := m.Tri[key3(context[0], context[1], w)]; ok {
+			return c
+		}
+		if g, ok := m.Bi[ctx]; ok {
+			return semiring.Times(g.Bow, m.CondCost(context[1:], w))
+		}
+		return m.CondCost(context[1:], w)
+	}
+	if m.Order >= 2 && len(context) >= 1 {
+		w1 := context[len(context)-1]
+		if g, ok := m.Bi[key2(w1, w)]; ok {
+			return g.Cost
+		}
+		return semiring.Times(m.Uni[w1].Bow, m.CondCost(nil, w))
+	}
+	return m.Uni[w].Cost
+}
+
+// EOSToken returns the internal end-of-sentence token ID for use with
+// CondCost and SequenceCost.
+func (m *Model) EOSToken() int32 { return m.eos() }
+
+// SequenceCost returns the total cost -ln P(sentence) including the
+// end-of-sentence event.
+func (m *Model) SequenceCost(sent []int32) semiring.Weight {
+	var ctx []int32
+	cost := semiring.One
+	for _, w := range sent {
+		cost = semiring.Times(cost, m.CondCost(ctx, w))
+		ctx = append(ctx, w)
+	}
+	return semiring.Times(cost, m.CondCost(ctx, m.eos()))
+}
+
+// Perplexity returns the per-event perplexity of the model on a corpus
+// (events = words + one EOS per sentence).
+func (m *Model) Perplexity(corpus [][]int32) float64 {
+	var total float64
+	var events int
+	for _, sent := range corpus {
+		total += float64(m.SequenceCost(sent))
+		events += len(sent) + 1
+	}
+	if events == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(total / float64(events))
+}
+
+// NumBigrams and NumTrigrams report retained n-gram counts (including
+// EOS-final entries).
+func (m *Model) NumBigrams() int  { return len(m.Bi) }
+func (m *Model) NumTrigrams() int { return len(m.Tri) }

@@ -1,0 +1,171 @@
+package lm
+
+import (
+	"math"
+
+	"repro/internal/semiring"
+)
+
+// PruneEntropy removes higher-order n-grams whose removal costs the model
+// the least, in the spirit of Stolcke (1998) relative-entropy pruning —
+// the principled form of the paper's "combinations whose likelihood is
+// smaller than a threshold are pruned to keep the size of the LM
+// manageable" (Section 2). Pruned mass is re-absorbed into the back-off
+// weights, so distributions stay normalized.
+//
+// threshold is the maximum acceptable weighted log-probability change per
+// n-gram (typical values 1e-7 .. 1e-4; larger prunes more). It returns the
+// number of trigrams and bigrams removed.
+func (m *Model) PruneEntropy(threshold float64) (trigrams, bigrams int) {
+	// Trigrams first: removing w3 from context (w1,w2) changes its
+	// probability from P(w3|w1,w2) to bow(w1,w2)*P(w3|w2). The weighted
+	// cost is approximated as P(ctx)*P(w3|ctx)*|log P_new - log P_old|,
+	// with P(ctx) estimated from the chain of lower-order probabilities.
+	type victim struct {
+		key uint64
+		w3  int32
+	}
+	var drop []victim
+	for k := range m.Tri {
+		w1, w2, w3 := int32(k>>40), int32((k>>20)&0xFFFFF), int32(k&0xFFFFF)
+		ctx := k >> 20
+		g, ok := m.Bi[ctx]
+		if !ok {
+			continue
+		}
+		pCtx := semiring.ToProb(m.Uni[w1].Cost) * semiring.ToProb(m.CondCost([]int32{w1}, w2))
+		pOld := semiring.ToProb(m.Tri[k])
+		pNew := semiring.ToProb(g.Bow) * semiring.ToProb(m.CondCost([]int32{w2}, w3))
+		if pNew <= 0 {
+			continue
+		}
+		cost := pCtx * pOld * math.Abs(math.Log(pOld)-math.Log(pNew))
+		if cost < threshold {
+			drop = append(drop, victim{k, w3})
+		}
+	}
+	for _, v := range drop {
+		delete(m.Tri, v.key)
+		trigrams++
+	}
+	if trigrams > 0 {
+		m.rebuildTriContexts()
+		m.renormalizeTrigramBows()
+	}
+
+	// Bigrams: same estimate one level down. Bigrams whose context still
+	// has trigram continuations are kept (their history state is needed).
+	var dropBi []uint64
+	for k := range m.Bi {
+		if _, needed := m.TriContexts[k]; needed {
+			continue
+		}
+		w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+		pCtx := semiring.ToProb(m.Uni[w1].Cost)
+		pOld := semiring.ToProb(m.Bi[k].Cost)
+		pNew := semiring.ToProb(m.Uni[w1].Bow) * semiring.ToProb(m.Uni[w2].Cost)
+		if pNew <= 0 {
+			continue
+		}
+		cost := pCtx * pOld * math.Abs(math.Log(pOld)-math.Log(pNew))
+		if cost < threshold {
+			dropBi = append(dropBi, k)
+		}
+	}
+	for _, k := range dropBi {
+		delete(m.Bi, k)
+		bigrams++
+	}
+	if bigrams > 0 {
+		m.rebuildBiContexts()
+		m.renormalizeBigramBows()
+	}
+	return trigrams, bigrams
+}
+
+func (m *Model) rebuildTriContexts() {
+	m.TriContexts = make(map[uint64][]int32)
+	for k := range m.Tri {
+		ctx := k >> 20
+		w3 := int32(k & 0xFFFFF)
+		if w3 != m.eos() {
+			m.TriContexts[ctx] = append(m.TriContexts[ctx], w3)
+		} else if _, ok := m.TriContexts[ctx]; !ok {
+			m.TriContexts[ctx] = []int32{}
+		}
+	}
+	m.sortContexts()
+}
+
+func (m *Model) rebuildBiContexts() {
+	m.BiContexts = make(map[int32][]int32)
+	for k := range m.Bi {
+		w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+		if w2 != m.eos() {
+			m.BiContexts[w1] = append(m.BiContexts[w1], w2)
+		}
+	}
+	m.sortContexts()
+}
+
+// renormalizeTrigramBows recomputes each surviving trigram context's
+// back-off weight so P(.|w1,w2) sums to one after pruning.
+func (m *Model) renormalizeTrigramBows() {
+	kept := make(map[uint64]float64) // ctx -> sum of surviving trigram probs
+	lower := make(map[uint64]float64)
+	for k, c := range m.Tri {
+		ctx := k >> 20
+		w2, w3 := int32((k>>20)&0xFFFFF), int32(k&0xFFFFF)
+		kept[ctx] += semiring.ToProb(c)
+		lower[ctx] += semiring.ToProb(m.CondCost([]int32{w2}, w3))
+	}
+	for ctx, g := range m.Bi {
+		if _, isCtx := m.TriContexts[ctx]; !isCtx {
+			g.Bow = semiring.One
+			m.Bi[ctx] = g
+			continue
+		}
+		freed := 1 - kept[ctx]
+		unseen := 1 - lower[ctx]
+		if freed < 1e-12 {
+			freed = 1e-12
+		}
+		if unseen < 1e-12 {
+			unseen = 1e-12
+		}
+		g.Bow = semiring.FromProb(freed / unseen)
+		m.Bi[ctx] = g
+	}
+}
+
+// renormalizeBigramBows recomputes unigram-level back-off weights after
+// bigram pruning.
+func (m *Model) renormalizeBigramBows() {
+	kept := make([]float64, m.V+2)
+	lower := make([]float64, m.V+2)
+	seen := make([]bool, m.V+2)
+	for k, g := range m.Bi {
+		w1, w2 := int32(k>>20), int32(k&0xFFFFF)
+		kept[w1] += semiring.ToProb(g.Cost)
+		lower[w1] += semiring.ToProb(m.Uni[w2].Cost)
+		seen[w1] = true
+	}
+	for w1 := int32(1); w1 <= int32(m.V); w1++ {
+		g := m.Uni[w1]
+		if !seen[w1] {
+			g.Bow = semiring.One
+			m.Uni[w1] = g
+			continue
+		}
+		freed := 1 - kept[w1]
+		unseen := 1 - lower[w1]
+		if freed < 1e-12 {
+			freed = 1e-12
+		}
+		if unseen < 1e-12 {
+			unseen = 1e-12
+		}
+		g.Bow = semiring.FromProb(freed / unseen)
+		m.Uni[w1] = g
+	}
+}

@@ -1,0 +1,80 @@
+package lm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+func TestPruneEntropyShrinksModel(t *testing.T) {
+	m, corpus := trainSmall(t, 31, 20, 300, TrainOptions{})
+	before := m.NumTrigrams() + m.NumBigrams()
+	tri, bi := m.PruneEntropy(1e-4)
+	if tri == 0 {
+		t.Fatal("no trigrams pruned at a coarse threshold")
+	}
+	after := m.NumTrigrams() + m.NumBigrams()
+	if after+tri+bi != before {
+		t.Errorf("accounting broken: %d + %d + %d != %d", after, tri, bi, before)
+	}
+	// Distributions must remain normalized after mass re-absorption.
+	for _, ctx := range [][]int32{nil, {1}, {3, 5}, {7, 7}} {
+		var sum float64
+		for w := int32(1); w <= m.EOSToken(); w++ {
+			sum += semiring.ToProb(m.CondCost(ctx, w))
+		}
+		if math.Abs(sum-1) > 5e-3 {
+			t.Errorf("P(.|%v) sums to %v after pruning", ctx, sum)
+		}
+	}
+	// The pruned model must still score the training corpus sanely.
+	if ppl := m.Perplexity(corpus); math.IsInf(ppl, 0) || math.IsNaN(ppl) {
+		t.Errorf("pruned model perplexity %v", ppl)
+	}
+}
+
+func TestPruneEntropyThresholdMonotone(t *testing.T) {
+	m1, _ := trainSmall(t, 33, 20, 300, TrainOptions{})
+	m2, _ := trainSmall(t, 33, 20, 300, TrainOptions{})
+	t1, b1 := m1.PruneEntropy(1e-6)
+	t2, b2 := m2.PruneEntropy(1e-3)
+	if t2+b2 < t1+b1 {
+		t.Errorf("coarser threshold pruned less: %d vs %d", t2+b2, t1+b1)
+	}
+}
+
+func TestPruneEntropyPerplexityTradeoff(t *testing.T) {
+	m, corpus := trainSmall(t, 35, 20, 300, TrainOptions{})
+	base := m.Perplexity(corpus)
+	m.PruneEntropy(1e-4)
+	pruned := m.Perplexity(corpus)
+	// Pruning loses information: training perplexity should not improve,
+	// but a sane threshold must not blow it up either.
+	if pruned < base-0.5 {
+		t.Errorf("pruning improved train PPL %v -> %v (suspicious)", base, pruned)
+	}
+	if pruned > 4*base {
+		t.Errorf("pruning destroyed the model: PPL %v -> %v", base, pruned)
+	}
+}
+
+func TestPrunedModelStillBuildsGraph(t *testing.T) {
+	m, _ := trainSmall(t, 37, 15, 250, TrainOptions{})
+	m.PruneEntropy(1e-4)
+	gr, err := m.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Path costs must still match the (pruned) model.
+	for _, sent := range [][]int32{{1, 2, 3}, {5, 5, 5}, {14}} {
+		want := m.SequenceCost(sent)
+		got := gr.PathCost(sent)
+		if !semiring.ApproxEqual(got, want, 1e-3) {
+			t.Errorf("sent %v: graph %v vs model %v", sent, got, want)
+		}
+	}
+}

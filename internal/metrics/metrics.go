@@ -1,0 +1,152 @@
+// Package metrics provides the evaluation arithmetic of the paper's
+// Section 5: word error rate (Levenshtein alignment), real-time factors,
+// and small aggregate helpers used by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// EditOps is the breakdown of a minimum-edit-distance alignment.
+type EditOps struct {
+	Sub, Ins, Del int
+	RefLen        int
+}
+
+// Errors returns the total error count.
+func (e EditOps) Errors() int { return e.Sub + e.Ins + e.Del }
+
+// Align computes the minimum-edit-distance operations turning ref into hyp.
+func Align(ref, hyp []int32) EditOps {
+	n, m := len(ref), len(hyp)
+	// dp[i][j]: cost of aligning ref[:i] to hyp[:j], with backtraces.
+	type cell struct {
+		cost          int
+		sub, ins, del int
+	}
+	prev := make([]cell, m+1)
+	cur := make([]cell, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = cell{cost: j, ins: j}
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = cell{cost: i, del: i}
+		for j := 1; j <= m; j++ {
+			if ref[i-1] == hyp[j-1] {
+				cur[j] = prev[j-1]
+				continue
+			}
+			sub, del, ins := prev[j-1], prev[j], cur[j-1]
+			best := sub
+			best.sub++
+			if del.cost < best.cost {
+				best = del
+				best.del++
+			}
+			if ins.cost < best.cost {
+				best = ins
+				best.ins++
+			}
+			best.cost++
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	c := prev[m]
+	return EditOps{Sub: c.sub, Ins: c.ins, Del: c.del, RefLen: n}
+}
+
+// WERAccumulator aggregates edit operations over a test set.
+type WERAccumulator struct {
+	ops EditOps
+	utt int
+}
+
+// Add accumulates one utterance's alignment.
+func (a *WERAccumulator) Add(ref, hyp []int32) {
+	o := Align(ref, hyp)
+	a.ops.Sub += o.Sub
+	a.ops.Ins += o.Ins
+	a.ops.Del += o.Del
+	a.ops.RefLen += o.RefLen
+	a.utt++
+}
+
+// WER returns the aggregate word error rate in percent.
+func (a *WERAccumulator) WER() float64 {
+	if a.ops.RefLen == 0 {
+		return 0
+	}
+	return 100 * float64(a.ops.Errors()) / float64(a.ops.RefLen)
+}
+
+// Ops returns the aggregated operations.
+func (a *WERAccumulator) Ops() EditOps { return a.ops }
+
+// Utterances returns how many utterances were accumulated.
+func (a *WERAccumulator) Utterances() int { return a.utt }
+
+// String renders the accumulator like the paper's Table 6 rows.
+func (a *WERAccumulator) String() string {
+	return fmt.Sprintf("WER %.2f%% (%d sub, %d ins, %d del / %d ref words, %d utts)",
+		a.WER(), a.ops.Sub, a.ops.Ins, a.ops.Del, a.ops.RefLen, a.utt)
+}
+
+// FrameDuration is the audio time represented by one feature frame
+// (Section 2: decoders split speech into 10 ms frames).
+const FrameDuration = 10 * time.Millisecond
+
+// AudioDuration returns the audio time covered by a frame count.
+func AudioDuration(frames int) time.Duration {
+	return time.Duration(frames) * FrameDuration
+}
+
+// RTF returns the real-time factor: how many seconds of audio are decoded
+// per second of processing. Larger is faster; 1.0 is exactly real time.
+func RTF(audio, processing time.Duration) float64 {
+	if processing <= 0 {
+		return 0
+	}
+	return float64(audio) / float64(processing)
+}
+
+// MeanMax summarizes a sample of durations (Table 5 reports per-utterance
+// average and maximum decode times).
+func MeanMax(ds []time.Duration) (mean, max time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	return sum / time.Duration(len(ds)), max
+}
+
+// OracleWER returns the lowest WER achievable by picking the best
+// hypothesis per utterance from an N-best list — the standard measure of
+// how much headroom a rescoring pass (e.g. the two-pass decoder) has.
+func OracleWER(refs [][]int32, nbest [][][]int32) float64 {
+	var errs, words int
+	for i, ref := range refs {
+		words += len(ref)
+		best := -1
+		for _, hyp := range nbest[i] {
+			if e := Align(ref, hyp).Errors(); best < 0 || e < best {
+				best = e
+			}
+		}
+		if best < 0 {
+			best = len(ref) // no hypothesis: all deletions
+		}
+		errs += best
+	}
+	if words == 0 {
+		return 0
+	}
+	return 100 * float64(errs) / float64(words)
+}

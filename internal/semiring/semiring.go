@@ -1,0 +1,83 @@
+// Package semiring provides the weight algebra used by the WFST machinery.
+//
+// Speech decoders work with negative log probabilities in the tropical
+// semiring: weights combine along a path by addition (Times) and alternative
+// paths combine by taking the minimum (Plus). Zero is the annihilator
+// (+Inf, an impossible path) and One is the identity (0, a free transition).
+package semiring
+
+import "math"
+
+// Weight is a cost in negative natural-log space. Lower is better.
+// float32 matches the 32-bit weight field of the paper's 128-bit arc record.
+type Weight float32
+
+// Zero is the tropical additive identity: an impossible (infinite-cost) path.
+var Zero = Weight(math.Inf(1))
+
+// One is the tropical multiplicative identity: a free transition.
+const One Weight = 0
+
+// Plus combines two alternative paths: the better (smaller) cost wins.
+func Plus(a, b Weight) Weight {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Times extends a path with an additional cost.
+func Times(a, b Weight) Weight { return a + b }
+
+// Less reports whether a is a strictly better (smaller) cost than b.
+func Less(a, b Weight) bool { return a < b }
+
+// IsZero reports whether w is the impossible cost (+Inf).
+func IsZero(w Weight) bool { return math.IsInf(float64(w), 1) }
+
+// ApproxEqual reports whether two weights are equal within tol. Infinite
+// weights compare equal to each other.
+func ApproxEqual(a, b, tol Weight) bool {
+	if IsZero(a) && IsZero(b) {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// LogAdd returns -log(exp(-a) + exp(-b)), the log-semiring Plus.
+// It is used when summing probabilities, e.g. during language-model
+// estimation, and is numerically stable for large magnitudes.
+func LogAdd(a, b Weight) Weight {
+	if IsZero(a) {
+		return b
+	}
+	if IsZero(b) {
+		return a
+	}
+	if b < a {
+		a, b = b, a
+	}
+	// a <= b, result = a - log(1 + exp(a-b)) in negated space.
+	return a - Weight(math.Log1p(math.Exp(float64(a-b))))
+}
+
+// FromProb converts a probability in (0, 1] to a tropical weight.
+// Probabilities <= 0 map to Zero.
+func FromProb(p float64) Weight {
+	if p <= 0 {
+		return Zero
+	}
+	return Weight(-math.Log(p))
+}
+
+// ToProb converts a tropical weight back to a probability.
+func ToProb(w Weight) float64 {
+	if IsZero(w) {
+		return 0
+	}
+	return math.Exp(-float64(w))
+}

@@ -1,0 +1,114 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentities(t *testing.T) {
+	if Plus(Zero, 3) != 3 {
+		t.Errorf("Plus(Zero, 3) = %v, want 3", Plus(Zero, 3))
+	}
+	if Times(One, 3) != 3 {
+		t.Errorf("Times(One, 3) = %v, want 3", Times(One, 3))
+	}
+	if !IsZero(Zero) {
+		t.Error("IsZero(Zero) = false")
+	}
+	if IsZero(One) {
+		t.Error("IsZero(One) = true")
+	}
+}
+
+func TestPlusPicksMin(t *testing.T) {
+	if got := Plus(2, 5); got != 2 {
+		t.Errorf("Plus(2,5) = %v, want 2", got)
+	}
+	if got := Plus(5, 2); got != 2 {
+		t.Errorf("Plus(5,2) = %v, want 2", got)
+	}
+}
+
+func TestLogAdd(t *testing.T) {
+	// -log(exp(-1) + exp(-1)) = 1 - log 2
+	got := LogAdd(1, 1)
+	want := Weight(1 - math.Log(2))
+	if !ApproxEqual(got, want, 1e-6) {
+		t.Errorf("LogAdd(1,1) = %v, want %v", got, want)
+	}
+	if LogAdd(Zero, 2) != 2 {
+		t.Errorf("LogAdd(Zero,2) = %v, want 2", LogAdd(Zero, 2))
+	}
+	if LogAdd(2, Zero) != 2 {
+		t.Errorf("LogAdd(2,Zero) = %v, want 2", LogAdd(2, Zero))
+	}
+}
+
+func TestProbRoundTrip(t *testing.T) {
+	for _, p := range []float64{1, 0.5, 0.01, 1e-10} {
+		got := ToProb(FromProb(p))
+		if math.Abs(got-p) > p*1e-5 {
+			t.Errorf("ToProb(FromProb(%v)) = %v", p, got)
+		}
+	}
+	if !IsZero(FromProb(0)) {
+		t.Error("FromProb(0) is not Zero")
+	}
+	if ToProb(Zero) != 0 {
+		t.Error("ToProb(Zero) != 0")
+	}
+}
+
+// Tropical-semiring laws, checked property-style on finite weights.
+func TestSemiringLaws(t *testing.T) {
+	clamp := func(x float32) Weight {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return 1
+		}
+		// Keep magnitudes small so Times never overflows float32.
+		return Weight(math.Mod(float64(x), 1e3))
+	}
+	assoc := func(a, b, c float32) bool {
+		x, y, z := clamp(a), clamp(b), clamp(c)
+		return Plus(Plus(x, y), z) == Plus(x, Plus(y, z)) &&
+			Times(Times(x, y), z) == Times(x, Times(y, z))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	commut := func(a, b float32) bool {
+		x, y := clamp(a), clamp(b)
+		return Plus(x, y) == Plus(y, x) && Times(x, y) == Times(y, x)
+	}
+	if err := quick.Check(commut, nil); err != nil {
+		t.Error(err)
+	}
+	distrib := func(a, b, c float32) bool {
+		x, y, z := clamp(a), clamp(b), clamp(c)
+		return Times(x, Plus(y, z)) == Plus(Times(x, y), Times(x, z))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error(err)
+	}
+	annihil := func(a float32) bool {
+		x := clamp(a)
+		return IsZero(Times(x, Zero)) && Plus(x, Zero) == x
+	}
+	if err := quick.Check(annihil, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogAddCommutativeMonotone(t *testing.T) {
+	f := func(a, b float32) bool {
+		x := Weight(math.Mod(math.Abs(float64(a)), 50))
+		y := Weight(math.Mod(math.Abs(float64(b)), 50))
+		s := LogAdd(x, y)
+		// Commutative and never worse than the best input.
+		return ApproxEqual(s, LogAdd(y, x), 1e-5) && s <= Plus(x, y)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

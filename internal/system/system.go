@@ -1,0 +1,96 @@
+// Package system models the integrated ASR pipeline of Section 5.2: the
+// input speech is split into batches of N frames; the GPU computes acoustic
+// scores for the current batch while the accelerator decodes the previous
+// one, communicating through a shared main-memory buffer. The overall
+// latency is therefore a two-stage pipeline makespan, not a sum of stage
+// times — the structure behind Figures 12 and 13.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/acoustic"
+	"repro/internal/energy"
+)
+
+// GPUModel is the mobile-GPU performance/power model used for the acoustic
+// scorer (and for the GPU-only Viterbi baseline via a separate measured
+// software time).
+type GPUModel struct {
+	// EffectiveFLOPS is the sustained throughput on dense scorer kernels.
+	// Default 50 GFLOP/s, a mobile-class sustained figure.
+	EffectiveFLOPS float64
+	// PowerW is the average power while busy; default energy.GPUAvgPowerW.
+	PowerW float64
+}
+
+func (g GPUModel) withDefaults() GPUModel {
+	if g.EffectiveFLOPS == 0 {
+		g.EffectiveFLOPS = 50e9
+	}
+	if g.PowerW == 0 {
+		g.PowerW = energy.GPUAvgPowerW
+	}
+	return g
+}
+
+// ScoreSeconds returns the modelled GPU time to score n frames.
+func (g GPUModel) ScoreSeconds(sc acoustic.Scorer, frames int) float64 {
+	g = g.withDefaults()
+	return float64(frames) * sc.FLOPsPerFrame() / g.EffectiveFLOPS
+}
+
+// ScoreEnergyJ returns the modelled GPU energy to score n frames.
+func (g GPUModel) ScoreEnergyJ(sc acoustic.Scorer, frames int) float64 {
+	g = g.withDefaults()
+	return g.ScoreSeconds(sc, frames) * g.PowerW
+}
+
+// Report summarizes one utterance through the batched pipeline.
+type Report struct {
+	Batches int
+	// GPUSeconds and SearchSeconds are the stage busy times.
+	GPUSeconds    float64
+	SearchSeconds float64
+	// PipelineSeconds is the overlapped makespan.
+	PipelineSeconds float64
+	// EnergyJ sums GPU busy energy and the search energy.
+	EnergyJ float64
+}
+
+// Pipeline computes the two-stage pipeline makespan for an utterance of
+// `frames` frames split into batches of batchFrames, where the GPU needs
+// gpuSeconds total for scoring and the accelerator searchSeconds total for
+// decoding, both assumed uniform per batch (the scorers and the search are
+// frame-streaming). searchEnergyJ is the accelerator's energy from its own
+// simulation.
+//
+// Makespan of a 2-stage pipeline with per-batch times g and a over B
+// batches: B*g + a when g >= a (GPU-bound), g + B*a when a > g
+// (search-bound) — the standard pipeline formula with uniform stages.
+func Pipeline(gm GPUModel, sc acoustic.Scorer, frames, batchFrames int,
+	searchSeconds, searchEnergyJ float64) (Report, error) {
+	if frames <= 0 {
+		return Report{}, fmt.Errorf("system: no frames")
+	}
+	if batchFrames <= 0 {
+		batchFrames = 100 // 1 s of speech, a typical interactive batch
+	}
+	batches := (frames + batchFrames - 1) / batchFrames
+	gpu := gm.ScoreSeconds(sc, frames)
+	g := gpu / float64(batches)
+	a := searchSeconds / float64(batches)
+	var makespan float64
+	if g >= a {
+		makespan = float64(batches)*g + a
+	} else {
+		makespan = g + float64(batches)*a
+	}
+	return Report{
+		Batches:         batches,
+		GPUSeconds:      gpu,
+		SearchSeconds:   searchSeconds,
+		PipelineSeconds: makespan,
+		EnergyJ:         gm.withDefaults().ScoreEnergyJ(sc, frames) + searchEnergyJ,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package system
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/acoustic"
+)
+
+func testScorer(t testing.TB) acoustic.Scorer {
+	t.Helper()
+	m, err := acoustic.NewSenoneModel(rand.New(rand.NewSource(1)), 20, 8, 1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acoustic.NewGMMScorer(m)
+}
+
+func TestGPUModelScaling(t *testing.T) {
+	sc := testScorer(t)
+	g := GPUModel{}
+	t1 := g.ScoreSeconds(sc, 100)
+	t2 := g.ScoreSeconds(sc, 200)
+	if math.Abs(t2-2*t1) > 1e-12 {
+		t.Errorf("score time not linear in frames: %v vs %v", t1, t2)
+	}
+	fast := GPUModel{EffectiveFLOPS: 100e9}
+	if fast.ScoreSeconds(sc, 100) >= t1 {
+		t.Error("faster GPU not faster")
+	}
+	if g.ScoreEnergyJ(sc, 100) <= 0 {
+		t.Error("no energy")
+	}
+}
+
+func TestPipelineBounds(t *testing.T) {
+	sc := testScorer(t)
+	r, err := Pipeline(GPUModel{}, sc, 1000, 100, 0.002, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Batches != 10 {
+		t.Errorf("batches = %d, want 10", r.Batches)
+	}
+	// The makespan is bounded below by each stage's busy time and above by
+	// the serial sum.
+	if r.PipelineSeconds < r.GPUSeconds || r.PipelineSeconds < r.SearchSeconds {
+		t.Errorf("makespan %v below a stage time (%v, %v)", r.PipelineSeconds, r.GPUSeconds, r.SearchSeconds)
+	}
+	if r.PipelineSeconds > r.GPUSeconds+r.SearchSeconds+1e-12 {
+		t.Errorf("makespan %v exceeds serial sum", r.PipelineSeconds)
+	}
+}
+
+func TestPipelineOverlapHelps(t *testing.T) {
+	sc := testScorer(t)
+	// Balanced stages: pipelining should approach max(g, a), far below sum.
+	gpu := GPUModel{}.withDefaults()
+	gpuTime := gpu.ScoreSeconds(sc, 2000)
+	r, err := Pipeline(GPUModel{}, sc, 2000, 100, gpuTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := r.GPUSeconds + r.SearchSeconds
+	if r.PipelineSeconds > 0.6*serial {
+		t.Errorf("pipelining saved too little: %v of serial %v", r.PipelineSeconds, serial)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	sc := testScorer(t)
+	if _, err := Pipeline(GPUModel{}, sc, 0, 100, 1, 1); err == nil {
+		t.Error("expected error for zero frames")
+	}
+}
+
+// Property: makespan is monotone in both stage times and within
+// [max(stages), sum(stages)].
+func TestPipelineProperty(t *testing.T) {
+	sc := testScorer(t)
+	f := func(rawFrames uint16, rawSearch uint32) bool {
+		frames := int(rawFrames%5000) + 1
+		search := float64(rawSearch%1000000) / 1e7 // up to 0.1 s
+		r, err := Pipeline(GPUModel{}, sc, frames, 100, search, 0)
+		if err != nil {
+			return false
+		}
+		lo := math.Max(r.GPUSeconds, r.SearchSeconds)
+		hi := r.GPUSeconds + r.SearchSeconds
+		return r.PipelineSeconds >= lo-1e-12 && r.PipelineSeconds <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

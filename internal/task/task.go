@@ -1,0 +1,378 @@
+// Package task assembles the substrates into end-to-end ASR benchmark
+// tasks: a synthetic lexicon and AM transducer, a corpus sampled from a
+// hidden word-level Markov grammar, a back-off trigram LM trained on that
+// corpus, a senone template model with a matching scorer, and train/test
+// utterance sets.
+//
+// Four predefined tasks mirror the paper's evaluation set (Kaldi-TEDLIUM,
+// Kaldi-Librispeech, Kaldi-Voxforge, EESEN-TEDLIUM) at a laptop-friendly
+// scale while preserving the relative ordering of AM/LM sizes, the scorer
+// kind per task, and the HMM topology (3-state for Kaldi, 1-state CTC-like
+// for EESEN). Every dimension scales with Spec fields for larger runs.
+package task
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/acoustic"
+	"repro/internal/am"
+	"repro/internal/lm"
+)
+
+// ScorerKind selects the acoustic scorer, matching the paper's per-task
+// choices (Figure 1).
+type ScorerKind string
+
+const (
+	ScorerGMM ScorerKind = "gmm"
+	ScorerDNN ScorerKind = "dnn"
+	ScorerRNN ScorerKind = "rnn"
+)
+
+// Spec fully determines a task; identical specs build identical tasks.
+type Spec struct {
+	Name           string
+	Vocab          int
+	Phones         int // excluding silence
+	StatesPerPhone int
+	Scorer         ScorerKind
+	LMOrder        int
+	LMMinCount     int // n-gram pruning threshold (drives back-off traffic)
+
+	TrainSentences int
+	TestUtterances int
+	MaxSentenceLen int
+
+	FeatDim  int
+	Spread   float32 // senone template spread (discriminability)
+	Sigma    float32 // senone model standard deviation
+	NoiseStd float64 // synthesis noise relative to Sigma
+
+	// SilenceProb is the chance of a silence segment between words and at
+	// utterance edges.
+	SilenceProb float64
+
+	// AltPronProb gives words secondary pronunciations.
+	AltPronProb float64
+
+	// GrammarBranch sets the hidden grammar's successors per word
+	// (default 2-6 random). Large values produce dense LM states with high
+	// fan-out, the regime where the paper's LM arc-fetch problem bites.
+	GrammarBranch int
+
+	// ContextDependent switches the AM to left-biphone tied-state senones
+	// (Section 5.3's "triphones" axis); TiedSenones sizes the inventory
+	// (default 4x the context-independent count).
+	ContextDependent bool
+	TiedSenones      int
+
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.StatesPerPhone == 0 {
+		s.StatesPerPhone = 3
+	}
+	if s.Scorer == "" {
+		s.Scorer = ScorerGMM
+	}
+	if s.LMOrder == 0 {
+		s.LMOrder = 3
+	}
+	if s.LMMinCount == 0 {
+		s.LMMinCount = 1
+	}
+	if s.MaxSentenceLen == 0 {
+		s.MaxSentenceLen = 10
+	}
+	if s.FeatDim == 0 {
+		s.FeatDim = 16
+	}
+	if s.Spread == 0 {
+		s.Spread = 1.0
+	}
+	if s.Sigma == 0 {
+		s.Sigma = 0.45
+	}
+	if s.NoiseStd == 0 {
+		s.NoiseStd = 1.0
+	}
+	if s.SilenceProb == 0 {
+		s.SilenceProb = 0.2
+	}
+	if s.TestUtterances == 0 {
+		s.TestUtterances = 20
+	}
+	return s
+}
+
+// Utterance is one test item: the reference word sequence and its
+// synthesized feature frames.
+type Utterance struct {
+	Words  []int32
+	Frames [][]float32
+}
+
+// Task is a fully built benchmark task.
+type Task struct {
+	Spec Spec
+	Lex  *am.Lexicon
+	AM   *am.Graph
+	// Tying is set when the task uses a context-dependent AM.
+	Tying   *am.CDTying
+	LM      *lm.Model
+	LMGraph *lm.Graph
+	Senones *acoustic.SenoneModel
+	Scorer  acoustic.Scorer
+	Train   [][]int32
+	Test    []Utterance
+}
+
+// grammar is the hidden Markov word chain sentences are sampled from; the
+// trained LM approximates it, so test sentences are in-domain.
+type grammar struct {
+	succ  [][]int32
+	vocab int
+}
+
+func newGrammar(rng *rand.Rand, vocab, branch int) *grammar {
+	g := &grammar{vocab: vocab, succ: make([][]int32, vocab+1)}
+	for w := 1; w <= vocab; w++ {
+		n := branch
+		if n == 0 {
+			n = rng.Intn(5) + 2
+		}
+		g.succ[w] = make([]int32, n)
+		for i := range g.succ[w] {
+			g.succ[w][i] = int32(rng.Intn(vocab) + 1)
+		}
+	}
+	return g
+}
+
+func (g *grammar) sample(rng *rand.Rand, maxLen int) []int32 {
+	length := rng.Intn(maxLen) + 1
+	sent := make([]int32, length)
+	w := int32(rng.Intn(g.vocab) + 1)
+	for i := 0; i < length; i++ {
+		sent[i] = w
+		if rng.Float64() < 0.8 {
+			w = g.succ[w][rng.Intn(len(g.succ[w]))]
+		} else {
+			w = int32(rng.Intn(g.vocab) + 1)
+		}
+	}
+	return sent
+}
+
+// Build constructs the task deterministically from its spec.
+func Build(spec Spec) (*Task, error) {
+	spec = spec.withDefaults()
+	if spec.Vocab < 2 || spec.Phones < 2 || spec.TrainSentences < 1 {
+		return nil, fmt.Errorf("task: underspecified task %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	lex, err := am.GenerateLexicon(rng, am.GenerateOptions{
+		Vocab:       spec.Vocab,
+		Phones:      spec.Phones,
+		AltPronProb: spec.AltPronProb,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	topo := am.Topology{StatesPerPhone: spec.StatesPerPhone}
+	var amGraph *am.Graph
+	var tying *am.CDTying
+	if spec.ContextDependent {
+		n := spec.TiedSenones
+		if n == 0 {
+			n = 4 * topo.NumSenones(lex.NumPhones)
+		}
+		tying = &am.CDTying{NumSenones: n, Seed: uint64(spec.Seed) + 1}
+		amGraph, err = am.BuildGraphCD(lex, topo, *tying)
+	} else {
+		amGraph, err = am.BuildGraph(lex, topo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+
+	gram := newGrammar(rng, spec.Vocab, spec.GrammarBranch)
+	train := make([][]int32, spec.TrainSentences)
+	for i := range train {
+		train[i] = gram.sample(rng, spec.MaxSentenceLen)
+	}
+	model, err := lm.Train(train, spec.Vocab, lm.TrainOptions{
+		Order:    spec.LMOrder,
+		MinCount: spec.LMMinCount,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	lmGraph, err := model.BuildGraph()
+	if err != nil {
+		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+
+	senones, err := acoustic.NewSenoneModel(rng, amGraph.NumSenones, spec.FeatDim, spec.Spread, spec.Sigma)
+	if err != nil {
+		return nil, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	var scorer acoustic.Scorer
+	switch spec.Scorer {
+	case ScorerGMM:
+		scorer = acoustic.NewGMMScorer(senones)
+	case ScorerDNN:
+		scorer = acoustic.NewDNNScorer(senones, rng, 0, 0)
+	case ScorerRNN:
+		scorer = acoustic.NewRNNScorer(senones, rng, 0)
+	default:
+		return nil, fmt.Errorf("task %s: unknown scorer %q", spec.Name, spec.Scorer)
+	}
+
+	t := &Task{
+		Spec:    spec,
+		Lex:     lex,
+		AM:      amGraph,
+		Tying:   tying,
+		LM:      model,
+		LMGraph: lmGraph,
+		Senones: senones,
+		Scorer:  scorer,
+		Train:   train,
+	}
+	t.Test = make([]Utterance, spec.TestUtterances)
+	for i := range t.Test {
+		words := gram.sample(rng, spec.MaxSentenceLen)
+		t.Test[i] = Utterance{Words: words, Frames: t.SynthesizeFrames(rng, words)}
+	}
+	return t, nil
+}
+
+// SenoneSeq expands a word sequence into the senone occupancy sequence of
+// its forced alignment, with optional silence segments.
+func (t *Task) SenoneSeq(rng *rand.Rand, words []int32) []int32 {
+	topo := t.AM.Topo
+	var seq []int32
+	senone := func(ctx, ph int32, sub int) int32 {
+		if t.Tying != nil {
+			return t.Tying.Senone(ctx, ph, sub)
+		}
+		return topo.Senone(ph, sub)
+	}
+	appendPhone := func(ctx, ph int32) {
+		for sub := 0; sub < topo.StatesPerPhone; sub++ {
+			seq = append(seq, senone(ctx, ph, sub))
+		}
+	}
+	maybeSilence := func() {
+		if rng.Float64() < t.Spec.SilenceProb {
+			appendPhone(0, t.Lex.SilencePhone())
+		}
+	}
+	maybeSilence()
+	for i, w := range words {
+		if i > 0 {
+			maybeSilence()
+		}
+		ctx := int32(0) // word-boundary context at each word start
+		for _, ph := range t.Lex.Pron(w) {
+			appendPhone(ctx, ph)
+			ctx = ph
+		}
+	}
+	maybeSilence()
+	return seq
+}
+
+// SynthesizeFrames renders a word sequence into feature frames.
+func (t *Task) SynthesizeFrames(rng *rand.Rand, words []int32) [][]float32 {
+	seq := t.SenoneSeq(rng, words)
+	frames, _ := t.Senones.Synthesize(rng, seq, acoustic.SynthesisOptions{NoiseStd: t.Spec.NoiseStd})
+	return frames
+}
+
+// --- Predefined tasks ------------------------------------------------------
+
+// scaleInt scales a base count, keeping a sane floor.
+func scaleInt(base int, scale float64, min int) int {
+	v := int(float64(base) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// KaldiTedlium mirrors the Kaldi TED-LIUM decoder: 3-state HMMs, GMM
+// scoring, a large trigram LM relative to its AM.
+func KaldiTedlium(scale float64) Spec {
+	return Spec{
+		Name:           "KALDI-TEDLIUM",
+		Vocab:          scaleInt(120, scale, 20),
+		Phones:         30,
+		StatesPerPhone: 3,
+		Scorer:         ScorerGMM,
+		TrainSentences: scaleInt(1200, scale, 100),
+		LMMinCount:     2,
+		NoiseStd:       2.53, // spontaneous, noisy speech: high WER (paper: 22.59%)
+		Seed:           101,
+	}
+}
+
+// KaldiLibrispeech mirrors the Kaldi Librispeech decoder: the largest AM of
+// the Kaldi set and DNN scoring.
+func KaldiLibrispeech(scale float64) Spec {
+	return Spec{
+		Name:           "KALDI-Librispeech",
+		Vocab:          scaleInt(150, scale, 25),
+		Phones:         36,
+		StatesPerPhone: 3,
+		Scorer:         ScorerDNN,
+		TrainSentences: scaleInt(800, scale, 80),
+		LMMinCount:     2,
+		NoiseStd:       2.20, // read speech: lowest WER of the set (paper: 10.62%)
+		Seed:           102,
+	}
+}
+
+// KaldiVoxforge mirrors the Kaldi Voxforge decoder: the miniature task.
+func KaldiVoxforge(scale float64) Spec {
+	return Spec{
+		Name:           "KALDI-Voxforge",
+		Vocab:          scaleInt(50, scale, 10),
+		Phones:         20,
+		StatesPerPhone: 3,
+		Scorer:         ScorerGMM,
+		TrainSentences: scaleInt(250, scale, 50),
+		NoiseStd:       2.45, // paper: 13.26%
+		Seed:           103,
+	}
+}
+
+// EesenTedlium mirrors the EESEN end-to-end decoder: 1-state phone models
+// (CTC-style), RNN scoring, and the largest LM of the set.
+func EesenTedlium(scale float64) Spec {
+	return Spec{
+		Name:           "EESEN-TEDLIUM",
+		Vocab:          scaleInt(130, scale, 20),
+		Phones:         40,
+		StatesPerPhone: 1,
+		Scorer:         ScorerRNN,
+		TrainSentences: scaleInt(1800, scale, 150),
+		LMMinCount:     2,
+		NoiseStd:       2.80, // highest WER of the set (paper: 27.72%)
+		Seed:           104,
+	}
+}
+
+// AllSpecs returns the paper's four evaluation tasks at the given scale.
+func AllSpecs(scale float64) []Spec {
+	return []Spec{
+		KaldiTedlium(scale),
+		KaldiLibrispeech(scale),
+		KaldiVoxforge(scale),
+		EesenTedlium(scale),
+	}
+}

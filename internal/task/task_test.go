@@ -1,0 +1,192 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wfst"
+)
+
+// tiny returns a fast-to-build spec for unit tests.
+func tiny(seed int64) Spec {
+	return Spec{
+		Name:           "tiny",
+		Vocab:          25,
+		Phones:         10,
+		TrainSentences: 120,
+		TestUtterances: 4,
+		Seed:           seed,
+	}
+}
+
+func TestBuildTiny(t *testing.T) {
+	tk, err := Build(tiny(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Lex.V() != 25 {
+		t.Errorf("vocab = %d", tk.Lex.V())
+	}
+	if err := tk.AM.G.Validate(); err != nil {
+		t.Errorf("AM: %v", err)
+	}
+	if err := tk.LMGraph.G.Validate(); err != nil {
+		t.Errorf("LM: %v", err)
+	}
+	if len(tk.Test) != 4 {
+		t.Errorf("test utterances = %d", len(tk.Test))
+	}
+	for i, u := range tk.Test {
+		if len(u.Words) == 0 || len(u.Frames) == 0 {
+			t.Errorf("test utterance %d empty", i)
+		}
+		for _, w := range u.Words {
+			if w < 1 || int(w) > tk.Lex.V() {
+				t.Errorf("utterance %d: word %d out of range", i, w)
+			}
+		}
+	}
+	if tk.Scorer == nil || tk.Senones == nil {
+		t.Error("scorer/senones missing")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wfst.Equal(a.AM.G, b.AM.G) {
+		t.Error("AM graphs differ across same-spec builds")
+	}
+	if !wfst.Equal(a.LMGraph.G, b.LMGraph.G) {
+		t.Error("LM graphs differ across same-spec builds")
+	}
+	if len(a.Test) != len(b.Test) {
+		t.Fatal("test set sizes differ")
+	}
+	for i := range a.Test {
+		if len(a.Test[i].Frames) != len(b.Test[i].Frames) {
+			t.Fatalf("utterance %d frame counts differ", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Spec{Vocab: 1, Phones: 5, TrainSentences: 10}); err == nil {
+		t.Error("expected error for vocab 1")
+	}
+	s := tiny(1)
+	s.Scorer = "quantum"
+	if _, err := Build(s); err == nil {
+		t.Error("expected error for unknown scorer")
+	}
+}
+
+func TestSenoneSeqCoversWords(t *testing.T) {
+	tk, err := Build(tiny(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	words := []int32{1, 2, 3}
+	seq := tk.SenoneSeq(rng, words)
+	minLen := 0
+	for _, w := range words {
+		minLen += len(tk.Lex.Pron(w)) * tk.AM.Topo.StatesPerPhone
+	}
+	if len(seq) < minLen {
+		t.Errorf("senone seq length %d < minimum %d", len(seq), minLen)
+	}
+	for _, s := range seq {
+		if s < 1 || int(s) > tk.AM.NumSenones {
+			t.Errorf("senone %d out of range", s)
+		}
+	}
+}
+
+func TestPredefinedSpecsOrdering(t *testing.T) {
+	specs := AllSpecs(1.0)
+	if len(specs) != 4 {
+		t.Fatalf("expected 4 predefined tasks, got %d", len(specs))
+	}
+	names := map[string]Spec{}
+	for _, s := range specs {
+		names[s.Name] = s
+	}
+	// Structural properties the paper's tasks have.
+	if names["EESEN-TEDLIUM"].StatesPerPhone != 1 {
+		t.Error("EESEN task must use 1-state phones")
+	}
+	if names["KALDI-TEDLIUM"].StatesPerPhone != 3 {
+		t.Error("Kaldi task must use 3-state HMMs")
+	}
+	if names["KALDI-Librispeech"].Scorer != ScorerDNN {
+		t.Error("Librispeech task must use the DNN scorer")
+	}
+	if names["EESEN-TEDLIUM"].Scorer != ScorerRNN {
+		t.Error("EESEN task must use the RNN scorer")
+	}
+	// LM corpus ordering: EESEN-TEDLIUM largest, Voxforge smallest.
+	if !(names["EESEN-TEDLIUM"].TrainSentences > names["KALDI-TEDLIUM"].TrainSentences) {
+		t.Error("EESEN LM should be the largest")
+	}
+	if !(names["KALDI-Voxforge"].TrainSentences < names["KALDI-Librispeech"].TrainSentences) {
+		t.Error("Voxforge should be the smallest task")
+	}
+	// Scaling respects floors.
+	small := KaldiTedlium(0.001)
+	if small.Vocab < 20 {
+		t.Errorf("scaled vocab %d below floor", small.Vocab)
+	}
+}
+
+func TestBuildAllPredefinedAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-task build in -short mode")
+	}
+	for _, spec := range AllSpecs(0.15) {
+		spec.TestUtterances = 2
+		tk, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if tk.AM.G.NumArcs() == 0 || tk.LMGraph.G.NumArcs() == 0 {
+			t.Errorf("%s: empty graphs", spec.Name)
+		}
+	}
+}
+
+func TestContextDependentTask(t *testing.T) {
+	spec := tiny(51)
+	spec.ContextDependent = true
+	tk, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Tying == nil {
+		t.Fatal("CD task missing tying")
+	}
+	ci, err := Build(tiny(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.AM.NumSenones <= ci.AM.NumSenones {
+		t.Errorf("CD senones %d not larger than CI %d", tk.AM.NumSenones, ci.AM.NumSenones)
+	}
+	// Senone sequences must stay within the tied inventory.
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range tk.SenoneSeq(rng, []int32{1, 2, 3}) {
+		if s < 1 || int(s) > tk.AM.NumSenones {
+			t.Fatalf("CD senone %d out of range", s)
+		}
+	}
+	// And the task must be end-to-end decodable.
+	if len(tk.Test) == 0 || len(tk.Test[0].Frames) == 0 {
+		t.Fatal("CD task produced no test audio")
+	}
+}

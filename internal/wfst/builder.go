@@ -1,0 +1,82 @@
+package wfst
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// Builder constructs a WFST incrementally. States are created with AddState
+// and arcs appended with AddArc; Build freezes the result into CSR form.
+// The zero value is an empty builder ready for use.
+type Builder struct {
+	start  StateID
+	arcs   [][]Arc
+	finals []semiring.Weight
+	narcs  int
+	init   bool
+}
+
+// NewBuilder returns an empty builder with no states.
+func NewBuilder() *Builder {
+	return &Builder{start: NoState}
+}
+
+// AddState appends a new non-final state and returns its ID.
+func (b *Builder) AddState() StateID {
+	if !b.init {
+		b.start = NoState
+		b.init = true
+	}
+	id := StateID(len(b.arcs))
+	b.arcs = append(b.arcs, nil)
+	b.finals = append(b.finals, semiring.Zero)
+	return id
+}
+
+// NumStates returns the number of states added so far.
+func (b *Builder) NumStates() int { return len(b.arcs) }
+
+// SetStart marks s as the initial state.
+func (b *Builder) SetStart(s StateID) { b.start = s; b.init = true }
+
+// SetFinal marks s as accepting with exit weight w.
+func (b *Builder) SetFinal(s StateID, w semiring.Weight) { b.finals[s] = w }
+
+// AddArc appends an outgoing arc to state s.
+func (b *Builder) AddArc(s StateID, a Arc) {
+	b.arcs[s] = append(b.arcs[s], a)
+	b.narcs++
+}
+
+// Build freezes the builder into an immutable WFST and validates it.
+// The builder must not be reused afterwards.
+func (b *Builder) Build() (*WFST, error) {
+	f := &WFST{
+		start:  b.start,
+		states: make([]stateRec, len(b.arcs)+1),
+		arcs:   make([]Arc, 0, b.narcs),
+	}
+	for s, arcs := range b.arcs {
+		f.states[s] = stateRec{arcBegin: uint32(len(f.arcs)), final: b.finals[s]}
+		f.arcs = append(f.arcs, arcs...)
+	}
+	f.states[len(b.arcs)] = stateRec{arcBegin: uint32(len(f.arcs)), final: semiring.Zero}
+	if len(b.arcs) > 0 && (b.start < 0 || int(b.start) >= len(b.arcs)) {
+		return nil, fmt.Errorf("wfst: builder has %d states but start is %d", len(b.arcs), b.start)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustBuild is Build for construction code where a failure is a programming
+// error (e.g. tests and generators with known-valid inputs).
+func (b *Builder) MustBuild() *WFST {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,145 @@
+package wfst
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// maxBackoffChain bounds the number of back-off hops ResolveWord will take.
+// A well-formed trigram LM needs at most 2 (trigram→bigram→unigram); the
+// bound exists only to turn a malformed cyclic graph into an error.
+const maxBackoffChain = 8
+
+// BackoffArc returns s's back-off arc: the input-epsilon arc taken when a
+// word has no explicit n-gram arc at s. Arc lists are input-sorted, so the
+// back-off arc, when present, is the first arc. The unigram state has no
+// back-off arc.
+func (f *WFST) BackoffArc(s StateID) (Arc, bool) {
+	arcs := f.Arcs(s)
+	if len(arcs) > 0 && arcs[0].In == Epsilon {
+		return arcs[0], true
+	}
+	return Arc{}, false
+}
+
+// ResolveWord finds the language-model transition for word out of state s,
+// applying the back-off mechanism of Section 3.3: if s has no arc labelled
+// word, the back-off arc's weight is accumulated and the search restarts at
+// the back-off state, bottoming out at the unigram state where every word
+// has an arc.
+//
+// It returns the destination state, the total weight (back-off penalties
+// plus the matched arc's weight), and the number of back-off hops taken.
+// ok is false only for a malformed model (no match and no back-off arc).
+func (f *WFST) ResolveWord(s StateID, word int32) (next StateID, w semiring.Weight, hops int, ok bool) {
+	w = semiring.One
+	for hops = 0; hops <= maxBackoffChain; hops++ {
+		if idx, found := f.FindArc(s, word, nil); found {
+			a := f.Arcs(s)[idx]
+			return a.Next, semiring.Times(w, a.W), hops, true
+		}
+		bo, has := f.BackoffArc(s)
+		if !has {
+			return NoState, semiring.Zero, hops, false
+		}
+		w = semiring.Times(w, bo.W)
+		s = bo.Next
+	}
+	return NoState, semiring.Zero, hops, false
+}
+
+// ComposeOptions controls offline composition.
+type ComposeOptions struct {
+	// MaxStates aborts the composition when the result would exceed this
+	// many states; 0 means no limit. Offline composition is exactly the
+	// multiplicative blow-up the paper measures, so large tasks need a guard.
+	MaxStates int
+	// KeepUnconnected skips the final Connect pass (useful in tests).
+	KeepUnconnected bool
+}
+
+// Compose performs the offline AM∘LM composition that produces the paper's
+// "fully-composed" WFST (Section 2). The left operand is an acoustic model
+// whose arc output labels are word IDs (Epsilon for word-internal arcs);
+// the right operand is a back-off language model with input-sorted arcs.
+//
+// Word-internal AM arcs advance only the AM side. Cross-word AM arcs
+// (non-epsilon output) additionally take the LM transition for that word,
+// following back-off arcs exactly as the on-the-fly decoder would, so the
+// two decoding strategies explore identical search spaces.
+func Compose(am, lm *WFST, opts ComposeOptions) (*WFST, error) {
+	if !lm.InSorted() {
+		return nil, fmt.Errorf("wfst: Compose requires an input-sorted LM")
+	}
+	if am.Start() == NoState || lm.Start() == NoState {
+		return NewBuilder().Build()
+	}
+
+	type pair = uint64
+	key := func(a, l StateID) pair { return uint64(uint32(a))<<32 | uint64(uint32(l)) }
+
+	b := NewBuilder()
+	ids := make(map[pair]StateID)
+	var queue []pair
+
+	intern := func(a, l StateID) (StateID, error) {
+		k := key(a, l)
+		if id, seen := ids[k]; seen {
+			return id, nil
+		}
+		if opts.MaxStates > 0 && len(ids) >= opts.MaxStates {
+			return NoState, fmt.Errorf("wfst: composition exceeds %d states", opts.MaxStates)
+		}
+		id := b.AddState()
+		ids[k] = id
+		queue = append(queue, k)
+		// Composed finality: both components must accept.
+		fa, fl := am.Final(a), lm.Final(l)
+		if !semiring.IsZero(fa) && !semiring.IsZero(fl) {
+			b.SetFinal(id, semiring.Times(fa, fl))
+		}
+		return id, nil
+	}
+
+	startID, err := intern(am.Start(), lm.Start())
+	if err != nil {
+		return nil, err
+	}
+	b.SetStart(startID)
+
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		a, l := StateID(k>>32), StateID(uint32(k))
+		src := ids[k]
+		for _, arc := range am.Arcs(a) {
+			if arc.Out == Epsilon {
+				dst, err := intern(arc.Next, l)
+				if err != nil {
+					return nil, err
+				}
+				b.AddArc(src, Arc{In: arc.In, Out: Epsilon, W: arc.W, Next: dst})
+				continue
+			}
+			lmNext, lmW, _, ok := lm.ResolveWord(l, arc.Out)
+			if !ok {
+				return nil, fmt.Errorf("wfst: LM cannot resolve word %d from state %d", arc.Out, l)
+			}
+			dst, err := intern(arc.Next, lmNext)
+			if err != nil {
+				return nil, err
+			}
+			b.AddArc(src, Arc{In: arc.In, Out: arc.Out, W: semiring.Times(arc.W, lmW), Next: dst})
+		}
+	}
+
+	f, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !opts.KeepUnconnected {
+		f = Connect(f)
+	}
+	return f, nil
+}

@@ -1,0 +1,98 @@
+package wfst
+
+import (
+	"fmt"
+
+	"repro/internal/semiring"
+)
+
+// ComposeGeneric is standard transducer composition A∘B: the result maps
+// input string x to output string z with the minimal cost of A mapping x to
+// some y and B mapping y to z. Epsilon output labels in A and epsilon input
+// labels in B are handled with the naive (filterless) construction, which
+// may duplicate epsilon paths; under the tropical semiring duplicates do
+// not change path minima, so weights are exact.
+//
+// This is the general-purpose operation; Compose is the ASR-specialized
+// variant that interprets the right operand's epsilon arcs as n-gram
+// back-off (failure) arcs instead.
+func ComposeGeneric(a, b *WFST, opts ComposeOptions) (*WFST, error) {
+	if a.Start() == NoState || b.Start() == NoState {
+		return NewBuilder().Build()
+	}
+	key := func(sa, sb StateID) uint64 { return uint64(uint32(sa))<<32 | uint64(uint32(sb)) }
+
+	bld := NewBuilder()
+	ids := make(map[uint64]StateID)
+	var queue []uint64
+	intern := func(sa, sb StateID) (StateID, error) {
+		k := key(sa, sb)
+		if id, ok := ids[k]; ok {
+			return id, nil
+		}
+		if opts.MaxStates > 0 && len(ids) >= opts.MaxStates {
+			return NoState, fmt.Errorf("wfst: generic composition exceeds %d states", opts.MaxStates)
+		}
+		id := bld.AddState()
+		ids[k] = id
+		queue = append(queue, k)
+		fa, fb := a.Final(sa), b.Final(sb)
+		if !semiring.IsZero(fa) && !semiring.IsZero(fb) {
+			bld.SetFinal(id, semiring.Times(fa, fb))
+		}
+		return id, nil
+	}
+
+	startID, err := intern(a.Start(), b.Start())
+	if err != nil {
+		return nil, err
+	}
+	bld.SetStart(startID)
+
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		sa, sb := StateID(k>>32), StateID(uint32(k))
+		src := ids[k]
+		for _, x := range a.Arcs(sa) {
+			if x.Out == Epsilon {
+				// A moves alone.
+				dst, err := intern(x.Next, sb)
+				if err != nil {
+					return nil, err
+				}
+				bld.AddArc(src, Arc{In: x.In, Out: Epsilon, W: x.W, Next: dst})
+				continue
+			}
+			for _, y := range b.Arcs(sb) {
+				if y.In != x.Out {
+					continue
+				}
+				dst, err := intern(x.Next, y.Next)
+				if err != nil {
+					return nil, err
+				}
+				bld.AddArc(src, Arc{In: x.In, Out: y.Out, W: semiring.Times(x.W, y.W), Next: dst})
+			}
+		}
+		for _, y := range b.Arcs(sb) {
+			if y.In == Epsilon {
+				// B moves alone.
+				dst, err := intern(sa, y.Next)
+				if err != nil {
+					return nil, err
+				}
+				bld.AddArc(src, Arc{In: Epsilon, Out: y.Out, W: y.W, Next: dst})
+			}
+		}
+	}
+
+	f, err := bld.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !opts.KeepUnconnected {
+		f = Connect(f)
+	}
+	return f, nil
+}

@@ -1,0 +1,153 @@
+package wfst
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+)
+
+// ioPair is an (input string, output string) relation element.
+type ioPair struct{ in, out string }
+
+// enumerate returns the minimal cost per (input, output) string pair over
+// all accepting paths of at most maxArcs arcs — the brute-force semantics
+// of a transducer. Epsilon labels are omitted from the strings.
+func enumerate(g *WFST, maxArcs int) map[ioPair]semiring.Weight {
+	out := map[ioPair]semiring.Weight{}
+	if g.Start() == NoState {
+		return out
+	}
+	type frame struct {
+		s        StateID
+		cost     semiring.Weight
+		in, outl []int32
+		depth    int
+	}
+	var rec func(f frame)
+	rec = func(f frame) {
+		if fw := g.Final(f.s); !semiring.IsZero(fw) {
+			key := ioPair{fmt.Sprint(f.in), fmt.Sprint(f.outl)}
+			total := semiring.Times(f.cost, fw)
+			if old, ok := out[key]; !ok || total < old {
+				out[key] = total
+			}
+		}
+		if f.depth == maxArcs {
+			return
+		}
+		for _, a := range g.Arcs(f.s) {
+			nin, nout := f.in, f.outl
+			if a.In != Epsilon {
+				nin = append(append([]int32{}, f.in...), a.In)
+			}
+			if a.Out != Epsilon {
+				nout = append(append([]int32{}, f.outl...), a.Out)
+			}
+			rec(frame{a.Next, semiring.Times(f.cost, a.W), nin, nout, f.depth + 1})
+		}
+	}
+	rec(frame{g.Start(), semiring.One, nil, nil, 0})
+	return out
+}
+
+// composeOracle computes the brute-force composition relation: for every
+// (x,y) pair of A and (y,z) pair of B with matching y, min-combine into
+// (x,z).
+func composeOracle(a, b *WFST, maxArcs int) map[ioPair]semiring.Weight {
+	pa := enumerate(a, maxArcs)
+	pb := enumerate(b, maxArcs)
+	out := map[ioPair]semiring.Weight{}
+	for ka, wa := range pa {
+		for kb, wb := range pb {
+			if ka.out != kb.in {
+				continue
+			}
+			key := ioPair{ka.in, kb.out}
+			total := semiring.Times(wa, wb)
+			if old, ok := out[key]; !ok || total < old {
+				out[key] = total
+			}
+		}
+	}
+	return out
+}
+
+// randomAcyclicTransducer builds a small DAG transducer (arcs only go
+// forward), so path enumeration terminates exactly.
+func randomAcyclicTransducer(rng *rand.Rand, n, labels int) *WFST {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddState()
+	}
+	b.SetStart(0)
+	b.SetFinal(StateID(n-1), semiring.Weight(rng.Float32()))
+	for s := 0; s < n-1; s++ {
+		arcs := rng.Intn(3) + 1
+		for a := 0; a < arcs; a++ {
+			b.AddArc(StateID(s), Arc{
+				In:   int32(rng.Intn(labels + 1)), // 0 = epsilon
+				Out:  int32(rng.Intn(labels + 1)),
+				W:    semiring.Weight(rng.Float32()),
+				Next: StateID(s + 1 + rng.Intn(n-s-1)),
+			})
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestComposeGenericOracle is the brute-force correctness property: the
+// composed machine's (input, output) -> min-cost relation equals the
+// min-combination of the component relations.
+func TestComposeGenericOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomAcyclicTransducer(rng, rng.Intn(3)+3, 2)
+		b := randomAcyclicTransducer(rng, rng.Intn(3)+3, 2)
+		c, err := ComposeGeneric(a, b, ComposeOptions{MaxStates: 10000, KeepUnconnected: true})
+		if err != nil {
+			return false
+		}
+		// DAG depth bound: paths have at most n-1 arcs per machine; the
+		// composition interleaves them, so 2*(n-1) arcs suffice.
+		got := enumerate(c, 12)
+		want := composeOracle(a, b, 6)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, w := range want {
+			gw, ok := got[k]
+			if !ok || !semiring.ApproxEqual(gw, w, 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeGenericEmptyOperand(t *testing.T) {
+	empty := NewBuilder().MustBuild()
+	rng := rand.New(rand.NewSource(1))
+	a := randomAcyclicTransducer(rng, 4, 2)
+	c, err := ComposeGeneric(a, empty, ComposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 0 {
+		t.Error("composition with empty machine should be empty")
+	}
+}
+
+func TestComposeGenericMaxStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomAcyclicTransducer(rng, 8, 2)
+	b := randomAcyclicTransducer(rng, 8, 2)
+	if _, err := ComposeGeneric(a, b, ComposeOptions{MaxStates: 2}); err == nil {
+		t.Error("expected MaxStates error")
+	}
+}

@@ -1,0 +1,104 @@
+package wfst
+
+import "repro/internal/semiring"
+
+// Connect returns a copy of f containing only useful states: those reachable
+// from the start state and from which some final state is reachable.
+// State IDs are renumbered in breadth-first discovery order from the start,
+// which keeps related states close together in memory — the locality the
+// accelerator's caches exploit.
+func Connect(f *WFST) *WFST {
+	n := f.NumStates()
+	if n == 0 || f.Start() == NoState {
+		nf, _ := NewBuilder().Build()
+		return nf
+	}
+
+	// Forward reachability from start.
+	reach := make([]bool, n)
+	stack := []StateID{f.Start()}
+	reach[f.Start()] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range f.Arcs(s) {
+			if !reach[a.Next] {
+				reach[a.Next] = true
+				stack = append(stack, a.Next)
+			}
+		}
+	}
+
+	// Backward reachability to a final state over the reversed graph.
+	rev := make([][]StateID, n)
+	for s := StateID(0); int(s) < n; s++ {
+		if !reach[s] {
+			continue
+		}
+		for _, a := range f.Arcs(s) {
+			rev[a.Next] = append(rev[a.Next], s)
+		}
+	}
+	coreach := make([]bool, n)
+	for s := StateID(0); int(s) < n; s++ {
+		if reach[s] && f.IsFinal(s) {
+			coreach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !coreach[p] {
+				coreach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	keep := func(s StateID) bool { return reach[s] && coreach[s] }
+	if !keep(f.Start()) {
+		nf, _ := NewBuilder().Build()
+		return nf
+	}
+
+	// Renumber in BFS order from start for memory locality.
+	remap := make([]StateID, n)
+	for i := range remap {
+		remap[i] = NoState
+	}
+	b := NewBuilder()
+	var order []StateID
+	queue := []StateID{f.Start()}
+	remap[f.Start()] = b.AddState()
+	order = append(order, f.Start())
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, a := range f.Arcs(s) {
+			if keep(a.Next) && remap[a.Next] == NoState {
+				remap[a.Next] = b.AddState()
+				order = append(order, a.Next)
+				queue = append(queue, a.Next)
+			}
+		}
+	}
+	b.SetStart(remap[f.Start()])
+	for _, old := range order {
+		ns := remap[old]
+		if fw := f.Final(old); !semiring.IsZero(fw) {
+			b.SetFinal(ns, fw)
+		}
+		for _, a := range f.Arcs(old) {
+			if keep(a.Next) {
+				b.AddArc(ns, Arc{In: a.In, Out: a.Out, W: a.W, Next: remap[a.Next]})
+			}
+		}
+	}
+	nf := b.MustBuild()
+	if f.InSorted() {
+		nf.SortByInput()
+	}
+	return nf
+}

@@ -1,0 +1,41 @@
+package wfst
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRead checks the binary parser never panics and either round-trips or
+// errors on corrupted input.
+func FuzzRead(f *testing.F) {
+	// Seed with valid serializations and corruptions of them.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3; i++ {
+		g := randomWFST(rng, rng.Intn(8)+1, 3)
+		var buf bytes.Buffer
+		if err := Write(g, &buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// A truncated and a bit-flipped variant.
+		b := buf.Bytes()
+		f.Add(b[:len(b)/2])
+		if len(b) > 20 {
+			c := append([]byte{}, b...)
+			c[17] ^= 0xFF
+			f.Add(c)
+		}
+	}
+	f.Add([]byte("WFST garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a structurally valid machine.
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid machine: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package wfst
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/semiring"
+)
+
+// Binary format: little-endian throughout.
+//
+//	magic   uint32  'W','F','S','T'
+//	version uint32
+//	start   int32
+//	states  uint32
+//	arcs    uint32
+//	flags   uint32  bit0: input-sorted
+//	per state: arcCount uint32, final float32 (+Inf for non-final)
+//	per arc:   in int32, out int32, next int32, weight float32
+const (
+	ioMagic   = uint32('W') | uint32('F')<<8 | uint32('S')<<16 | uint32('T')<<24
+	ioVersion = 1
+)
+
+// Write serializes f to w in the package's binary format.
+func Write(f *WFST, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{ioMagic, ioVersion, uint32(f.start), uint32(f.NumStates()), uint32(f.NumArcs())}
+	var flags uint32
+	if f.inSorted {
+		flags |= 1
+	}
+	hdr = append(hdr, flags)
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for s := StateID(0); int(s) < f.NumStates(); s++ {
+		rec := [2]uint32{
+			f.states[s+1].arcBegin - f.states[s].arcBegin,
+			math.Float32bits(float32(f.states[s].final)),
+		}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+	}
+	for _, a := range f.arcs {
+		rec := [4]uint32{uint32(a.In), uint32(a.Out), uint32(a.Next), math.Float32bits(float32(a.W))}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a WFST written by Write.
+func Read(r io.Reader) (*WFST, error) {
+	br := bufio.NewReader(r)
+	var hdr [6]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("wfst: reading header: %w", err)
+	}
+	if hdr[0] != ioMagic {
+		return nil, fmt.Errorf("wfst: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != ioVersion {
+		return nil, fmt.Errorf("wfst: unsupported version %d", hdr[1])
+	}
+	nStates, nArcs := int(hdr[3]), int(hdr[4])
+	// Guard allocations against corrupted headers before trusting counts.
+	const maxStates, maxArcs = 1 << 27, 1 << 29
+	if nStates > maxStates || nArcs > maxArcs {
+		return nil, fmt.Errorf("wfst: implausible header: %d states, %d arcs", nStates, nArcs)
+	}
+	f := &WFST{
+		start:    StateID(int32(hdr[2])),
+		states:   make([]stateRec, nStates+1),
+		arcs:     make([]Arc, nArcs),
+		inSorted: hdr[5]&1 != 0,
+	}
+	var begin uint32
+	for s := 0; s < nStates; s++ {
+		var rec [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("wfst: reading state %d: %w", s, err)
+		}
+		f.states[s] = stateRec{arcBegin: begin, final: semiring.Weight(math.Float32frombits(rec[1]))}
+		begin += rec[0]
+	}
+	if int(begin) != nArcs {
+		return nil, fmt.Errorf("wfst: state arc counts sum to %d, header says %d", begin, nArcs)
+	}
+	f.states[nStates] = stateRec{arcBegin: begin, final: semiring.Zero}
+	for i := 0; i < nArcs; i++ {
+		var rec [4]uint32
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("wfst: reading arc %d: %w", i, err)
+		}
+		f.arcs[i] = Arc{
+			In:   int32(rec[0]),
+			Out:  int32(rec[1]),
+			Next: StateID(int32(rec[2])),
+			W:    semiring.Weight(math.Float32frombits(rec[3])),
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,117 @@
+package wfst
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/semiring"
+)
+
+// Minimize merges bisimulation-equivalent states: states with identical
+// final weights whose outgoing arcs agree on (input, output, weight,
+// destination class). For the deterministic machines our builders produce
+// this is classic Moore minimization; for nondeterministic machines it is
+// still language-preserving (bisimulation is sound), merely not guaranteed
+// minimal.
+//
+// Kaldi's HCLG pipeline applies determinization and minimization after
+// composition, which is why the paper's composed WFSTs blow up ~10x rather
+// than the raw multiplicative factor; Minimize recovers part of that
+// optimization and is used by the `minimize` ablation experiment.
+func Minimize(f *WFST) *WFST {
+	n := f.NumStates()
+	if n == 0 {
+		out, _ := NewBuilder().Build()
+		return out
+	}
+
+	// Initial partition: by final weight (bit pattern; NaN-safe).
+	class := make([]int32, n)
+	{
+		byFinal := map[uint32]int32{}
+		for s := 0; s < n; s++ {
+			bits := math.Float32bits(float32(f.Final(StateID(s))))
+			id, ok := byFinal[bits]
+			if !ok {
+				id = int32(len(byFinal))
+				byFinal[bits] = id
+			}
+			class[s] = id
+		}
+	}
+
+	// Refine until stable: signature = own class + per-arc
+	// (in, out, weight bits, destination class).
+	next := make([]int32, n)
+	buf := make([]byte, 0, 256)
+	for {
+		sig := map[string]int32{}
+		for s := 0; s < n; s++ {
+			buf = buf[:0]
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(class[s]))
+			for _, a := range f.Arcs(StateID(s)) {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(a.In))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Out))
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(a.W)))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(class[a.Next]))
+			}
+			id, ok := sig[string(buf)]
+			if !ok {
+				id = int32(len(sig))
+				sig[string(buf)] = id
+			}
+			next[s] = id
+		}
+		stable := len(sig) == numClasses(class)
+		class, next = next, class
+		if stable {
+			break
+		}
+	}
+
+	// Rebuild: one state per class, numbered by first occurrence so the
+	// start lands on its class representative deterministically.
+	k := numClasses(class)
+	rep := make([]StateID, k)
+	for i := range rep {
+		rep[i] = NoState
+	}
+	b := NewBuilder()
+	order := make([]StateID, 0, k)
+	for s := 0; s < n; s++ {
+		c := class[s]
+		if rep[c] == NoState {
+			rep[c] = StateID(s)
+			b.AddState()
+			order = append(order, StateID(s))
+		}
+	}
+	remap := make([]StateID, k) // class -> new state ID
+	for newID, old := range order {
+		remap[class[old]] = StateID(newID)
+	}
+	b.SetStart(remap[class[f.Start()]])
+	for newID, old := range order {
+		if fw := f.Final(old); !semiring.IsZero(fw) {
+			b.SetFinal(StateID(newID), fw)
+		}
+		for _, a := range f.Arcs(old) {
+			b.AddArc(StateID(newID), Arc{In: a.In, Out: a.Out, W: a.W, Next: remap[class[a.Next]]})
+		}
+	}
+	out := b.MustBuild()
+	if f.InSorted() {
+		out.SortByInput()
+	}
+	return out
+}
+
+func numClasses(class []int32) int {
+	max := int32(-1)
+	for _, c := range class {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max + 1)
+}

@@ -1,0 +1,116 @@
+package wfst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+)
+
+// buildDuplicateChains makes a machine with two structurally identical
+// branches that Minimize must fold together.
+func buildDuplicateChains(t testing.TB) *WFST {
+	t.Helper()
+	b := NewBuilder()
+	start := b.AddState()
+	b.SetStart(start)
+	final := b.AddState()
+	b.SetFinal(final, semiring.One)
+	// Two identical chains 1->2->final reachable via different first labels.
+	for _, first := range []int32{1, 2} {
+		s1 := b.AddState()
+		s2 := b.AddState()
+		b.AddArc(start, Arc{In: first, Out: 0, W: 0.5, Next: s1})
+		b.AddArc(s1, Arc{In: 7, Out: 0, W: 0.25, Next: s2})
+		b.AddArc(s2, Arc{In: 8, Out: 3, W: 0.125, Next: final})
+	}
+	return b.MustBuild()
+}
+
+func TestMinimizeFoldsDuplicates(t *testing.T) {
+	g := buildDuplicateChains(t)
+	m := Minimize(g)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 6 states fold to 4: start, shared s1, shared s2, final.
+	if m.NumStates() != 4 {
+		t.Fatalf("minimized to %d states, want 4", m.NumStates())
+	}
+	if m.NumArcs() != 4 {
+		t.Fatalf("minimized to %d arcs, want 4", m.NumArcs())
+	}
+}
+
+// pathCost walks a deterministic machine on an input string.
+func pathCost(g *WFST, input []int32) (semiring.Weight, bool) {
+	s := g.Start()
+	cost := semiring.One
+	for _, in := range input {
+		found := false
+		for _, a := range g.Arcs(s) {
+			if a.In == in {
+				cost = semiring.Times(cost, a.W)
+				s = a.Next
+				found = true
+				break
+			}
+		}
+		if !found {
+			return semiring.Zero, false
+		}
+	}
+	if !g.IsFinal(s) {
+		return semiring.Zero, false
+	}
+	return semiring.Times(cost, g.Final(s)), true
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	g := buildDuplicateChains(t)
+	m := Minimize(g)
+	for _, input := range [][]int32{{1, 7, 8}, {2, 7, 8}, {1, 8, 7}, {1, 7}, {}} {
+		cg, okG := pathCost(g, input)
+		cm, okM := pathCost(m, input)
+		if okG != okM || (okG && !semiring.ApproxEqual(cg, cm, 1e-6)) {
+			t.Errorf("input %v: original (%v,%v) vs minimized (%v,%v)", input, cg, okG, cm, okM)
+		}
+	}
+}
+
+func TestMinimizeIdempotentAndNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Connect(randomWFST(rng, rng.Intn(40)+2, 4))
+		if g.NumStates() == 0 {
+			return true
+		}
+		m := Minimize(g)
+		if m.Validate() != nil || m.NumStates() > g.NumStates() || m.NumArcs() > g.NumArcs() {
+			return false
+		}
+		m2 := Minimize(m)
+		return m2.NumStates() == m.NumStates() && m2.NumArcs() == m.NumArcs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	empty := NewBuilder().MustBuild()
+	m := Minimize(empty)
+	if m.NumStates() != 0 {
+		t.Error("minimized empty machine is not empty")
+	}
+}
+
+func TestMinimizeKeepsSortFlag(t *testing.T) {
+	g := buildDuplicateChains(t)
+	g.SortByInput()
+	m := Minimize(g)
+	if !m.InSorted() {
+		t.Error("minimize dropped input-sorted flag")
+	}
+}

@@ -1,0 +1,138 @@
+package wfst
+
+import "repro/internal/semiring"
+
+// Invert swaps input and output labels: Invert(T) maps y to x with the same
+// weight wherever T maps x to y. A standard transducer operation (the AM's
+// inverse maps word sequences to senone sequences, useful for forced
+// alignment).
+func Invert(f *WFST) *WFST {
+	b := NewBuilder()
+	for i := 0; i < f.NumStates(); i++ {
+		b.AddState()
+	}
+	if f.Start() == NoState {
+		return b.MustBuild()
+	}
+	b.SetStart(f.Start())
+	for s := StateID(0); int(s) < f.NumStates(); s++ {
+		if fw := f.Final(s); !semiring.IsZero(fw) {
+			b.SetFinal(s, fw)
+		}
+		for _, a := range f.Arcs(s) {
+			b.AddArc(s, Arc{In: a.Out, Out: a.In, W: a.W, Next: a.Next})
+		}
+	}
+	return b.MustBuild()
+}
+
+// ProjectSide selects which labels Project keeps.
+type ProjectSide int
+
+const (
+	// ProjectInput keeps input labels on both sides (an acceptor of the
+	// input language).
+	ProjectInput ProjectSide = iota
+	// ProjectOutput keeps output labels on both sides.
+	ProjectOutput
+)
+
+// Project turns a transducer into an acceptor of its input or output
+// language.
+func Project(f *WFST, side ProjectSide) *WFST {
+	b := NewBuilder()
+	for i := 0; i < f.NumStates(); i++ {
+		b.AddState()
+	}
+	if f.Start() == NoState {
+		return b.MustBuild()
+	}
+	b.SetStart(f.Start())
+	for s := StateID(0); int(s) < f.NumStates(); s++ {
+		if fw := f.Final(s); !semiring.IsZero(fw) {
+			b.SetFinal(s, fw)
+		}
+		for _, a := range f.Arcs(s) {
+			l := a.In
+			if side == ProjectOutput {
+				l = a.Out
+			}
+			b.AddArc(s, Arc{In: l, Out: l, W: a.W, Next: a.Next})
+		}
+	}
+	return b.MustBuild()
+}
+
+// RmEpsilon removes arcs whose input AND output are both epsilon by
+// folding their tropical epsilon-closure into the remaining arcs and final
+// weights. Arcs carrying a label on either side are kept. The result
+// accepts the same weighted relation (minimum over paths) as the input.
+//
+// The closure is computed per state with a Dijkstra-style relaxation, so
+// epsilon cycles (which cannot improve a tropical minimum when
+// non-negative; negative epsilon cycles would diverge and are rejected by
+// ASR graph construction) terminate correctly.
+func RmEpsilon(f *WFST) *WFST {
+	n := f.NumStates()
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddState()
+	}
+	if f.Start() == NoState {
+		return b.MustBuild()
+	}
+	b.SetStart(f.Start())
+
+	for s := StateID(0); int(s) < n; s++ {
+		// Epsilon-closure distances from s.
+		dist := map[StateID]semiring.Weight{s: semiring.One}
+		queue := []StateID{s}
+		for len(queue) > 0 {
+			q := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, a := range f.Arcs(q) {
+				if a.In != Epsilon || a.Out != Epsilon {
+					continue
+				}
+				nd := semiring.Times(dist[q], a.W)
+				if old, ok := dist[a.Next]; !ok || nd < old {
+					dist[a.Next] = nd
+					queue = append(queue, a.Next)
+				}
+			}
+		}
+		final := f.Final(s)
+		// Emit the non-epsilon arcs reachable through the closure, and fold
+		// closure-reachable final weights.
+		type emitted struct {
+			in, out int32
+			next    StateID
+		}
+		best := map[emitted]semiring.Weight{}
+		for q, d := range dist {
+			if fw := f.Final(q); !semiring.IsZero(fw) {
+				if c := semiring.Times(d, fw); c < final {
+					final = c
+				}
+			}
+			for _, a := range f.Arcs(q) {
+				if a.In == Epsilon && a.Out == Epsilon {
+					continue
+				}
+				k := emitted{a.In, a.Out, a.Next}
+				w := semiring.Times(d, a.W)
+				if old, ok := best[k]; !ok || w < old {
+					best[k] = w
+				}
+			}
+		}
+		for k, w := range best {
+			b.AddArc(s, Arc{In: k.in, Out: k.out, W: w, Next: k.next})
+		}
+		if !semiring.IsZero(final) {
+			b.SetFinal(s, final)
+		}
+	}
+	out := b.MustBuild()
+	return Connect(out)
+}

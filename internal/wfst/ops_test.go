@@ -1,0 +1,158 @@
+package wfst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+)
+
+// Property: Invert swaps the relation exactly (checked via enumeration).
+func TestInvertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAcyclicTransducer(rng, rng.Intn(4)+3, 3)
+		inv := Invert(g)
+		if inv.Validate() != nil {
+			return false
+		}
+		orig := enumerate(g, 8)
+		got := enumerate(inv, 8)
+		if len(orig) != len(got) {
+			return false
+		}
+		for k, w := range orig {
+			gw, ok := got[ioPair{k.out, k.in}]
+			if !ok || !semiring.ApproxEqual(gw, w, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomAcyclicTransducer(rng, 6, 3)
+	if !Equal(Invert(Invert(g)), g) {
+		t.Error("double inversion is not identity")
+	}
+}
+
+// Property: projection keeps the chosen side's strings with min weights.
+func TestProjectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAcyclicTransducer(rng, rng.Intn(4)+3, 3)
+		orig := enumerate(g, 8)
+		for _, side := range []ProjectSide{ProjectInput, ProjectOutput} {
+			p := Project(g, side)
+			got := enumerate(p, 8)
+			// Reference: min over the other side.
+			want := map[ioPair]semiring.Weight{}
+			for k, w := range orig {
+				s := k.in
+				if side == ProjectOutput {
+					s = k.out
+				}
+				kk := ioPair{s, s}
+				if old, ok := want[kk]; !ok || w < old {
+					want[kk] = w
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for k, w := range want {
+				gw, ok := got[k]
+				if !ok || !semiring.ApproxEqual(gw, w, 1e-6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomEpsTransducer produces DAGs rich in ε/ε arcs to stress RmEpsilon.
+func randomEpsTransducer(rng *rand.Rand, n int) *WFST {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddState()
+	}
+	b.SetStart(0)
+	b.SetFinal(StateID(n-1), semiring.Weight(rng.Float32()))
+	for s := 0; s < n-1; s++ {
+		for a := rng.Intn(3) + 1; a > 0; a-- {
+			in, out := int32(0), int32(0)
+			if rng.Intn(2) == 0 { // half the arcs are ε/ε
+				in, out = int32(rng.Intn(3)), int32(rng.Intn(3))
+			}
+			b.AddArc(StateID(s), Arc{
+				In: in, Out: out,
+				W:    semiring.Weight(rng.Float32()),
+				Next: StateID(s + 1 + rng.Intn(n-s-1)),
+			})
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: RmEpsilon preserves the weighted relation and leaves no ε/ε arc.
+func TestRmEpsilonProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomEpsTransducer(rng, rng.Intn(5)+3)
+		r := RmEpsilon(g)
+		if r.Validate() != nil {
+			return false
+		}
+		for s := StateID(0); int(s) < r.NumStates(); s++ {
+			for _, a := range r.Arcs(s) {
+				if a.In == Epsilon && a.Out == Epsilon {
+					return false
+				}
+			}
+		}
+		orig := enumerate(g, 10)
+		got := enumerate(r, 10)
+		// The relation (label strings -> min weight) must match exactly.
+		if len(orig) != len(got) {
+			return false
+		}
+		for k, w := range orig {
+			gw, ok := got[k]
+			if !ok || !semiring.ApproxEqual(gw, w, 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRmEpsilonOnAMGraph(t *testing.T) {
+	am := buildFig3AM(t)
+	r := RmEpsilon(am)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(r)
+	if st.EpsInArcs != 0 {
+		t.Errorf("%d epsilon arcs remain", st.EpsInArcs)
+	}
+	// The word-loop closure means word-end states gain direct arcs to the
+	// first phones of following words.
+	if r.NumArcs() <= am.NumArcs()-3 {
+		t.Logf("arcs %d -> %d", am.NumArcs(), r.NumArcs())
+	}
+}

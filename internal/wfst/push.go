@@ -1,0 +1,121 @@
+package wfst
+
+import (
+	"container/heap"
+
+	"repro/internal/semiring"
+)
+
+// ShortestDistanceToFinal returns, per state, the tropical shortest
+// distance to any final state (including the final weight); unreachable
+// states get semiring.Zero. Dijkstra over the reversed graph — weights are
+// non-negative in ASR graphs, but negative arcs (which normalized back-off
+// models can produce) are handled by allowing re-expansion.
+func ShortestDistanceToFinal(f *WFST) []semiring.Weight {
+	n := f.NumStates()
+	dist := make([]semiring.Weight, n)
+	for i := range dist {
+		dist[i] = semiring.Zero
+	}
+	// Reverse adjacency.
+	type rarc struct {
+		src StateID
+		w   semiring.Weight
+	}
+	rev := make([][]rarc, n)
+	for s := StateID(0); int(s) < n; s++ {
+		for _, a := range f.Arcs(s) {
+			rev[a.Next] = append(rev[a.Next], rarc{s, a.W})
+		}
+	}
+	pq := &weightHeap{}
+	for s := StateID(0); int(s) < n; s++ {
+		if fw := f.Final(s); !semiring.IsZero(fw) {
+			dist[s] = fw
+			heap.Push(pq, weightItem{s, fw})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(weightItem)
+		if it.w > dist[it.s] {
+			continue // stale entry
+		}
+		for _, ra := range rev[it.s] {
+			nd := semiring.Times(ra.w, it.w)
+			if nd < dist[ra.src] {
+				dist[ra.src] = nd
+				heap.Push(pq, weightItem{ra.src, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type weightItem struct {
+	s StateID
+	w semiring.Weight
+}
+
+type weightHeap []weightItem
+
+func (h weightHeap) Len() int            { return len(h) }
+func (h weightHeap) Less(i, j int) bool  { return h[i].w < h[j].w }
+func (h weightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *weightHeap) Push(x interface{}) { *h = append(*h, x.(weightItem)) }
+func (h *weightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PushWeights reweights the machine toward the initial state: every arc
+// gets w' = w ⊗ d(next) ⊘ d(state), finals get f' = f ⊘ d(state), and the
+// residual d(start) is returned separately (callers add it to any total
+// path cost; it is a constant for all paths, so Viterbi comparisons are
+// unaffected). Path costs are preserved exactly up to that constant —
+// the precondition that makes pushed machines minimize better, which is
+// one of the two optimizations (with determinization) behind Kaldi's
+// compact HCLG graphs.
+//
+// States unreachable from a final state keep their arcs unchanged.
+func PushWeights(f *WFST) (*WFST, semiring.Weight) {
+	dist := ShortestDistanceToFinal(f)
+	n := f.NumStates()
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddState()
+	}
+	if n == 0 {
+		out, _ := b.Build()
+		return out, semiring.One
+	}
+	b.SetStart(f.Start())
+	for s := StateID(0); int(s) < n; s++ {
+		ds := dist[s]
+		for _, a := range f.Arcs(s) {
+			w := a.W
+			if !semiring.IsZero(ds) && !semiring.IsZero(dist[a.Next]) {
+				w = a.W + dist[a.Next] - ds
+			}
+			b.AddArc(s, Arc{In: a.In, Out: a.Out, W: w, Next: a.Next})
+		}
+		if fw := f.Final(s); !semiring.IsZero(fw) {
+			nf := fw
+			if !semiring.IsZero(ds) {
+				nf = fw - ds
+			}
+			b.SetFinal(s, nf)
+		}
+	}
+	out := b.MustBuild()
+	if f.InSorted() {
+		out.SortByInput()
+	}
+	residual := dist[f.Start()]
+	if semiring.IsZero(residual) {
+		residual = semiring.One
+	}
+	return out, residual
+}

@@ -1,0 +1,134 @@
+package wfst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+)
+
+func TestShortestDistanceSimpleChain(t *testing.T) {
+	b := NewBuilder()
+	s0, s1, s2 := b.AddState(), b.AddState(), b.AddState()
+	b.SetStart(s0)
+	b.AddArc(s0, Arc{In: 1, W: 1.0, Next: s1})
+	b.AddArc(s1, Arc{In: 2, W: 2.0, Next: s2})
+	b.SetFinal(s2, 0.5)
+	g := b.MustBuild()
+	d := ShortestDistanceToFinal(g)
+	for i, want := range []semiring.Weight{3.5, 2.5, 0.5} {
+		if !semiring.ApproxEqual(d[i], want, 1e-6) {
+			t.Errorf("dist[%d] = %v, want %v", i, d[i], want)
+		}
+	}
+}
+
+func TestShortestDistancePicksCheaperBranch(t *testing.T) {
+	b := NewBuilder()
+	s0, s1, s2, f := b.AddState(), b.AddState(), b.AddState(), b.AddState()
+	b.SetStart(s0)
+	b.AddArc(s0, Arc{In: 1, W: 5, Next: s1})
+	b.AddArc(s0, Arc{In: 2, W: 1, Next: s2})
+	b.AddArc(s1, Arc{In: 3, W: 1, Next: f})
+	b.AddArc(s2, Arc{In: 3, W: 2, Next: f})
+	b.SetFinal(f, semiring.One)
+	g := b.MustBuild()
+	d := ShortestDistanceToFinal(g)
+	if !semiring.ApproxEqual(d[s0], 3, 1e-6) {
+		t.Errorf("dist[start] = %v, want 3 (via the cheap branch)", d[s0])
+	}
+}
+
+func TestShortestDistanceUnreachable(t *testing.T) {
+	b := NewBuilder()
+	s0 := b.AddState()
+	b.AddState() // no path to a final state
+	b.SetStart(s0)
+	b.SetFinal(s0, semiring.One)
+	d := ShortestDistanceToFinal(b.MustBuild())
+	if !semiring.IsZero(d[1]) {
+		t.Errorf("unreachable state distance %v, want Zero", d[1])
+	}
+}
+
+// Property: pushing preserves every complete path cost up to the returned
+// residual constant.
+func TestPushWeightsPreservesPathCosts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Connect(randomWFST(rng, rng.Intn(15)+3, 3))
+		if g.NumStates() == 0 {
+			return true
+		}
+		pushed, residual := PushWeights(g)
+		if pushed.Validate() != nil {
+			return false
+		}
+		// Compare min path costs over bounded-length paths.
+		orig := enumerate(g, 8)
+		got := enumerate(pushed, 8)
+		if len(orig) != len(got) {
+			return false
+		}
+		for k, w := range orig {
+			gw, ok := got[k]
+			if !ok || !semiring.ApproxEqual(semiring.Times(gw, residual), w, 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// After pushing, the best completion from any co-accessible state costs
+// ~zero (all weight has moved forward) — the property that helps
+// minimization merge suffixes.
+func TestPushWeightsNormalizesCompletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := Connect(randomWFST(rng, 20, 3))
+	if g.NumStates() == 0 {
+		t.Skip("degenerate random machine")
+	}
+	pushed, _ := PushWeights(g)
+	d := ShortestDistanceToFinal(pushed)
+	for s, w := range d {
+		if semiring.IsZero(w) {
+			continue
+		}
+		if !semiring.ApproxEqual(w, semiring.One, 1e-4) {
+			t.Fatalf("state %d completion cost %v after pushing", s, w)
+		}
+	}
+}
+
+// Pushing before minimization should never hurt and often helps merging.
+func TestPushThenMinimize(t *testing.T) {
+	b := NewBuilder()
+	start := b.AddState()
+	b.SetStart(start)
+	final := b.AddState()
+	b.SetFinal(final, semiring.One)
+	// Two chains identical except where the weight sits: unpushed, they
+	// cannot merge; pushed, they can.
+	c1a, c1b := b.AddState(), b.AddState()
+	b.AddArc(start, Arc{In: 1, W: 3, Next: c1a})
+	b.AddArc(c1a, Arc{In: 5, W: 0, Next: c1b})
+	b.AddArc(c1b, Arc{In: 6, W: 0, Next: final})
+	c2a, c2b := b.AddState(), b.AddState()
+	b.AddArc(start, Arc{In: 2, W: 0, Next: c2a})
+	b.AddArc(c2a, Arc{In: 5, W: 0, Next: c2b})
+	b.AddArc(c2b, Arc{In: 6, W: 3, Next: final})
+	g := b.MustBuild()
+
+	plain := Minimize(g)
+	pushed, _ := PushWeights(g)
+	both := Minimize(pushed)
+	if both.NumStates() >= plain.NumStates() {
+		t.Errorf("push+minimize %d states, minimize alone %d — pushing did not help",
+			both.NumStates(), plain.NumStates())
+	}
+}

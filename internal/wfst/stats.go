@@ -1,0 +1,67 @@
+package wfst
+
+import "fmt"
+
+// Stats summarizes a transducer's shape; the experiment harness prints these
+// for Table 1 / Figure 8 style size reporting.
+type Stats struct {
+	States        int
+	Arcs          int
+	Finals        int
+	EpsInArcs     int   // arcs consuming no input symbol (back-off / word-loop arcs)
+	CrossWordArcs int   // arcs with a non-epsilon output label
+	MaxFanOut     int   // largest outgoing arc count of any state
+	SizeBytes     int64 // footprint under the paper's uncompressed layout
+}
+
+// ComputeStats scans f once and returns its summary statistics.
+func ComputeStats(f *WFST) Stats {
+	st := Stats{States: f.NumStates(), Arcs: f.NumArcs(), SizeBytes: f.SizeBytes()}
+	for s := StateID(0); int(s) < f.NumStates(); s++ {
+		arcs := f.Arcs(s)
+		if len(arcs) > st.MaxFanOut {
+			st.MaxFanOut = len(arcs)
+		}
+		if f.IsFinal(s) {
+			st.Finals++
+		}
+		for _, a := range arcs {
+			if a.In == Epsilon {
+				st.EpsInArcs++
+			}
+			if a.Out != Epsilon {
+				st.CrossWordArcs++
+			}
+		}
+	}
+	return st
+}
+
+// AvgFanOut returns the mean number of outgoing arcs per state.
+func (s Stats) AvgFanOut() float64 {
+	if s.States == 0 {
+		return 0
+	}
+	return float64(s.Arcs) / float64(s.States)
+}
+
+// String renders the stats on one line for logs and CLI output.
+func (s Stats) String() string {
+	return fmt.Sprintf("states=%d arcs=%d finals=%d epsIn=%d crossWord=%d maxFan=%d avgFan=%.2f size=%s",
+		s.States, s.Arcs, s.Finals, s.EpsInArcs, s.CrossWordArcs, s.MaxFanOut, s.AvgFanOut(), FormatBytes(s.SizeBytes))
+}
+
+// FormatBytes renders n in human units (B, KB, MB, GB) with two decimals,
+// using 1 MB = 2^20 bytes as the paper's tables do.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

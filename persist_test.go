@@ -1,0 +1,95 @@
+package unfold
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"meta.json", "lexicon.txt", "am.wfst", "lm.arpa", "senones.bin"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+	rec, err := LoadRecognizer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Lex.V() != sys.Task.Lex.V() {
+		t.Errorf("vocab %d != %d", rec.Lex.V(), sys.Task.Lex.V())
+	}
+	// The loaded recognizer must decode the original test set to the same
+	// hypotheses (GMM scorer: fully reconstructible).
+	for i, u := range sys.TestSet() {
+		want, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("utt %d: loaded %v vs original %v", i, rec.Words(got), sys.Words(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("utt %d word %d differs after round trip", i, j)
+			}
+		}
+	}
+	if hyp, err := rec.Recognize(nil); err != nil || hyp != nil {
+		t.Error("empty frames should recognize to nothing")
+	}
+}
+
+func TestSaveLoadDNNTask(t *testing.T) {
+	spec := smallSpec()
+	spec.Scorer = task.ScorerDNN
+	sys, err := NewSystem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := LoadRecognizer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DNN perturbation weights are refreshed on load; the discriminative
+	// template layer is exact, so decoding must still work (hypotheses may
+	// rarely differ — require non-empty sane output).
+	hyp, err := rec.Recognize(sys.TestSet()[0].Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyp) == 0 {
+		t.Error("DNN bundle decoded to nothing")
+	}
+}
+
+func TestLoadRecognizerErrors(t *testing.T) {
+	if _, err := LoadRecognizer(t.TempDir()); err == nil {
+		t.Error("expected error for empty directory")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRecognizer(dir); err == nil {
+		t.Error("expected error for corrupt meta")
+	}
+}

@@ -1,0 +1,199 @@
+// Package unfold is the public API of the UNFOLD reproduction: a
+// memory-efficient speech recognizer built on on-the-fly WFST composition
+// (Yazdani, Arnau, González — MICRO-50, 2017).
+//
+// A System bundles everything needed to recognize speech on one task: the
+// acoustic-model and language-model transducers, their compressed forms,
+// an acoustic scorer, and constructors for the software decoders and the
+// two simulated hardware designs. The typical flow:
+//
+//	sys, _ := unfold.NewSystem(unfold.KaldiVoxforge(1.0))
+//	words, _ := sys.Recognize(sys.TestSet()[0].Frames)
+//
+// Everything underneath lives in internal/ packages; this package is the
+// supported surface.
+package unfold
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/compress"
+	"repro/internal/decoder"
+	"repro/internal/metrics"
+	"repro/internal/task"
+	"repro/internal/wfst"
+)
+
+// Spec describes a benchmark task; see the predefined constructors.
+type Spec = task.Spec
+
+// Utterance is a test item: reference words plus synthesized frames.
+type Utterance = task.Utterance
+
+// DecoderConfig tunes the beam search (beam width, pruning, LM lookup).
+type DecoderConfig = decoder.Config
+
+// Predefined tasks mirroring the paper's evaluation set. The scale factor
+// multiplies vocabulary and corpus sizes (1.0 = laptop-friendly defaults).
+var (
+	KaldiTedlium     = task.KaldiTedlium
+	KaldiLibrispeech = task.KaldiLibrispeech
+	KaldiVoxforge    = task.KaldiVoxforge
+	EesenTedlium     = task.EesenTedlium
+)
+
+// System is a fully assembled recognizer for one task.
+type System struct {
+	Task *task.Task
+	// AM and LM are the compressed transducers UNFOLD decodes from.
+	AM *compress.AM
+	LM *compress.LM
+
+	composed *wfst.WFST
+	dec      *decoder.OnTheFly
+}
+
+// NewSystem builds the models for a task spec and compresses them.
+func NewSystem(spec Spec) (*System, error) {
+	tk, err := task.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	qa, err := compress.TrainQuantizer(compress.CollectWeights(tk.AM.G), 0)
+	if err != nil {
+		return nil, fmt.Errorf("unfold: quantizing AM: %w", err)
+	}
+	cam, err := compress.EncodeAM(tk.AM.G, qa)
+	if err != nil {
+		return nil, fmt.Errorf("unfold: compressing AM: %w", err)
+	}
+	ql, err := compress.TrainQuantizer(compress.CollectWeights(tk.LMGraph.G), 0)
+	if err != nil {
+		return nil, fmt.Errorf("unfold: quantizing LM: %w", err)
+	}
+	clm, err := compress.EncodeLM(tk.LMGraph, ql)
+	if err != nil {
+		return nil, fmt.Errorf("unfold: compressing LM: %w", err)
+	}
+	dec, err := decoder.NewOnTheFly(tk.AM.G, tk.LMGraph.G, decoder.Config{PreemptivePruning: true})
+	if err != nil {
+		return nil, err
+	}
+	return &System{Task: tk, AM: cam, LM: clm, dec: dec}, nil
+}
+
+// TestSet returns the task's held-out utterances.
+func (s *System) TestSet() []Utterance { return s.Task.Test }
+
+// Words renders word IDs as surface forms.
+func (s *System) Words(ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = s.Task.Lex.Words[id]
+	}
+	return out
+}
+
+// Recognize runs the full pipeline — acoustic scoring plus the on-the-fly
+// Viterbi search — and returns the recognized word IDs.
+func (s *System) Recognize(frames [][]float32) ([]int32, error) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	scores := s.Task.Scorer.ScoreUtterance(frames)
+	res := s.dec.Decode(scores)
+	return res.Words, nil
+}
+
+// NewDecoder builds a software on-the-fly decoder with a custom config.
+func (s *System) NewDecoder(cfg DecoderConfig) (*decoder.OnTheFly, error) {
+	return decoder.NewOnTheFly(s.Task.AM.G, s.Task.LMGraph.G, cfg)
+}
+
+// NewAccelerator builds the UNFOLD hardware simulator over the compressed
+// datasets.
+func (s *System) NewAccelerator(cfg DecoderConfig) (*accel.Unfold, error) {
+	return accel.NewUnfold(accel.UnfoldConfig(), cfg, s.AM, s.LM, s.Task.AM.NumSenones)
+}
+
+// NewBaselineAccelerator builds the fully-composed baseline simulator; it
+// triggers the offline composition on first use.
+func (s *System) NewBaselineAccelerator(cfg DecoderConfig) (*accel.FullyComposed, error) {
+	g, err := s.Composed()
+	if err != nil {
+		return nil, err
+	}
+	return accel.NewFullyComposed(accel.BaselineConfig(), cfg, g, s.Task.AM.NumSenones)
+}
+
+// Composed returns (building and caching on first call) the offline
+// AM∘LM composition — the baseline's dataset and the memory blow-up the
+// paper avoids.
+func (s *System) Composed() (*wfst.WFST, error) {
+	if s.composed == nil {
+		g, err := wfst.Compose(s.Task.AM.G, s.Task.LMGraph.G, wfst.ComposeOptions{MaxStates: 30_000_000})
+		if err != nil {
+			return nil, err
+		}
+		s.composed = g
+	}
+	return s.composed, nil
+}
+
+// Footprint summarizes dataset sizes (the Table 1 / Figure 8 quantities).
+type Footprint struct {
+	AMBytes           int64
+	LMBytes           int64
+	AMCompressedBytes int64
+	LMCompressedBytes int64
+	// ComposedBytes is 0 until Composed() has been built.
+	ComposedBytes int64
+}
+
+// OnTheFlyBytes is the total UNFOLD dataset size.
+func (f Footprint) OnTheFlyBytes() int64 { return f.AMBytes + f.LMBytes }
+
+// CompressedBytes is the total compressed UNFOLD dataset size.
+func (f Footprint) CompressedBytes() int64 { return f.AMCompressedBytes + f.LMCompressedBytes }
+
+// Footprint reports the system's dataset sizes.
+func (s *System) Footprint() Footprint {
+	f := Footprint{
+		AMBytes:           s.Task.AM.G.SizeBytes(),
+		LMBytes:           s.Task.LMGraph.G.SizeBytes(),
+		AMCompressedBytes: s.AM.SizeBytes(),
+		LMCompressedBytes: s.LM.SizeBytes(),
+	}
+	if s.composed != nil {
+		f.ComposedBytes = s.composed.SizeBytes()
+	}
+	return f
+}
+
+// EvaluateWER decodes the test set and returns the word error rate (%).
+func (s *System) EvaluateWER() (float64, error) {
+	var acc metrics.WERAccumulator
+	for _, u := range s.Task.Test {
+		hyp, err := s.Recognize(u.Frames)
+		if err != nil {
+			return 0, err
+		}
+		acc.Add(u.Words, hyp)
+	}
+	return acc.WER(), nil
+}
+
+// RecognizeTimed runs the pipeline and additionally returns each word's end
+// time in seconds (frame index x 10 ms).
+func (s *System) RecognizeTimed(frames [][]float32) (words []int32, ends []float64, err error) {
+	if len(frames) == 0 {
+		return nil, nil, nil
+	}
+	res := s.dec.Decode(s.Task.Scorer.ScoreUtterance(frames))
+	ends = make([]float64, len(res.WordEnds))
+	for i, e := range res.WordEnds {
+		ends[i] = float64(e) * 0.010
+	}
+	return res.Words, ends, nil
+}

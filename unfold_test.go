@@ -1,0 +1,156 @@
+package unfold
+
+import (
+	"testing"
+
+	"repro/internal/decoder"
+	"repro/internal/task"
+)
+
+func smallSpec() Spec {
+	return task.Spec{
+		Name:           "facade-test",
+		Vocab:          25,
+		Phones:         10,
+		TrainSentences: 150,
+		TestUtterances: 3,
+		Seed:           9,
+	}
+}
+
+func TestNewSystemAndRecognize(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range sys.TestSet() {
+		hyp, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hyp) == 0 {
+			t.Error("empty hypothesis")
+		}
+		words := sys.Words(hyp)
+		if len(words) != len(hyp) {
+			t.Error("Words length mismatch")
+		}
+		for _, w := range words {
+			if w == "" || w == "<eps>" {
+				t.Errorf("bad surface form %q", w)
+			}
+		}
+	}
+	if hyp, err := sys.Recognize(nil); err != nil || hyp != nil {
+		t.Error("empty frames should recognize to nothing")
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := sys.Footprint()
+	if fp.CompressedBytes() >= fp.OnTheFlyBytes() {
+		t.Errorf("compression did not shrink: %d >= %d", fp.CompressedBytes(), fp.OnTheFlyBytes())
+	}
+	if fp.ComposedBytes != 0 {
+		t.Error("composed size should be 0 before Composed() is built")
+	}
+	if _, err := sys.Composed(); err != nil {
+		t.Fatal(err)
+	}
+	fp = sys.Footprint()
+	if fp.ComposedBytes <= fp.OnTheFlyBytes() {
+		t.Errorf("composed %d not larger than components %d — no blow-up?",
+			fp.ComposedBytes, fp.OnTheFlyBytes())
+	}
+}
+
+func TestComposedIsCached(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Composed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Composed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Composed() rebuilt instead of caching")
+	}
+}
+
+func TestAcceleratorConstructors(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sys.NewAccelerator(decoder.Config{PreemptivePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := [][][]float32{sys.Task.Scorer.ScoreUtterance(sys.TestSet()[0].Frames)}
+	r, per := u.DecodeAll(scores)
+	if r.Cycles == 0 || len(per) != 1 {
+		t.Error("accelerator produced no work")
+	}
+	fc, err := sys.NewBaselineAccelerator(decoder.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := fc.DecodeAll(scores)
+	if rb.Cycles == 0 {
+		t.Error("baseline produced no work")
+	}
+}
+
+func TestEvaluateWER(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wer, err := sys.EvaluateWER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wer < 0 || wer > 100 {
+		t.Errorf("WER %v out of range", wer)
+	}
+}
+
+func TestPredefinedConstructorsExposed(t *testing.T) {
+	for _, spec := range []Spec{
+		KaldiTedlium(0.2), KaldiLibrispeech(0.2), KaldiVoxforge(0.2), EesenTedlium(0.2),
+	} {
+		if spec.Name == "" || spec.Vocab == 0 {
+			t.Errorf("bad predefined spec %+v", spec)
+		}
+	}
+}
+
+func TestRecognizeTimed(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := sys.TestSet()[0]
+	words, ends, err := sys.RecognizeTimed(u.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != len(ends) {
+		t.Fatalf("%d words, %d end times", len(words), len(ends))
+	}
+	audio := float64(len(u.Frames)) * 0.010
+	for i, e := range ends {
+		if e < 0 || e > audio {
+			t.Errorf("word %d ends at %.2fs outside %.2fs audio", i, e, audio)
+		}
+	}
+}
