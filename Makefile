@@ -1,0 +1,24 @@
+# Developer entry points. Everything is stdlib-only Go; no tools beyond
+# the toolchain are required.
+
+.PHONY: all build test race bench experiments
+
+all: build test
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+# race-checks the whole module, in particular the concurrent DecodePool
+# and its sharded offset cache (internal/pool's hammer tests). Run this
+# before sending any change that touches concurrent code.
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/unfold-experiments -exp all -quick

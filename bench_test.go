@@ -5,6 +5,7 @@
 package unfold
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/decoder"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/task"
 	"repro/internal/wfst"
 )
@@ -283,6 +285,39 @@ func BenchmarkAblationPreemptivePruning(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		benchUnfoldDecode(b, decoder.Config{PreemptivePruning: true}, accel.UnfoldConfig())
 	})
+}
+
+// BenchmarkParallelDecode sweeps DecodePool worker counts over a replicated
+// batch of utterances — the serving-throughput scaling curve. Compare
+// utt/s across sub-benches; on a multi-core host 4 workers should beat 1
+// by well over 1.5x (this container may be limited to fewer cores — the
+// b.ReportMetric utt/s column is the number to read).
+func BenchmarkParallelDecode(b *testing.B) {
+	f := getBenchFixture(b)
+	// Replicate the fixture's scores into a batch large enough that the
+	// fan-out dominates per-batch setup.
+	var scores [][][]float32
+	for len(scores) < 16 {
+		scores = append(scores, f.scores...)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p, err := pool.New(f.sys.Task.AM.G, f.sys.Task.LMGraph.G, pool.Config{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var last *pool.Batch
+			for i := 0; i < b.N; i++ {
+				last, err = p.Decode(scores)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.Throughput.UtterancesPerSec(), "utt/s")
+			b.ReportMetric(100*last.Cache.HitRate(), "cache-hit-%")
+		})
+	}
 }
 
 // BenchmarkAblationLMArcSearch compares the three LM lookup strategies of

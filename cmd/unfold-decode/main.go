@@ -45,6 +45,7 @@ func main() {
 	useAccel := flag.Bool("accel", false, "decode on the UNFOLD hardware simulator")
 	nbest := flag.Int("nbest", 0, "print the top-N rescored hypotheses (two-pass decoder)")
 	stream := flag.Bool("stream", false, "decode frame-at-a-time, printing partial hypotheses")
+	parallel := flag.Int("parallel", 0, "decode on a worker pool with this many workers (0 = sequential)")
 	verbose := flag.Bool("v", false, "print per-utterance transcripts")
 	flag.Parse()
 
@@ -69,6 +70,29 @@ func main() {
 	start := time.Now()
 
 	switch {
+	case *parallel > 0:
+		p, err := sys.NewDecodePool(unfold.PoolConfig{
+			Workers: *parallel,
+			Decoder: decoder.Config{PreemptivePruning: true},
+		})
+		if err != nil {
+			fail(err)
+		}
+		var scores [][][]float32
+		for _, u := range sys.TestSet() {
+			scores = append(scores, sys.Task.Scorer.ScoreUtterance(u.Frames))
+			frames += len(u.Frames)
+		}
+		batch, err := p.Decode(scores)
+		if err != nil {
+			fail(err)
+		}
+		for i, u := range sys.TestSet() {
+			report(*verbose, sys, i, u.Words, batch.Results[i].Words)
+			wer.Add(u.Words, batch.Results[i].Words)
+		}
+		fmt.Printf("\npool (%d workers): %s\n", p.Workers(), batch.Throughput)
+		fmt.Printf("%s\n", batch.Cache)
 	case *nbest > 0:
 		tp, err := decoder.NewTwoPass(sys.Task.AM.G, sys.Task.LMGraph.G, decoder.Config{}, 2**nbest)
 		if err != nil {

@@ -49,6 +49,55 @@ func ExampleSystem_Footprint() {
 	// Output: compressed smaller than uncompressed: true
 }
 
+// Parallel batch decoding: a DecodePool fans utterances out to workers
+// sharing one bounded offset cache; transcripts are byte-identical to
+// sequential decoding regardless of the worker count.
+func ExampleDecodePool() {
+	sys, err := unfold.NewSystem(task.Spec{
+		Name:           "example-pool",
+		Vocab:          25,
+		Phones:         10,
+		TrainSentences: 150,
+		TestUtterances: 4,
+		Seed:           9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Score the batch, then decode it on 4 workers.
+	var scores [][][]float32
+	for _, u := range sys.TestSet() {
+		scores = append(scores, sys.Task.Scorer.ScoreUtterance(u.Frames))
+	}
+	p, err := sys.NewDecodePool(unfold.PoolConfig{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	batch, err := p.Decode(scores)
+	if err != nil {
+		panic(err)
+	}
+	// The pool's transcripts match sequential decoding exactly.
+	dec, err := sys.NewDecoder(unfold.DecoderConfig{})
+	if err != nil {
+		panic(err)
+	}
+	same := true
+	for i, r := range batch.Results {
+		seq := dec.Decode(scores[i])
+		if fmt.Sprint(seq.Words) != fmt.Sprint(r.Words) {
+			same = false
+		}
+	}
+	fmt.Println("decoded", len(batch.Results), "utterances on", p.Workers(), "workers")
+	fmt.Println("matches sequential:", same)
+	fmt.Println("cache was used:", batch.Cache.Lookups() > 0)
+	// Output:
+	// decoded 4 utterances on 4 workers
+	// matches sequential: true
+	// cache was used: true
+}
+
 // Custom decoder configuration: tighter beam, preemptive pruning.
 func ExampleSystem_NewDecoder() {
 	sys, err := unfold.NewSystem(task.Spec{

@@ -50,6 +50,7 @@ func NewGMMScorer(m *SenoneModel) *GMMScorer {
 	return g
 }
 
+// Name identifies the scorer in reports (Scorer interface).
 func (g *GMMScorer) Name() string { return "GMM" }
 
 // FLOPsPerFrame: per senone, two components, each ~4 ops per dimension.
@@ -57,6 +58,8 @@ func (g *GMMScorer) FLOPsPerFrame() float64 {
 	return float64(g.m.NumSenones) * 2 * 4 * float64(g.m.Dim)
 }
 
+// ScoreUtterance evaluates the two-component mixture for every senone on
+// every frame (Scorer interface).
 func (g *GMMScorer) ScoreUtterance(frames [][]float32) [][]float32 {
 	out := make([][]float32, len(frames))
 	for f, x := range frames {
@@ -134,8 +137,11 @@ func randMat(rng *rand.Rand, n int, scale float32) []float32 {
 	return v
 }
 
+// Name identifies the scorer in reports (Scorer interface).
 func (d *DNNScorer) Name() string { return "DNN" }
 
+// FLOPsPerFrame counts the network's per-frame multiply-adds (Scorer
+// interface; drives the GPU time/energy model).
 func (d *DNNScorer) FLOPsPerFrame() float64 {
 	return 2 * (float64(d.hidden)*float64(d.m.Dim) +
 		float64(d.layers-1)*float64(d.hidden)*float64(d.hidden) +
@@ -143,6 +149,9 @@ func (d *DNNScorer) FLOPsPerFrame() float64 {
 		float64(d.m.NumSenones)*float64(d.m.Dim))
 }
 
+// ScoreUtterance runs the hidden stack and template output layer over the
+// utterance (Scorer interface). Scratch buffers are reused across frames,
+// so a DNNScorer must not score two utterances concurrently.
 func (d *DNNScorer) ScoreUtterance(frames [][]float32) [][]float32 {
 	out := make([][]float32, len(frames))
 	h := make([]float32, d.hidden)
@@ -201,8 +210,11 @@ func NewRNNScorer(m *SenoneModel, rng *rand.Rand, hidden int) *RNNScorer {
 	}
 }
 
+// Name identifies the scorer in reports (Scorer interface).
 func (r *RNNScorer) Name() string { return "RNN" }
 
+// FLOPsPerFrame counts the recurrence's per-frame multiply-adds (Scorer
+// interface; drives the GPU time/energy model).
 func (r *RNNScorer) FLOPsPerFrame() float64 {
 	return 2 * (float64(r.hidden)*float64(r.m.Dim) +
 		float64(r.hidden)*float64(r.hidden) +
@@ -210,6 +222,9 @@ func (r *RNNScorer) FLOPsPerFrame() float64 {
 		float64(r.m.NumSenones)*float64(r.m.Dim))
 }
 
+// ScoreUtterance runs the Elman recurrence with score smoothing over the
+// utterance (Scorer interface). The recurrent state is reused across
+// frames, so an RNNScorer must not score two utterances concurrently.
 func (r *RNNScorer) ScoreUtterance(frames [][]float32) [][]float32 {
 	out := make([][]float32, len(frames))
 	h := make([]float32, r.hidden)

@@ -1,0 +1,49 @@
+package decoder
+
+// OffsetCache is the pluggable offset-lookup table behind LookupMemo: it
+// memoizes (LM state, word) → resolved arc index so repeated cross-word
+// fetches skip the binary search. It is the software seam where the paper's
+// hardware Offset Lookup Table plugs in, and where a serving deployment
+// substitutes a bounded shared cache (see internal/pool) for the default
+// unbounded private map.
+//
+// Implementations are only required to be safe for use by one decoder
+// goroutine at a time; a cache shared between decoders must do its own
+// locking internally (internal/pool's sharded LRU does).
+//
+// Correctness does not depend on cache contents: a lookup result is a pure
+// function of the LM graph, so stale entries are impossible and evictions
+// cost only repeated probes, never wrong answers.
+type OffsetCache interface {
+	// Get returns the memoized arc index for key and whether it was present.
+	Get(key uint64) (int32, bool)
+	// Put memoizes the arc index for key, possibly evicting other entries.
+	Put(key uint64, idx int32)
+	// Reset drops the caller-visible cached state (used by cold-table
+	// ablations). Implementations backed by shared storage may retain the
+	// shared layer.
+	Reset()
+}
+
+// mapOffsetCache is the default OffsetCache: the seed decoder's unbounded
+// private map, preserved bit-for-bit so single-decoder behaviour (and the
+// baseline-vs-OTF equivalence oracle) is unchanged.
+type mapOffsetCache struct {
+	m map[uint64]int32
+}
+
+func newMapOffsetCache() *mapOffsetCache {
+	return &mapOffsetCache{m: make(map[uint64]int32)}
+}
+
+// Get implements OffsetCache by direct map lookup.
+func (c *mapOffsetCache) Get(key uint64) (int32, bool) {
+	idx, ok := c.m[key]
+	return idx, ok
+}
+
+// Put implements OffsetCache; the map grows without bound, as the seed did.
+func (c *mapOffsetCache) Put(key uint64, idx int32) { c.m[key] = idx }
+
+// Reset implements OffsetCache by dropping the whole map.
+func (c *mapOffsetCache) Reset() { c.m = make(map[uint64]int32) }

@@ -32,6 +32,7 @@ const (
 	LookupLinear
 )
 
+// String names the lookup strategy as used in benchmark and CLI labels.
 func (k LookupKind) String() string {
 	switch k {
 	case LookupMemo:
@@ -64,6 +65,12 @@ type Config struct {
 	PreemptivePruning bool
 	// Lookup selects the LM arc-fetch strategy. On-the-fly decoder only.
 	Lookup LookupKind
+	// OffsetCache replaces the decoder's private unbounded memo map for the
+	// LookupMemo strategy. nil (the default) preserves the seed behaviour:
+	// a per-decoder map that grows without bound. A worker pool installs a
+	// bounded per-worker cache backed by shared storage here. On-the-fly
+	// decoder only; cache contents never change results, only probe counts.
+	OffsetCache OffsetCache
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +106,24 @@ type Stats struct {
 
 	// LatticeEntries is the number of word-lattice records written.
 	LatticeEntries int64
+}
+
+// Add accumulates another utterance's counters into s — the batch-level
+// aggregation a worker pool reports after fanning a test set out.
+func (s *Stats) Add(o Stats) {
+	s.Frames += o.Frames
+	s.TokensExpanded += o.TokensExpanded
+	s.TokensCreated += o.TokensCreated
+	s.TokensBeamCut += o.TokensBeamCut
+	s.ArcsTraversed += o.ArcsTraversed
+	s.EpsTraversed += o.EpsTraversed
+	s.LMFetches += o.LMFetches
+	s.LMProbes += o.LMProbes
+	s.BackoffHops += o.BackoffHops
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+	s.PreemptivePruned += o.PreemptivePruned
+	s.LatticeEntries += o.LatticeEntries
 }
 
 // Result is the decoder output for one utterance.

@@ -20,8 +20,10 @@ type OnTheFly struct {
 	// memo is the software analogue of the Offset Lookup Table: it maps
 	// (LM state, word) to the resolved arc index from a previous binary
 	// search. It persists across utterances, as the hardware table does,
-	// because word recurrence is exactly the locality it exploits.
-	memo map[uint64]int32
+	// because word recurrence is exactly the locality it exploits. The
+	// default is an unbounded private map; Config.OffsetCache substitutes a
+	// bounded or shared implementation (internal/pool's tiered cache).
+	memo OffsetCache
 }
 
 // NewOnTheFly builds the on-the-fly decoder over separate AM and LM graphs.
@@ -33,12 +35,18 @@ func NewOnTheFly(amGraph, lmGraph *wfst.WFST, cfg Config) (*OnTheFly, error) {
 	if !lmGraph.InSorted() {
 		return nil, fmt.Errorf("decoder: LM graph must be input-sorted")
 	}
-	return &OnTheFly{am: amGraph, lm: lmGraph, cfg: cfg.withDefaults(), memo: make(map[uint64]int32)}, nil
+	cfg = cfg.withDefaults()
+	memo := cfg.OffsetCache
+	if memo == nil {
+		memo = newMapOffsetCache()
+	}
+	return &OnTheFly{am: amGraph, lm: lmGraph, cfg: cfg, memo: memo}, nil
 }
 
 // ResetMemo clears the offset memo table (for ablations that model a cold
-// table per utterance).
-func (d *OnTheFly) ResetMemo() { d.memo = make(map[uint64]int32) }
+// table per utterance). With a shared OffsetCache installed, only the
+// decoder-local layer is guaranteed to cool.
+func (d *OnTheFly) ResetMemo() { d.memo.Reset() }
 
 func otfKey(am, lm wfst.StateID) uint64 {
 	return uint64(uint32(am))<<32 | uint64(uint32(lm))
@@ -176,7 +184,7 @@ func (d *OnTheFly) find(s wfst.StateID, word int32, st *Stats) (int, bool) {
 		return idx, ok
 	default: // LookupMemo
 		mk := uint64(uint32(s))<<20 | uint64(uint32(word))
-		if idx, hit := d.memo[mk]; hit {
+		if idx, hit := d.memo.Get(mk); hit {
 			st.MemoHits++
 			return int(idx), true
 		}
@@ -185,7 +193,7 @@ func (d *OnTheFly) find(s wfst.StateID, word int32, st *Stats) (int, bool) {
 		st.LMProbes += int64(probes)
 		st.MemoMisses++
 		if ok {
-			d.memo[mk] = int32(idx)
+			d.memo.Put(mk, int32(idx))
 		}
 		return idx, ok
 	}

@@ -326,7 +326,10 @@ func (m *Model) Perplexity(corpus [][]int32) float64 {
 	return math.Exp(total / float64(events))
 }
 
-// NumBigrams and NumTrigrams report retained n-gram counts (including
-// EOS-final entries).
-func (m *Model) NumBigrams() int  { return len(m.Bi) }
+// NumBigrams reports the retained bigram count (including EOS-final
+// entries).
+func (m *Model) NumBigrams() int { return len(m.Bi) }
+
+// NumTrigrams reports the retained trigram count (including EOS-final
+// entries).
 func (m *Model) NumTrigrams() int { return len(m.Tri) }

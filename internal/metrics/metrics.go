@@ -127,6 +127,75 @@ func MeanMax(ds []time.Duration) (mean, max time.Duration) {
 	return sum / time.Duration(len(ds)), max
 }
 
+// Throughput aggregates a batch-decoding run for serving-style reporting:
+// how many utterances and frames were decoded in how much wall time, and
+// how well the offset cache performed. The zero value is ready for Add.
+type Throughput struct {
+	// Utterances decoded in the batch.
+	Utterances int
+	// Frames decoded across all utterances.
+	Frames int
+	// Wall is the elapsed wall-clock time for the whole batch (not the sum
+	// of per-utterance times: with N workers it is roughly that sum / N).
+	Wall time.Duration
+	// CacheHits and CacheLookups summarize the offset-lookup cache; both
+	// zero when the decode path does not use one.
+	CacheHits    int64
+	CacheLookups int64
+}
+
+// Add merges another batch into t (Wall adds; for concurrent batches keep
+// the outer wall time yourself).
+func (t *Throughput) Add(o Throughput) {
+	t.Utterances += o.Utterances
+	t.Frames += o.Frames
+	t.Wall += o.Wall
+	t.CacheHits += o.CacheHits
+	t.CacheLookups += o.CacheLookups
+}
+
+// UtterancesPerSec is the batch decode rate in utterances per second.
+func (t Throughput) UtterancesPerSec() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Utterances) / t.Wall.Seconds()
+}
+
+// FramesPerSec is the batch decode rate in frames per second.
+func (t Throughput) FramesPerSec() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Frames) / t.Wall.Seconds()
+}
+
+// RTF is the aggregate real-time factor of the batch: audio seconds decoded
+// per wall-clock second, summed over workers (4 workers at 2x each ≈ 8x).
+func (t Throughput) RTF() float64 {
+	return RTF(AudioDuration(t.Frames), t.Wall)
+}
+
+// CacheHitRate is the offset-cache hit fraction in [0,1] (0 if unused).
+func (t Throughput) CacheHitRate() float64 {
+	if t.CacheLookups == 0 {
+		return 0
+	}
+	return float64(t.CacheHits) / float64(t.CacheLookups)
+}
+
+// String renders the aggregates as the one-line report unfold-decode prints
+// after a parallel run.
+func (t Throughput) String() string {
+	s := fmt.Sprintf("%d utts (%.1f s audio) in %v: %.1f utt/s, %.0f frames/s, %.1fx real time",
+		t.Utterances, AudioDuration(t.Frames).Seconds(), t.Wall.Round(time.Millisecond),
+		t.UtterancesPerSec(), t.FramesPerSec(), t.RTF())
+	if t.CacheLookups > 0 {
+		s += fmt.Sprintf(", %.1f%% cache hit", 100*t.CacheHitRate())
+	}
+	return s
+}
+
 // OracleWER returns the lowest WER achievable by picking the best
 // hypothesis per utterance from an N-best list — the standard measure of
 // how much headroom a rescoring pass (e.g. the two-pass decoder) has.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -134,5 +135,51 @@ func TestOracleWER(t *testing.T) {
 	}
 	if OracleWER(refs, nbest) > acc.WER() {
 		t.Error("oracle WER exceeds 1-best WER")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{
+		Utterances:   8,
+		Frames:       4000, // 40 s of audio at 10 ms/frame
+		Wall:         2 * time.Second,
+		CacheHits:    75,
+		CacheLookups: 100,
+	}
+	if got := tp.UtterancesPerSec(); got != 4 {
+		t.Errorf("UtterancesPerSec = %v, want 4", got)
+	}
+	if got := tp.FramesPerSec(); got != 2000 {
+		t.Errorf("FramesPerSec = %v, want 2000", got)
+	}
+	if got := tp.RTF(); got != 20 {
+		t.Errorf("RTF = %v, want 20 (40s audio / 2s wall)", got)
+	}
+	if got := tp.CacheHitRate(); got != 0.75 {
+		t.Errorf("CacheHitRate = %v, want 0.75", got)
+	}
+	s := tp.String()
+	for _, want := range []string{"8 utts", "4.0 utt/s", "20.0x real time", "75.0% cache hit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q; missing %q", s, want)
+		}
+	}
+
+	// Zero value: no division blow-ups, no cache clause.
+	var zero Throughput
+	if zero.UtterancesPerSec() != 0 || zero.FramesPerSec() != 0 || zero.RTF() != 0 || zero.CacheHitRate() != 0 {
+		t.Error("zero Throughput rates should all be 0")
+	}
+	if strings.Contains(zero.String(), "cache") {
+		t.Errorf("zero String() mentions cache: %q", zero.String())
+	}
+
+	// Add accumulates every field.
+	sum := zero
+	sum.Add(tp)
+	sum.Add(tp)
+	if sum.Utterances != 16 || sum.Frames != 8000 || sum.Wall != 4*time.Second ||
+		sum.CacheHits != 150 || sum.CacheLookups != 200 {
+		t.Errorf("Add: %+v", sum)
 	}
 }

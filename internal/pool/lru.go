@@ -1,0 +1,261 @@
+// Package pool provides the concurrent batch-decoding engine: a DecodePool
+// fans utterances out to worker goroutines, each owning a private on-the-fly
+// decoder, while all workers share one bounded, sharded, LRU offset-lookup
+// cache. It is the serving-scale incarnation of the paper's Offset Lookup
+// Table: the hardware table is a small shared SRAM warmed by word
+// recurrence across utterances; here the shared layer is a mutex-per-shard
+// LRU warmed by word recurrence across *workers*, fronted by a tiny
+// per-worker direct-mapped L1 so the common case takes no lock at all.
+//
+// Cache contents never affect transcripts — an offset lookup is a pure
+// function of the LM graph — so a DecodePool with any worker count produces
+// byte-identical results to sequential decoding. That determinism is
+// asserted by this package's tests.
+package pool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// noEntry marks an empty intrusive-list link or map slot.
+const noEntry = int32(-1)
+
+// lruEntry is one resident key/value pair threaded on a shard's recency
+// list via slice-index links (no per-entry allocation).
+type lruEntry struct {
+	key        uint64
+	val        int32
+	prev, next int32
+}
+
+// lruShard is one independently locked slice of the shared cache.
+type lruShard struct {
+	mu   sync.Mutex
+	idx  map[uint64]int32 // key -> entry slot
+	ent  []lruEntry       // fixed-capacity arena
+	head int32            // most recently used
+	tail int32            // least recently used; evicted first
+	used int32            // slots in use (grows to len(ent), then evicts)
+
+	hits, misses, evictions int64
+}
+
+// ShardedLRU is a bounded, concurrency-safe offset-lookup cache: capacity
+// is split evenly over power-of-two shards, each with its own mutex and
+// recency list, so workers contend only when they hash to the same shard.
+// It is the shared L2 of the pool's two-layer cache; it also implements
+// decoder.OffsetCache directly for callers that want a bounded cache
+// without the per-worker layer.
+type ShardedLRU struct {
+	shards []lruShard
+	mask   uint64
+}
+
+// NewShardedLRU builds a cache holding at most capacity entries across
+// shards locks (shards is rounded up to a power of two; both arguments fall
+// back to defaults when zero or negative: 1<<16 entries over 16 shards).
+func NewShardedLRU(capacity, shards int) *ShardedLRU {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	c := &ShardedLRU{shards: make([]lruShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = lruShard{
+			idx:  make(map[uint64]int32, per),
+			ent:  make([]lruEntry, per),
+			head: noEntry,
+			tail: noEntry,
+		}
+	}
+	return c
+}
+
+// shardFor picks the shard by a Fibonacci hash of the key's high entropy
+// bits, so adjacent LM states spread across locks.
+func (c *ShardedLRU) shardFor(key uint64) *lruShard {
+	h := key * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>48)&c.mask]
+}
+
+// Get returns the cached arc index for key, promoting it to most recently
+// used. Safe for concurrent use.
+func (c *ShardedLRU) Get(key uint64) (int32, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.idx[key]
+	if !ok {
+		s.misses++
+		return 0, false
+	}
+	s.hits++
+	s.moveToFront(slot)
+	return s.ent[slot].val, true
+}
+
+// Put inserts or refreshes key, evicting the shard's least recently used
+// entry when the shard is full. Safe for concurrent use.
+func (c *ShardedLRU) Put(key uint64, val int32) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if slot, ok := s.idx[key]; ok {
+		s.ent[slot].val = val
+		s.moveToFront(slot)
+		return
+	}
+	var slot int32
+	if int(s.used) < len(s.ent) {
+		slot = s.used
+		s.used++
+	} else {
+		slot = s.tail
+		delete(s.idx, s.ent[slot].key)
+		s.unlink(slot)
+		s.evictions++
+	}
+	s.ent[slot] = lruEntry{key: key, val: val, prev: noEntry, next: s.head}
+	if s.head != noEntry {
+		s.ent[s.head].prev = slot
+	}
+	s.head = slot
+	if s.tail == noEntry {
+		s.tail = slot
+	}
+	s.idx[key] = slot
+}
+
+// Reset empties every shard, preserving capacity. Counters are kept so a
+// long-running pool's hit rates remain cumulative.
+func (c *ShardedLRU) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.idx = make(map[uint64]int32, len(s.ent))
+		s.head, s.tail, s.used = noEntry, noEntry, 0
+		s.mu.Unlock()
+	}
+}
+
+// Len reports the resident entry count across all shards.
+func (c *ShardedLRU) Len() int {
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.idx)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity reports the maximum resident entry count.
+func (c *ShardedLRU) Capacity() int {
+	return len(c.shards) * len(c.shards[0].ent)
+}
+
+// Stats snapshots the cumulative hit/miss/eviction counters summed over
+// shards, reported in the pool's L2 columns.
+func (c *ShardedLRU) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.L2Hits += s.hits
+		st.L2Misses += s.misses
+		st.Evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// moveToFront makes slot the shard's most recently used entry. Caller holds
+// the shard lock.
+func (s *lruShard) moveToFront(slot int32) {
+	if s.head == slot {
+		return
+	}
+	s.unlink(slot)
+	s.ent[slot].prev = noEntry
+	s.ent[slot].next = s.head
+	if s.head != noEntry {
+		s.ent[s.head].prev = slot
+	}
+	s.head = slot
+	if s.tail == noEntry {
+		s.tail = slot
+	}
+}
+
+// unlink detaches slot from the recency list. Caller holds the shard lock.
+func (s *lruShard) unlink(slot int32) {
+	e := &s.ent[slot]
+	if e.prev != noEntry {
+		s.ent[e.prev].next = e.next
+	}
+	if e.next != noEntry {
+		s.ent[e.next].prev = e.prev
+	}
+	if s.head == slot {
+		s.head = e.next
+	}
+	if s.tail == slot {
+		s.tail = e.prev
+	}
+	e.prev, e.next = noEntry, noEntry
+}
+
+// CacheStats aggregates the two-layer cache counters: L1 is the per-worker
+// direct-mapped front, L2 the shared sharded LRU behind it. A miss in both
+// layers costs one binary search in the LM graph's sorted arc array.
+type CacheStats struct {
+	// L1Hits counts lookups answered by a worker's private direct map.
+	L1Hits int64
+	// L1Misses counts lookups that fell through to the shared layer.
+	L1Misses int64
+	// L2Hits counts shared-LRU hits (including promotions into an L1).
+	L2Hits int64
+	// L2Misses counts lookups that missed both layers.
+	L2Misses int64
+	// Evictions counts entries displaced from the shared LRU by capacity.
+	Evictions int64
+}
+
+// Lookups is the total offset-cache probe count (L1 hits plus L1 misses).
+func (s CacheStats) Lookups() int64 { return s.L1Hits + s.L1Misses }
+
+// HitRate is the fraction of lookups answered by either layer, in [0,1].
+func (s CacheStats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.L1Hits+s.L2Hits) / float64(n)
+}
+
+// Add accumulates another snapshot's counters into s.
+func (s *CacheStats) Add(o CacheStats) {
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.Evictions += o.Evictions
+}
+
+// String renders the counters like the pool's CLI report line.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("offset cache: %.1f%% hit (L1 %d, L2 %d / %d lookups), %d evictions",
+		100*s.HitRate(), s.L1Hits, s.L2Hits, s.Lookups(), s.Evictions)
+}

@@ -1,0 +1,180 @@
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/decoder"
+	"repro/internal/metrics"
+	"repro/internal/wfst"
+)
+
+// Config sizes a DecodePool. The zero value selects serving-friendly
+// defaults for every field.
+type Config struct {
+	// Workers is the number of decoding goroutines; each owns one
+	// on-the-fly decoder and one TieredCache. Defaults to GOMAXPROCS.
+	Workers int
+	// L1Entries is each worker's direct-mapped cache size in entries
+	// (rounded up to a power of two). Default 512.
+	L1Entries int
+	// L2Entries bounds the shared LRU across all workers. Default 1<<16 —
+	// the bounded replacement for the seed decoder's unbounded memo map.
+	L2Entries int
+	// L2Shards is the shared LRU's lock-striping factor (rounded up to a
+	// power of two). Default 16.
+	L2Shards int
+	// Decoder configures each worker's beam search. Its OffsetCache field
+	// is overwritten with the pool's tiered cache; leave it nil.
+	Decoder decoder.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.L1Entries <= 0 {
+		c.L1Entries = 512
+	}
+	if c.L2Entries <= 0 {
+		c.L2Entries = 1 << 16
+	}
+	if c.L2Shards <= 0 {
+		c.L2Shards = 16
+	}
+	return c
+}
+
+// worker is one decoding lane: a private decoder over a private L1 cache.
+type worker struct {
+	dec   *decoder.OnTheFly
+	cache *TieredCache
+}
+
+// DecodePool fans batches of scored utterances out to a fixed set of
+// workers that share one bounded offset-lookup cache. Construction is
+// cheap relative to the graphs (the workers borrow the caller's AM/LM), so
+// a pool can be long-lived and reused across batches — the shared cache
+// stays warm, which is exactly the locality the paper's Offset Lookup
+// Table exploits across utterances.
+//
+// Decode calls must not overlap: workers are stateful. Results are
+// deterministic and identical to sequential decoding for any worker count.
+type DecodePool struct {
+	cfg     Config
+	shared  *ShardedLRU
+	workers []worker
+
+	mu   sync.Mutex // guards against overlapping Decode calls
+	busy bool
+}
+
+// New builds a pool of cfg.Workers decoders over the AM and LM graphs (the
+// same pair NewOnTheFly takes; the LM must be input-sorted).
+func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
+	cfg = cfg.withDefaults()
+	shared := NewShardedLRU(cfg.L2Entries, cfg.L2Shards)
+	p := &DecodePool{cfg: cfg, shared: shared, workers: make([]worker, cfg.Workers)}
+	for i := range p.workers {
+		tc := NewTieredCache(cfg.L1Entries, shared)
+		dcfg := cfg.Decoder
+		dcfg.OffsetCache = tc
+		d, err := decoder.NewOnTheFly(amGraph, lmGraph, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pool: worker %d: %w", i, err)
+		}
+		p.workers[i] = worker{dec: d, cache: tc}
+	}
+	return p, nil
+}
+
+// Workers reports the pool's worker count.
+func (p *DecodePool) Workers() int { return len(p.workers) }
+
+// Batch is the result of one DecodePool.Decode call.
+type Batch struct {
+	// Results holds one decode result per input utterance, index-aligned
+	// with the scores passed to Decode.
+	Results []*decoder.Result
+	// Throughput aggregates the batch: utterances/sec, frames/sec,
+	// aggregate RTF and cache hit rate over the batch's wall time.
+	Throughput metrics.Throughput
+	// Decoder sums the per-utterance search statistics.
+	Decoder decoder.Stats
+	// Cache snapshots the two-layer cache counters, cumulative over the
+	// pool's lifetime (long-lived pools keep their cache warm).
+	Cache CacheStats
+}
+
+// Decode runs the batch: scores[i] is utterance i's acoustic score matrix
+// (as produced by acoustic.Scorer.ScoreUtterance). Utterances are dealt to
+// workers dynamically, so long and short utterances balance; the result
+// order matches the input order regardless of which worker decoded what.
+func (p *DecodePool) Decode(scores [][][]float32) (*Batch, error) {
+	p.mu.Lock()
+	if p.busy {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("pool: overlapping Decode calls on one DecodePool")
+	}
+	p.busy = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.busy = false
+		p.mu.Unlock()
+	}()
+
+	start := time.Now()
+	results := make([]*decoder.Result, len(scores))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := range p.workers {
+		wg.Add(1)
+		go func(w worker) {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = w.dec.Decode(scores[i])
+			}
+		}(p.workers[w])
+	}
+	for i := range scores {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	b := &Batch{Results: results}
+	for _, r := range results {
+		b.Decoder.Add(r.Stats)
+	}
+	b.Cache = p.CacheStats()
+	b.Throughput = metrics.Throughput{
+		Utterances:   len(scores),
+		Frames:       b.Decoder.Frames,
+		Wall:         time.Since(start),
+		CacheHits:    b.Cache.L1Hits + b.Cache.L2Hits,
+		CacheLookups: b.Cache.Lookups(),
+	}
+	return b, nil
+}
+
+// CacheStats merges the shared LRU's counters with every worker's L1
+// counters. Call between Decode calls (workers must be idle).
+func (p *DecodePool) CacheStats() CacheStats {
+	st := p.shared.Stats()
+	for i := range p.workers {
+		st.Add(p.workers[i].cache.Stats())
+	}
+	return st
+}
+
+// ResetCache empties both layers — the shared LRU and every worker's L1 —
+// for cold-cache measurements. Call between Decode calls.
+func (p *DecodePool) ResetCache() {
+	p.shared.Reset()
+	for i := range p.workers {
+		p.workers[i].cache.Reset()
+	}
+}

@@ -1,0 +1,88 @@
+package pool
+
+// l1Entry is one slot of a worker's direct-mapped front cache.
+type l1Entry struct {
+	key   uint64
+	val   int32
+	valid bool
+}
+
+// TieredCache is the two-layer offset cache one pool worker plugs into its
+// decoder (it implements decoder.OffsetCache): a small direct-mapped L1
+// owned exclusively by the worker — no locks, no sharing — backed by the
+// pool's shared ShardedLRU. L2 hits are promoted into the L1 slot they map
+// to; inserts write through to both layers so other workers benefit from
+// every binary search any worker performs.
+//
+// A TieredCache must be used by a single goroutine at a time (the shared
+// layer does its own locking). Hit/miss counters are plain fields read by
+// the pool only after its workers have quiesced.
+type TieredCache struct {
+	l1     []l1Entry
+	mask   uint64
+	shared *ShardedLRU
+
+	l1Hits, l1Misses int64
+}
+
+// NewTieredCache fronts shared with a direct-mapped table of l1Entries
+// slots (rounded up to a power of two; <=0 selects the default 512).
+// shared may be nil, leaving a bounded L1-only cache.
+func NewTieredCache(l1Entries int, shared *ShardedLRU) *TieredCache {
+	if l1Entries <= 0 {
+		l1Entries = 512
+	}
+	n := 1
+	for n < l1Entries {
+		n <<= 1
+	}
+	return &TieredCache{l1: make([]l1Entry, n), mask: uint64(n - 1), shared: shared}
+}
+
+// slot maps a key to its direct-mapped L1 index.
+func (c *TieredCache) slot(key uint64) *l1Entry {
+	return &c.l1[(key*0x9E3779B97F4A7C15>>40)&c.mask]
+}
+
+// Get looks key up in the L1, then the shared layer, promoting shared hits
+// into the L1.
+func (c *TieredCache) Get(key uint64) (int32, bool) {
+	e := c.slot(key)
+	if e.valid && e.key == key {
+		c.l1Hits++
+		return e.val, true
+	}
+	c.l1Misses++
+	if c.shared == nil {
+		return 0, false
+	}
+	val, ok := c.shared.Get(key)
+	if ok {
+		*e = l1Entry{key: key, val: val, valid: true}
+	}
+	return val, ok
+}
+
+// Put writes key through both layers: into the worker's L1 slot and the
+// shared LRU.
+func (c *TieredCache) Put(key uint64, val int32) {
+	*c.slot(key) = l1Entry{key: key, val: val, valid: true}
+	if c.shared != nil {
+		c.shared.Put(key, val)
+	}
+}
+
+// Reset clears the worker-private L1. The shared layer is left warm: a
+// pool-wide cold start goes through ShardedLRU.Reset.
+func (c *TieredCache) Reset() {
+	for i := range c.l1 {
+		c.l1[i] = l1Entry{}
+	}
+}
+
+// Stats snapshots this worker's L1 counters (L2 columns are zero here; the
+// shared layer reports them once, pool-wide). Call only while the worker is
+// idle.
+func (c *TieredCache) Stats() CacheStats {
+	return CacheStats{L1Hits: c.l1Hits, L1Misses: c.l1Misses}
+}

@@ -25,8 +25,14 @@ import (
 type ScorerKind string
 
 const (
+	// ScorerGMM selects the two-component Gaussian-mixture scorer
+	// (the paper's Kaldi GMM tasks).
 	ScorerGMM ScorerKind = "gmm"
+	// ScorerDNN selects the emulated feed-forward network scorer
+	// (the Kaldi DNN tasks).
 	ScorerDNN ScorerKind = "dnn"
+	// ScorerRNN selects the emulated recurrent scorer (the EESEN
+	// LSTM/CTC task).
 	ScorerRNN ScorerKind = "rnn"
 )
 

@@ -56,12 +56,24 @@ type weightItem struct {
 	w semiring.Weight
 }
 
+// weightHeap is the min-heap of (state, distance) items driving the
+// Dijkstra-style shortest-distance pass; the exported methods below are the
+// container/heap.Interface contract.
 type weightHeap []weightItem
 
-func (h weightHeap) Len() int            { return len(h) }
-func (h weightHeap) Less(i, j int) bool  { return h[i].w < h[j].w }
-func (h weightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+// Len reports the heap size (heap.Interface).
+func (h weightHeap) Len() int { return len(h) }
+
+// Less orders items by ascending weight (heap.Interface).
+func (h weightHeap) Less(i, j int) bool { return h[i].w < h[j].w }
+
+// Swap exchanges two items (heap.Interface).
+func (h weightHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push appends an item (heap.Interface; use heap.Push).
 func (h *weightHeap) Push(x interface{}) { *h = append(*h, x.(weightItem)) }
+
+// Pop removes and returns the last item (heap.Interface; use heap.Pop).
 func (h *weightHeap) Pop() interface{} {
 	old := *h
 	n := len(old)

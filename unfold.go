@@ -21,6 +21,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/decoder"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/task"
 	"repro/internal/wfst"
 )
@@ -33,6 +34,23 @@ type Utterance = task.Utterance
 
 // DecoderConfig tunes the beam search (beam width, pruning, LM lookup).
 type DecoderConfig = decoder.Config
+
+// DecodePool is the concurrent batch-decoding engine: N workers, each with
+// a private on-the-fly decoder, sharing one bounded sharded offset-lookup
+// cache. Build one with System.NewDecodePool; see docs/DECODING.md.
+type DecodePool = pool.DecodePool
+
+// PoolConfig sizes a DecodePool (worker count, L1/L2 cache geometry, and
+// the per-worker decoder configuration).
+type PoolConfig = pool.Config
+
+// DecodeBatch is the result of one DecodePool.Decode call: per-utterance
+// results plus throughput, search and cache aggregates.
+type DecodeBatch = pool.Batch
+
+// Throughput reports batch decode rates (utterances/sec, frames/sec,
+// aggregate real-time factor, cache hit rate).
+type Throughput = metrics.Throughput
 
 // Predefined tasks mirroring the paper's evaluation set. The scale factor
 // multiplies vocabulary and corpus sizes (1.0 = laptop-friendly defaults).
@@ -109,6 +127,47 @@ func (s *System) Recognize(frames [][]float32) ([]int32, error) {
 // NewDecoder builds a software on-the-fly decoder with a custom config.
 func (s *System) NewDecoder(cfg DecoderConfig) (*decoder.OnTheFly, error) {
 	return decoder.NewOnTheFly(s.Task.AM.G, s.Task.LMGraph.G, cfg)
+}
+
+// NewDecodePool builds a concurrent batch-decoding engine over this
+// system's graphs. The pool is long-lived: reusing it across batches keeps
+// the shared offset cache warm. Transcripts are identical to sequential
+// decoding for any worker count.
+func (s *System) NewDecodePool(cfg PoolConfig) (*DecodePool, error) {
+	return pool.New(s.Task.AM.G, s.Task.LMGraph.G, cfg)
+}
+
+// RecognizeBatch scores each utterance's frames and decodes the batch on a
+// transient pool of the given worker count (≤0 means GOMAXPROCS). It
+// returns per-utterance word IDs, index-aligned with the input, plus the
+// batch throughput aggregates. For repeated batches build a DecodePool
+// once via NewDecodePool and keep it warm instead.
+//
+// Scoring runs sequentially before the fan-out — acoustic scorers keep
+// per-utterance scratch state and are not concurrency-safe — so the
+// reported throughput covers the search, the component this pool scales.
+func (s *System) RecognizeBatch(frames [][][]float32, workers int) ([][]int32, Throughput, error) {
+	scores := make([][][]float32, len(frames))
+	for i, f := range frames {
+		if len(f) == 0 {
+			scores[i] = nil
+			continue
+		}
+		scores[i] = s.Task.Scorer.ScoreUtterance(f)
+	}
+	p, err := s.NewDecodePool(PoolConfig{Workers: workers})
+	if err != nil {
+		return nil, Throughput{}, err
+	}
+	batch, err := p.Decode(scores)
+	if err != nil {
+		return nil, Throughput{}, err
+	}
+	out := make([][]int32, len(batch.Results))
+	for i, r := range batch.Results {
+		out[i] = r.Words
+	}
+	return out, batch.Throughput, nil
 }
 
 // NewAccelerator builds the UNFOLD hardware simulator over the compressed

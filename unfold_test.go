@@ -154,3 +154,43 @@ func TestRecognizeTimed(t *testing.T) {
 		}
 	}
 }
+
+// TestRecognizeBatchMatchesSequential: the parallel façade must return the
+// same transcripts as per-utterance Recognize, in input order, with sane
+// throughput aggregates.
+func TestRecognizeBatchMatchesSequential(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames [][][]float32
+	var want [][]int32
+	for _, u := range sys.TestSet() {
+		frames = append(frames, u.Frames)
+		hyp, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, hyp)
+	}
+	got, tp, err := sys.RecognizeBatch(frames, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("utt %d: batch %v vs sequential %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("utt %d word %d: batch %v vs sequential %v", i, j, got[i], want[i])
+			}
+		}
+	}
+	if tp.Utterances != len(frames) || tp.Frames == 0 || tp.Wall <= 0 {
+		t.Errorf("bad throughput aggregates: %+v", tp)
+	}
+}
