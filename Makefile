@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test race bench experiments
+.PHONY: all build test vet race fuzz-smoke check bench experiments
 
 all: build test
 
@@ -11,11 +11,23 @@ build:
 test: build
 	go test ./...
 
+vet:
+	go vet ./...
+
 # race-checks the whole module, in particular the concurrent DecodePool
 # and its sharded offset cache (internal/pool's hammer tests). Run this
 # before sending any change that touches concurrent code.
 race:
 	go test -race ./...
+
+# 10-second randomized corruption pass over the model-bundle loader
+# (docs/ROBUSTNESS.md). Catches loader panics long fuzz runs would.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s .
+
+# The pre-merge gate: vet, the full suite under the race detector, and a
+# fuzz smoke over the bundle loader.
+check: vet race fuzz-smoke
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,8 +47,17 @@ func main() {
 	nbest := flag.Int("nbest", 0, "print the top-N rescored hypotheses (two-pass decoder)")
 	stream := flag.Bool("stream", false, "decode frame-at-a-time, printing partial hypotheses")
 	parallel := flag.Int("parallel", 0, "decode on a worker pool with this many workers (0 = sequential)")
+	timeout := flag.Duration("timeout", 0, "overall decode deadline (0 = none); on expiry partial results are reported")
+	rescue := flag.Int("rescue", 0, "search-failure rescue: retry a dead frame up to this many times with a doubled beam")
 	verbose := flag.Bool("v", false, "print per-utterance transcripts")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	spec, err := specFor(*taskName, *scale)
 	if err != nil {
@@ -73,7 +83,7 @@ func main() {
 	case *parallel > 0:
 		p, err := sys.NewDecodePool(unfold.PoolConfig{
 			Workers: *parallel,
-			Decoder: decoder.Config{PreemptivePruning: true},
+			Decoder: decoder.Config{PreemptivePruning: true, RescueWidenings: *rescue},
 		})
 		if err != nil {
 			fail(err)
@@ -83,16 +93,28 @@ func main() {
 			scores = append(scores, sys.Task.Scorer.ScoreUtterance(u.Frames))
 			frames += len(u.Frames)
 		}
-		batch, err := p.Decode(scores)
-		if err != nil {
+		batch, err := p.DecodeContext(ctx, scores)
+		if batch == nil {
 			fail(err)
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unfold-decode: batch ended early: %v\n", err)
+		}
 		for i, u := range sys.TestSet() {
+			if e := batch.Errors[i]; e != nil {
+				fmt.Fprintf(os.Stderr, "unfold-decode: %v\n", e)
+			}
+			if batch.Results[i] == nil {
+				continue
+			}
 			report(*verbose, sys, i, u.Words, batch.Results[i].Words)
 			wer.Add(u.Words, batch.Results[i].Words)
 		}
 		fmt.Printf("\npool (%d workers): %s\n", p.Workers(), batch.Throughput)
 		fmt.Printf("%s\n", batch.Cache)
+		if !batch.Search.Healthy() {
+			fmt.Printf("%s\n", batch.Search)
+		}
 	case *nbest > 0:
 		tp, err := decoder.NewTwoPass(sys.Task.AM.G, sys.Task.LMGraph.G, decoder.Config{}, 2**nbest)
 		if err != nil {
@@ -157,14 +179,26 @@ func main() {
 			metrics.AudioDuration(frames).Seconds()/res.Seconds,
 			res.AvgPowerW*1e3, res.BandwidthGBs())
 	default:
+		dec, err := sys.NewDecoder(decoder.Config{PreemptivePruning: true, RescueWidenings: *rescue})
+		if err != nil {
+			fail(err)
+		}
+		var health metrics.Search
 		for i, u := range sys.TestSet() {
-			hyp, err := sys.Recognize(u.Frames)
+			res, err := dec.DecodeContext(ctx, sys.Task.Scorer.ScoreUtterance(u.Frames))
 			if err != nil {
-				fail(err)
+				fmt.Fprintf(os.Stderr, "unfold-decode: utterance %d cut short: %v\n", i, err)
 			}
-			frames += len(u.Frames)
-			report(*verbose, sys, i, u.Words, hyp)
-			wer.Add(u.Words, hyp)
+			frames += res.Stats.Frames
+			health.Add(metrics.Search{Rescues: res.Stats.Rescues, Failures: res.Stats.SearchFailures})
+			report(*verbose, sys, i, u.Words, res.Words)
+			wer.Add(u.Words, res.Words)
+			if err != nil {
+				break
+			}
+		}
+		if !health.Healthy() {
+			fmt.Printf("%s\n", health)
 		}
 	}
 

@@ -1,0 +1,59 @@
+package unfold
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// Error taxonomy of the public API (see docs/ROBUSTNESS.md):
+//
+//   - *DecodeError — a per-utterance decode failure (recovered worker
+//     panic, cancellation, rejected input). Batch decodes isolate these per
+//     utterance instead of failing the batch.
+//   - *BundleError — a model bundle that failed checksum, parse, or
+//     structural validation in LoadRecognizer (defined in persist.go).
+//   - *DimensionError — caller frames whose feature dimension does not
+//     match the acoustic model; always detected up front, never deep in a
+//     scorer.
+//
+// All three support errors.As; DecodeError and BundleError also expose
+// their underlying cause via Unwrap.
+
+// DecodeError is a per-utterance decode failure surfaced by Recognize,
+// RecognizeBatch, and DecodePool. Its Stage is one of the Stage*
+// constants.
+type DecodeError = pool.DecodeError
+
+// Decode stages recorded in DecodeError.Stage.
+const (
+	StageFeatures = pool.StageFeatures
+	StageScore    = pool.StageScore
+	StageSearch   = pool.StageSearch
+	StageCanceled = pool.StageCanceled
+)
+
+// DimensionError reports a feature-dimension mismatch between the caller's
+// frames and the acoustic model. Frame is the first offending frame index.
+type DimensionError struct {
+	Frame int
+	Got   int
+	Want  int
+}
+
+// Error implements the error interface.
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("unfold: frame %d has %d features, acoustic model expects %d", e.Frame, e.Got, e.Want)
+}
+
+// validateFrames rejects feature matrices whose rows do not match the
+// acoustic model's dimension. Without this check a mismatched frame either
+// panics deep inside a scorer or silently produces garbage scores.
+func validateFrames(frames [][]float32, want int) error {
+	for f, row := range frames {
+		if len(row) != want {
+			return &DimensionError{Frame: f, Got: len(row), Want: want}
+		}
+	}
+	return nil
+}

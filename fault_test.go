@@ -1,0 +1,210 @@
+package unfold
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// bundleFixture is a system and a pristine saved bundle, built once per test
+// binary; corruption tests copy the bundle, never touch the original.
+type bundleFixture struct {
+	sys *System
+	dir string
+	err error
+}
+
+var (
+	bundleOnce sync.Once
+	bundleFix  bundleFixture
+)
+
+func getBundle(t testing.TB) *bundleFixture {
+	t.Helper()
+	bundleOnce.Do(func() {
+		sys, err := NewSystem(smallSpec())
+		if err != nil {
+			bundleFix.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "unfold-bundle-*")
+		if err != nil {
+			bundleFix.err = err
+			return
+		}
+		if err := sys.Save(dir); err != nil {
+			bundleFix.err = err
+			return
+		}
+		bundleFix = bundleFixture{sys: sys, dir: dir}
+	})
+	if bundleFix.err != nil {
+		t.Fatal(bundleFix.err)
+	}
+	return &bundleFix
+}
+
+// copyDir clones the pristine bundle (flat directory of regular files).
+func copyDir(t testing.TB, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadSurvivesCorruptBundles is the bundle-hardening contract: across
+// many seeded corruptions (bit flips, truncations, zero runs, appended
+// garbage, in any bundle file) LoadRecognizer must either load successfully
+// or return a typed *BundleError — never panic, never return an untyped
+// error, never hand back a half-valid recognizer.
+func TestLoadSurvivesCorruptBundles(t *testing.T) {
+	fx := getBundle(t)
+	var loaded, rejected int
+	for seed := int64(1); seed <= 50; seed++ {
+		dir := t.TempDir()
+		copyDir(t, fx.dir, dir)
+		name, err := faultinject.CorruptBundle(dir, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := LoadRecognizer(dir)
+		if err != nil {
+			var be *BundleError
+			if !errors.As(err, &be) {
+				t.Fatalf("seed %d (%s): untyped error %v", seed, name, err)
+			}
+			rejected++
+			continue
+		}
+		// Benign corruption (e.g. a flipped bit in meta.json whitespace):
+		// the recognizer must actually work, not just construct.
+		if _, err := rec.Recognize(fx.sys.TestSet()[0].Frames); err != nil {
+			t.Fatalf("seed %d (%s): loaded but cannot recognize: %v", seed, name, err)
+		}
+		loaded++
+	}
+	t.Logf("50 corrupted bundles: %d rejected with BundleError, %d benign", rejected, loaded)
+	if rejected == 0 {
+		t.Error("no corruption was ever detected; checksums not working")
+	}
+}
+
+// TestRecognizeSurvivesPoisonedScorer swaps in a scorer that injects
+// NaN/Inf bursts and checks that recognition neither panics nor errors —
+// poisoned hypotheses are dropped inside the search, not propagated.
+func TestRecognizeSurvivesPoisonedScorer(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fault := range []faultinject.ScoreFault{faultinject.FaultNaN, faultinject.FaultPosInf, faultinject.FaultNegInf} {
+		sys.Task.Scorer = &faultinject.NaNScorer{
+			Inner: sys.Task.Scorer, Rate: 0.3, Fault: fault, Seed: int64(fault) + 1,
+		}
+		for i, u := range sys.TestSet() {
+			if _, err := sys.Recognize(u.Frames); err != nil {
+				t.Fatalf("fault %d utt %d: %v", fault, i, err)
+			}
+		}
+	}
+}
+
+// TestRecognizeBatchSurvivesPoisonedScorer: the batch path under a poisoned
+// scorer stays index-aligned and error-free.
+func TestRecognizeBatchSurvivesPoisonedScorer(t *testing.T) {
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Task.Scorer = &faultinject.NaNScorer{Inner: sys.Task.Scorer, Rate: 0.5, Seed: 4}
+	var frames [][][]float32
+	for _, u := range sys.TestSet() {
+		frames = append(frames, u.Frames)
+	}
+	out, tp, err := sys.RecognizeBatch(frames, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(frames) {
+		t.Fatalf("%d results for %d utterances", len(out), len(frames))
+	}
+	if tp.Frames == 0 {
+		t.Error("throughput not recorded")
+	}
+}
+
+// TestDimensionErrors: every public entry point rejects mismatched feature
+// dimensions up front with a typed error identifying the offending frame.
+func TestDimensionErrors(t *testing.T) {
+	fx := getBundle(t)
+	want := fx.sys.Task.Senones.Dim
+	bad := [][]float32{make([]float32, want), make([]float32, want+3)}
+
+	_, err := fx.sys.Recognize(bad)
+	var de *DimensionError
+	if !errors.As(err, &de) {
+		t.Fatalf("Recognize: %v, want DimensionError", err)
+	}
+	if de.Frame != 1 || de.Got != want+3 || de.Want != want {
+		t.Errorf("DimensionError = %+v", de)
+	}
+
+	if _, _, err := fx.sys.RecognizeTimed(bad); !errors.As(err, &de) {
+		t.Errorf("RecognizeTimed: %v, want DimensionError", err)
+	}
+
+	good := [][]float32{make([]float32, want)}
+	_, _, err = fx.sys.RecognizeBatch([][][]float32{good, bad}, 2)
+	var dde *DecodeError
+	if !errors.As(err, &dde) {
+		t.Fatalf("RecognizeBatch: %v, want DecodeError", err)
+	}
+	if dde.Utterance != 1 || dde.Stage != StageFeatures || !errors.As(dde, &de) {
+		t.Errorf("DecodeError = %+v", dde)
+	}
+
+	rec, err := LoadRecognizer(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Recognize(bad); !errors.As(err, &de) {
+		t.Errorf("Recognizer.Recognize: %v, want DimensionError", err)
+	}
+}
+
+// TestRecognizeContextCanceled: a dead context surfaces promptly through
+// both the single-utterance and batch public paths.
+func TestRecognizeContextCanceled(t *testing.T) {
+	fx := getBundle(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	u := fx.sys.TestSet()[0]
+	if _, err := fx.sys.RecognizeContext(ctx, u.Frames); !errors.Is(err, context.Canceled) {
+		t.Errorf("RecognizeContext: %v, want context.Canceled", err)
+	}
+	if _, _, err := fx.sys.RecognizeBatchContext(ctx, [][][]float32{u.Frames}, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("RecognizeBatchContext: %v, want context.Canceled", err)
+	}
+	rec, err := LoadRecognizer(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.RecognizeContext(ctx, u.Frames); !errors.Is(err, context.Canceled) {
+		t.Errorf("Recognizer.RecognizeContext: %v, want context.Canceled", err)
+	}
+}

@@ -71,6 +71,16 @@ type Config struct {
 	// bounded per-worker cache backed by shared storage here. On-the-fly
 	// decoder only; cache contents never change results, only probe counts.
 	OffsetCache OffsetCache
+	// RescueWidenings enables search-failure rescue on the on-the-fly
+	// decoder: when a frame empties the active-token set mid-utterance, the
+	// frame is retried from a pre-pruning snapshot with the beam and
+	// MaxActive doubled, escalating up to this many times (each widening is
+	// counted in Stats.Rescues). A frame no widening can save — e.g. one
+	// whose scores are entirely NaN — is skipped and the search continues
+	// from the snapshot (counted in Stats.SearchFailures). 0, the default,
+	// preserves the non-rescued behaviour: the best partial hypothesis is
+	// returned the moment the search dies.
+	RescueWidenings int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +114,13 @@ type Stats struct {
 	MemoMisses       int64
 	PreemptivePruned int64 // hypotheses abandoned mid back-off walk
 
+	// Rescues counts beam widenings performed by search-failure rescue
+	// (Config.RescueWidenings); SearchFailures counts frames whose active
+	// set emptied and stayed empty after any rescue attempts (at most one
+	// per utterance when rescue is off — the search stops there).
+	Rescues        int64
+	SearchFailures int64
+
 	// LatticeEntries is the number of word-lattice records written.
 	LatticeEntries int64
 }
@@ -123,6 +140,8 @@ func (s *Stats) Add(o Stats) {
 	s.MemoHits += o.MemoHits
 	s.MemoMisses += o.MemoMisses
 	s.PreemptivePruned += o.PreemptivePruned
+	s.Rescues += o.Rescues
+	s.SearchFailures += o.SearchFailures
 	s.LatticeEntries += o.LatticeEntries
 }
 

@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -54,6 +55,22 @@ func otfKey(am, lm wfst.StateID) uint64 {
 
 // Decode runs the one-pass on-the-fly Viterbi search over acoustic scores.
 func (d *OnTheFly) Decode(scores [][]float32) *Result {
+	res, _ := d.DecodeContext(context.Background(), scores)
+	return res
+}
+
+// DecodeContext is Decode with deadline/cancellation semantics: the context
+// is checked once per frame, and on cancellation the best partial hypothesis
+// decoded so far is returned together with ctx.Err(). The returned Result is
+// never nil.
+//
+// When Config.RescueWidenings is positive, a frame that empties the
+// active-token set is retried from a pre-pruning snapshot with the beam and
+// MaxActive doubled per attempt; if every widening fails (e.g. a fully
+// poisoned score frame, which no beam can cure), the frame is skipped and
+// the search continues from the snapshot — graceful degradation instead of
+// a truncated hypothesis when one frame is unsearchable.
+func (d *OnTheFly) DecodeContext(ctx context.Context, scores [][]float32) (*Result, error) {
 	cfg := d.cfg
 	lat := &lattice{}
 	st := Stats{Frames: len(scores)}
@@ -61,70 +78,123 @@ func (d *OnTheFly) Decode(scores [][]float32) *Result {
 	cur := map[uint64]token{otfKey(d.am.Start(), d.lm.Start()): {semiring.One, -1}}
 	d.epsClosure(cur, lat, &st, semiring.Zero, -1)
 
-	keys := make([]uint64, 0, 64)
 	for f := range scores {
-		_, cut := beamPrune(cur, cfg.Beam, cfg.MaxActive)
-		st.TokensBeamCut += cut
-		st.TokensExpanded += int64(len(cur))
-		next := make(map[uint64]token, 2*len(cur))
-		frame := scores[f]
-
-		// Iterate tokens in sorted key order so the running-best threshold
-		// (and hence preemptive-pruning statistics) are deterministic.
-		keys = keys[:0]
-		for k := range cur {
-			keys = append(keys, k)
+		if err := ctx.Err(); err != nil {
+			st.Frames = f // frames actually searched
+			return d.finish(cur, lat, st), err
 		}
-		sortUint64(keys)
-
-		// Preemptive pruning compares against the best hypothesis created
-		// so far in this frame plus the beam. The frame's final threshold
-		// can only be tighter, so anything pruned here was doomed anyway —
-		// the safety argument of Section 3.3.
-		runningBest := semiring.Zero
-		thr := func() semiring.Weight {
-			if semiring.IsZero(runningBest) {
-				return semiring.Zero // +Inf: nothing to compare against yet
+		var snap map[uint64]token
+		if cfg.RescueWidenings > 0 {
+			snap = copyTokens(cur)
+		}
+		beam, maxActive := cfg.Beam, cfg.MaxActive
+		next := d.stepFrame(cur, scores[f], beam, maxActive, lat, &st, f)
+		for attempt := 0; len(next) == 0 && attempt < cfg.RescueWidenings; attempt++ {
+			// Bounded escalation: restore the pre-pruning frontier and retry
+			// the frame with double the beam and double the histogram cap.
+			st.Rescues++
+			beam *= 2
+			if maxActive > 0 {
+				maxActive *= 2
 			}
-			return runningBest + cfg.Beam
+			cur = copyTokens(snap)
+			next = d.stepFrame(cur, scores[f], beam, maxActive, lat, &st, f)
 		}
-
-		for _, key := range keys {
-			tok := cur[key]
-			amS := wfst.StateID(key >> 32)
-			lmS := wfst.StateID(uint32(key))
-			for _, a := range d.am.Arcs(amS) {
-				if a.In == wfst.Epsilon {
-					continue
-				}
-				st.ArcsTraversed++
-				c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
-				lmNext, latIdx := lmS, tok.lat
-				if a.Out != wfst.Epsilon {
-					var ok bool
-					var lmW semiring.Weight
-					lmNext, lmW, ok = d.resolve(lmS, a.Out, c, thr(), &st)
-					if !ok {
-						continue // preemptively pruned (or unresolvable word)
-					}
-					c += lmW
-					latIdx = lat.add(a.Out, tok.lat, int32(f))
-				}
-				if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
-					st.TokensCreated++
-				}
-				if c < runningBest {
-					runningBest = c
-				}
-			}
-		}
-		d.epsClosure(next, lat, &st, semiring.Zero, int32(f))
 		if len(next) == 0 {
-			return d.finish(cur, lat, st)
+			st.SearchFailures++
+			if cfg.RescueWidenings > 0 {
+				// Unsearchable frame (no widening helped): skip it and keep
+				// the pre-frame frontier alive instead of truncating.
+				cur = snap
+				continue
+			}
+			return d.finish(cur, lat, st), nil
 		}
 		cur = next
 	}
-	return d.finish(cur, lat, st)
+	return d.finish(cur, lat, st), nil
+}
+
+// stepFrame advances the search by one frame: beam/histogram pruning of cur
+// (in place), emission of every non-epsilon arc, and the epsilon closure of
+// the resulting frontier. It returns the next frame's active set.
+func (d *OnTheFly) stepFrame(cur map[uint64]token, frame []float32, beam semiring.Weight, maxActive int, lat *lattice, st *Stats, f int) map[uint64]token {
+	cfg := d.cfg
+	_, cut := beamPrune(cur, beam, maxActive)
+	st.TokensBeamCut += cut
+	st.TokensExpanded += int64(len(cur))
+	next := make(map[uint64]token, 2*len(cur))
+
+	// Iterate tokens in sorted key order so the running-best threshold
+	// (and hence preemptive-pruning statistics) are deterministic.
+	keys := make([]uint64, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sortUint64(keys)
+
+	// Preemptive pruning compares against the best hypothesis created
+	// so far in this frame plus the beam. The frame's final threshold
+	// can only be tighter, so anything pruned here was doomed anyway —
+	// the safety argument of Section 3.3.
+	runningBest := semiring.Zero
+	thr := func() semiring.Weight {
+		if semiring.IsZero(runningBest) {
+			return semiring.Zero // +Inf: nothing to compare against yet
+		}
+		return runningBest + beam
+	}
+
+	for _, key := range keys {
+		tok := cur[key]
+		amS := wfst.StateID(key >> 32)
+		lmS := wfst.StateID(uint32(key))
+		for _, a := range d.am.Arcs(amS) {
+			if a.In == wfst.Epsilon {
+				continue
+			}
+			st.ArcsTraversed++
+			c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
+			lmNext, latIdx := lmS, tok.lat
+			if a.Out != wfst.Epsilon {
+				var ok bool
+				var lmW semiring.Weight
+				lmNext, lmW, ok = d.resolve(lmS, a.Out, c, thr(), st)
+				if !ok {
+					continue // preemptively pruned (or unresolvable word)
+				}
+				c += lmW
+				latIdx = lat.add(a.Out, tok.lat, int32(f))
+			}
+			if !finiteWeight(c) {
+				// NaN/Inf acoustic scores (a misbehaving scorer) would
+				// otherwise poison every downstream token; drop the
+				// hypothesis and let healthy arcs carry the frame.
+				continue
+			}
+			if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
+				st.TokensCreated++
+			}
+			if c < runningBest {
+				runningBest = c
+			}
+		}
+	}
+	d.epsClosure(next, lat, st, semiring.Zero, int32(f))
+	return next
+}
+
+// finiteWeight reports whether w is neither NaN nor ±Inf (w-w is 0 only for
+// finite w).
+func finiteWeight(w semiring.Weight) bool { return w-w == 0 }
+
+// copyTokens snapshots an active-token set for rescue retries.
+func copyTokens(m map[uint64]token) map[uint64]token {
+	out := make(map[uint64]token, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // sortUint64 sorts keys ascending (insertion for tiny slices, else stdlib).

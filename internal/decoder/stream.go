@@ -83,6 +83,9 @@ func (s *Stream) Push(frame []float32) error {
 				c += lmW
 				latIdx = s.lat.add(a.Out, tok.lat, f)
 			}
+			if !finiteWeight(c) {
+				continue // poisoned score; same guard as the batch decoder
+			}
 			if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
 				s.st.TokensCreated++
 			}
@@ -94,6 +97,7 @@ func (s *Stream) Push(frame []float32) error {
 	s.d.epsClosure(next, s.lat, &s.st, semiring.Zero, f)
 	if len(next) == 0 {
 		s.dead = true
+		s.st.SearchFailures++
 		s.frozen = s.cur
 		return nil
 	}

@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// stubCache is a minimal OffsetCache for wrapper tests.
+type stubCache struct{ m map[uint64]int32 }
+
+func newStub() *stubCache { return &stubCache{m: map[uint64]int32{}} }
+
+func (c *stubCache) Get(key uint64) (int32, bool) { v, ok := c.m[key]; return v, ok }
+func (c *stubCache) Put(key uint64, idx int32)    { c.m[key] = idx }
+func (c *stubCache) Reset()                       { c.m = map[uint64]int32{} }
+
+// stubScorer returns constant finite scores so poison is attributable.
+type stubScorer struct{ senones int }
+
+func (s *stubScorer) ScoreUtterance(frames [][]float32) [][]float32 {
+	out := make([][]float32, len(frames))
+	for f := range frames {
+		row := make([]float32, s.senones+1)
+		for i := range row {
+			row[i] = -1
+		}
+		out[f] = row
+	}
+	return out
+}
+func (s *stubScorer) FLOPsPerFrame() float64 { return 1 }
+func (s *stubScorer) Name() string           { return "stub" }
+
+// TestMutateBytesDeterministic: the same seed must produce the same
+// corruption — the property that makes fault-test failures reproducible.
+func TestMutateBytesDeterministic(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+	for seed := int64(0); seed < 20; seed++ {
+		a := MutateBytes(rand.New(rand.NewSource(seed)), data)
+		b := MutateBytes(rand.New(rand.NewSource(seed)), data)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: mutations differ", seed)
+		}
+		if bytes.Equal(a, data) && len(a) == len(data) {
+			t.Errorf("seed %d: mutation is a no-op", seed)
+		}
+	}
+	if out := MutateBytes(rand.New(rand.NewSource(1)), nil); len(out) == 0 {
+		t.Error("empty input should grow, not stay empty")
+	}
+}
+
+// TestCorruptBundlePicksDeterministically: same seed, same file, same bytes.
+func TestCorruptBundlePicksDeterministically(t *testing.T) {
+	mk := func(t *testing.T) string {
+		dir := t.TempDir()
+		for _, n := range []string{"a.bin", "b.txt", "c.json"} {
+			if err := os.WriteFile(filepath.Join(dir, n), []byte("content of "+n), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	d1, d2 := mk(t), mk(t)
+	f1, err := CorruptBundle(d1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := CorruptBundle(d2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatalf("seed 7 corrupted %s and %s", f1, f2)
+	}
+	b1, _ := os.ReadFile(filepath.Join(d1, f1))
+	b2, _ := os.ReadFile(filepath.Join(d2, f2))
+	if !bytes.Equal(b1, b2) {
+		t.Error("same seed produced different corrupted bytes")
+	}
+}
+
+// TestNaNScorerInjects: poison appears at seeded positions, is NaN by
+// default, and two runs with the same seed poison identically.
+func TestNaNScorerInjects(t *testing.T) {
+	frames := make([][]float32, 200)
+	for i := range frames {
+		frames[i] = []float32{0}
+	}
+	count := func(s *NaNScorer) int {
+		var n int
+		for _, row := range s.ScoreUtterance(frames) {
+			for _, v := range row {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	s := &NaNScorer{Inner: &stubScorer{senones: 40}, Seed: 3}
+	n1 := count(s)
+	if n1 == 0 {
+		t.Fatal("no poison injected over 200 frames at default rate")
+	}
+	s2 := &NaNScorer{Inner: &stubScorer{senones: 40}, Seed: 3}
+	if n2 := count(s2); n2 != n1 {
+		t.Errorf("same seed poisoned %d then %d entries", n1, n2)
+	}
+	inf := &NaNScorer{Inner: &stubScorer{senones: 40}, Seed: 3, Fault: FaultNegInf, Rate: 1}
+	rows := inf.ScoreUtterance(frames[:5])
+	var sawInf bool
+	for _, row := range rows {
+		for _, v := range row {
+			if math.IsInf(float64(v), -1) {
+				sawInf = true
+			}
+			if math.IsNaN(float64(v)) {
+				t.Fatal("FaultNegInf injected NaN")
+			}
+		}
+	}
+	if !sawInf {
+		t.Error("rate 1.0 injected nothing")
+	}
+	if inf.Name() != "stub+fault" || inf.FLOPsPerFrame() != 1 {
+		t.Error("delegation broken")
+	}
+}
+
+// TestFlakyCachePanicsOnSchedule: the PanicAt-th operation panics, once.
+func TestFlakyCachePanicsOnSchedule(t *testing.T) {
+	c := &FlakyCache{Inner: newStub(), PanicAt: 3}
+	c.Put(1, 10)
+	c.Get(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("operation 3 did not panic")
+			}
+		}()
+		c.Get(1)
+	}()
+	// Past the scheduled op, the cache behaves normally again.
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Errorf("post-panic Get = %d,%v", v, ok)
+	}
+	if c.Ops() != 4 {
+		t.Errorf("ops = %d, want 4", c.Ops())
+	}
+}
+
+// TestFlakyCacheDropsWrites: every DropEvery-th Put is discarded.
+func TestFlakyCacheDropsWrites(t *testing.T) {
+	c := &FlakyCache{Inner: newStub(), DropEvery: 2}
+	for i := uint64(0); i < 10; i++ {
+		c.Put(i, int32(i))
+	}
+	var present int
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := c.Get(i); ok {
+			present++
+		}
+	}
+	if present != 5 {
+		t.Errorf("%d of 10 writes survived, want 5", present)
+	}
+}
+
+// TestSlowCacheStalls: the scheduled stall actually takes wall time and
+// values flow through unchanged.
+func TestSlowCacheStalls(t *testing.T) {
+	c := &SlowCache{Inner: newStub(), Delay: 5 * time.Millisecond, Every: 10}
+	c.Put(9, 90)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if v, ok := c.Get(9); !ok || v != 90 {
+			t.Fatalf("Get = %d,%v", v, ok)
+		}
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("20 gets with 2 scheduled stalls took only %v", d)
+	}
+}

@@ -196,6 +196,47 @@ func (t Throughput) String() string {
 	return s
 }
 
+// Search aggregates search-health counters for a batch decode — the
+// fault-tolerance companion to Throughput. It answers "did every utterance
+// complete cleanly, and how hard did the engine have to fight for it":
+// rescues are recoveries (a widened beam saved a dying search), failures
+// are graceful degradations (partial hypothesis returned), panics and
+// cancellations are per-utterance faults converted into typed errors.
+// The zero value is ready for Add.
+type Search struct {
+	// Rescues counts beam widenings performed by search-failure rescue.
+	Rescues int64
+	// Failures counts utterances whose active-token set emptied and stayed
+	// empty after any rescue attempts (a partial hypothesis was returned).
+	Failures int64
+	// Panics counts per-utterance decodes that panicked and were converted
+	// into typed errors without poisoning the rest of the batch.
+	Panics int64
+	// Canceled counts utterances cut short or skipped because the batch
+	// context was canceled or its deadline expired.
+	Canceled int64
+}
+
+// Add merges another batch's search-health counters into s.
+func (s *Search) Add(o Search) {
+	s.Rescues += o.Rescues
+	s.Failures += o.Failures
+	s.Panics += o.Panics
+	s.Canceled += o.Canceled
+}
+
+// Healthy reports whether the batch completed with no faults of any class.
+func (s Search) Healthy() bool {
+	return s.Rescues == 0 && s.Failures == 0 && s.Panics == 0 && s.Canceled == 0
+}
+
+// String renders the counters as the one-line health report unfold-decode
+// prints after a batch with faults.
+func (s Search) String() string {
+	return fmt.Sprintf("search health: %d rescues, %d failures, %d panics, %d canceled",
+		s.Rescues, s.Failures, s.Panics, s.Canceled)
+}
+
 // OracleWER returns the lowest WER achievable by picking the best
 // hypothesis per utterance from an N-best list — the standard measure of
 // how much headroom a rescoring pass (e.g. the two-pass decoder) has.

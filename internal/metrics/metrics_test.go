@@ -183,3 +183,27 @@ func TestThroughput(t *testing.T) {
 		t.Errorf("Add: %+v", sum)
 	}
 }
+
+func TestSearchHealth(t *testing.T) {
+	var s Search
+	if !s.Healthy() {
+		t.Error("zero Search should be healthy")
+	}
+	s.Add(Search{Rescues: 2, Failures: 1})
+	s.Add(Search{Panics: 3, Canceled: 4, Rescues: 1})
+	if s.Rescues != 3 || s.Failures != 1 || s.Panics != 3 || s.Canceled != 4 {
+		t.Errorf("Add: %+v", s)
+	}
+	if s.Healthy() {
+		t.Error("faulted Search reported healthy")
+	}
+	want := "search health: 3 rescues, 1 failures, 3 panics, 4 canceled"
+	if s.String() != want {
+		t.Errorf("String() = %q, want %q", s.String(), want)
+	}
+	for _, one := range []Search{{Rescues: 1}, {Failures: 1}, {Panics: 1}, {Canceled: 1}} {
+		if one.Healthy() {
+			t.Errorf("%+v reported healthy", one)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package pool
+
+import "fmt"
+
+// Decode stages recorded in DecodeError.Stage. They name the pipeline
+// phase at which the utterance failed, not the goroutine that ran it.
+const (
+	// StageFeatures: the utterance's input was rejected before scoring
+	// (e.g. a feature-dimension mismatch caught by the public API).
+	StageFeatures = "features"
+	// StageScore: acoustic scoring failed or panicked.
+	StageScore = "score"
+	// StageSearch: the Viterbi search panicked (e.g. a corrupted offset led
+	// to an out-of-range read) and was converted into this error.
+	StageSearch = "search"
+	// StageCanceled: the batch context was canceled or its deadline expired
+	// before (or while) this utterance was decoded.
+	StageCanceled = "canceled"
+)
+
+// DecodeError is a per-utterance decode failure. A DecodePool never lets
+// one bad utterance poison a batch: a worker panic or cancellation becomes
+// a DecodeError at that utterance's index while every other utterance's
+// result stays byte-identical to a sequential decode.
+type DecodeError struct {
+	// Utterance is the index of the failed utterance within the batch
+	// (index-aligned with the scores passed to Decode); -1 when the failure
+	// is not attributable to a single utterance.
+	Utterance int
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Cause is the underlying failure (a recovered panic, ctx.Err(), or a
+	// validation error). Exposed via Unwrap for errors.Is/As chains.
+	Cause error
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("decode: utterance %d: %s stage: %v", e.Utterance, e.Stage, e.Cause)
+}
+
+// Unwrap exposes the underlying cause to errors.Is and errors.As.
+func (e *DecodeError) Unwrap() error { return e.Cause }

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,6 +30,12 @@ type Config struct {
 	// Decoder configures each worker's beam search. Its OffsetCache field
 	// is overwritten with the pool's tiered cache; leave it nil.
 	Decoder decoder.Config
+	// WrapCache, when non-nil, wraps each worker's tiered cache before it
+	// is handed to the decoder. This is the fault-injection seam
+	// internal/faultinject uses to simulate cache-layer failures (panics,
+	// dropped writes, slow lookups); production pools leave it nil. Cache
+	// contents never change results, so a lossy wrapper costs only probes.
+	WrapCache func(decoder.OffsetCache) decoder.OffsetCache
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +88,9 @@ func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
 		tc := NewTieredCache(cfg.L1Entries, shared)
 		dcfg := cfg.Decoder
 		dcfg.OffsetCache = tc
+		if cfg.WrapCache != nil {
+			dcfg.OffsetCache = cfg.WrapCache(tc)
+		}
 		d, err := decoder.NewOnTheFly(amGraph, lmGraph, dcfg)
 		if err != nil {
 			return nil, fmt.Errorf("pool: worker %d: %w", i, err)
@@ -106,6 +116,25 @@ type Batch struct {
 	// Cache snapshots the two-layer cache counters, cumulative over the
 	// pool's lifetime (long-lived pools keep their cache warm).
 	Cache CacheStats
+	// Errors is index-aligned with Results: Errors[i] is non-nil when
+	// utterance i failed (worker panic) or was cut short / skipped by
+	// cancellation. Results[i] then holds whatever partial result exists,
+	// possibly nil. A fully healthy batch has only nil entries.
+	Errors []*DecodeError
+	// Search aggregates the batch's search-health counters: rescues,
+	// search failures, recovered panics, and cancellations.
+	Search metrics.Search
+}
+
+// Failed reports how many utterances in the batch carry an error.
+func (b *Batch) Failed() int {
+	var n int
+	for _, e := range b.Errors {
+		if e != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Decode runs the batch: scores[i] is utterance i's acoustic score matrix
@@ -113,6 +142,25 @@ type Batch struct {
 // workers dynamically, so long and short utterances balance; the result
 // order matches the input order regardless of which worker decoded what.
 func (p *DecodePool) Decode(scores [][][]float32) (*Batch, error) {
+	return p.DecodeContext(context.Background(), scores)
+}
+
+// DecodeContext is Decode with deadline/cancellation and per-utterance
+// fault isolation:
+//
+//   - A worker panic mid-utterance (e.g. an out-of-range read caused by a
+//     corrupted score row) is recovered and recorded as Batch.Errors[i]
+//     without disturbing any other worker; every other utterance's result
+//     stays byte-identical to a sequential decode.
+//   - Cancellation is checked per frame inside each worker and between
+//     utterances at the dealing loop, so the call returns promptly with
+//     index-aligned partial results and ctx.Err(). Utterances cut short or
+//     never started carry a StageCanceled error.
+//
+// The returned Batch is non-nil whenever the call ran (only the overlap
+// guard returns a nil Batch); the error is ctx.Err() when the context ended
+// the batch, nil otherwise — per-utterance faults live in Batch.Errors.
+func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*Batch, error) {
 	p.mu.Lock()
 	if p.busy {
 		p.mu.Unlock()
@@ -128,6 +176,7 @@ func (p *DecodePool) Decode(scores [][][]float32) (*Batch, error) {
 
 	start := time.Now()
 	results := make([]*decoder.Result, len(scores))
+	errs := make([]*DecodeError, len(scores))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := range p.workers {
@@ -135,19 +184,47 @@ func (p *DecodePool) Decode(scores [][][]float32) (*Batch, error) {
 		go func(w worker) {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = w.dec.Decode(scores[i])
+				if err := ctx.Err(); err != nil {
+					// Drain the remaining dealt jobs cheaply.
+					errs[i] = &DecodeError{Utterance: i, Stage: StageCanceled, Cause: err}
+					continue
+				}
+				results[i], errs[i] = decodeOne(ctx, w.dec, i, scores[i])
 			}
 		}(p.workers[w])
 	}
+deal:
 	for i := range scores {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Utterance i and everything after it were never dealt; mark
+			// them canceled (workers only touch indices they received).
+			for j := i; j < len(scores); j++ {
+				errs[j] = &DecodeError{Utterance: j, Stage: StageCanceled, Cause: ctx.Err()}
+			}
+			break deal
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
-	b := &Batch{Results: results}
+	b := &Batch{Results: results, Errors: errs}
 	for _, r := range results {
-		b.Decoder.Add(r.Stats)
+		if r != nil {
+			b.Decoder.Add(r.Stats)
+		}
+	}
+	b.Search = metrics.Search{Rescues: b.Decoder.Rescues, Failures: b.Decoder.SearchFailures}
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if e.Stage == StageCanceled {
+			b.Search.Canceled++
+		} else {
+			b.Search.Panics++
+		}
 	}
 	b.Cache = p.CacheStats()
 	b.Throughput = metrics.Throughput{
@@ -157,7 +234,26 @@ func (p *DecodePool) Decode(scores [][][]float32) (*Batch, error) {
 		CacheHits:    b.Cache.L1Hits + b.Cache.L2Hits,
 		CacheLookups: b.Cache.Lookups(),
 	}
-	return b, nil
+	return b, ctx.Err()
+}
+
+// decodeOne runs one utterance with panic isolation: a panic anywhere in
+// the search (decoder, cache wrapper, corrupted input) becomes a typed
+// DecodeError instead of tearing down the batch. The worker's decoder holds
+// no cross-utterance mutable state beyond the offset cache, whose contents
+// never affect results, so the worker safely continues with the next job.
+func decodeOne(ctx context.Context, dec *decoder.OnTheFly, i int, scores [][]float32) (res *decoder.Result, derr *DecodeError) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			derr = &DecodeError{Utterance: i, Stage: StageSearch, Cause: fmt.Errorf("recovered panic: %v", r)}
+		}
+	}()
+	r, err := dec.DecodeContext(ctx, scores)
+	if err != nil {
+		return r, &DecodeError{Utterance: i, Stage: StageCanceled, Cause: err}
+	}
+	return r, nil
 }
 
 // CacheStats merges the shared LRU's counters with every worker's L1

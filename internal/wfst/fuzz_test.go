@@ -27,6 +27,23 @@ func FuzzRead(f *testing.F) {
 			f.Add(c)
 		}
 	}
+	// Systematic truncations of one serialization: every prefix around the
+	// header, plus cuts landing inside the state table and the arc records —
+	// the boundaries where a length-prefixed reader is most likely to trust a
+	// count it has not yet verified against the remaining bytes.
+	g := randomWFST(rng, 12, 4)
+	var buf bytes.Buffer
+	if err := Write(g, &buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut <= 32 && cut < len(full); cut++ {
+		f.Add(full[:cut])
+	}
+	for _, frac := range []int{3, 4, 5, 8} {
+		f.Add(full[:len(full)-len(full)/frac])
+		f.Add(full[:len(full)-1])
+	}
 	f.Add([]byte("WFST garbage"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := Read(bytes.NewReader(data))

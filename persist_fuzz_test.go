@@ -1,0 +1,62 @@
+package unfold
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadBundle replaces one bundle file with fuzzer-chosen bytes and
+// asserts the loader's contract: LoadRecognizer either loads or returns a
+// typed *BundleError — it never panics, never returns an untyped error, and
+// never allocates unboundedly from attacker-controlled metadata (corrupt
+// meta.json sizes are bounds-checked before any slice is sized).
+//
+// Run a short smoke regularly via `make fuzz-smoke`.
+func FuzzLoadBundle(f *testing.F) {
+	fx := getBundle(f)
+	files := []string{"meta.json", "lexicon.txt", "am.wfst", "lm.arpa", "senones.bin"}
+
+	// Seeds: every pristine file under every slot (so the fuzzer starts from
+	// valid structures for each format), plus simple hand corruptions.
+	for idx, name := range files {
+		data, err := os.ReadFile(filepath.Join(fx.dir, name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(idx, data)
+		if len(data) > 3 {
+			f.Add(idx, data[:len(data)/2]) // truncation
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/3] ^= 0x40
+			f.Add(idx, flipped) // bit flip
+		}
+	}
+	f.Add(0, []byte(`{"format_version":2}`))
+	f.Add(0, []byte(`{"format_version":2,"vocab":99999999,"num_senones":99999999,"lm_order":3}`))
+	f.Add(2, []byte{})
+
+	f.Fuzz(func(t *testing.T, idx int, data []byte) {
+		if idx < 0 {
+			idx = -idx
+		}
+		name := files[idx%len(files)]
+		dir := t.TempDir()
+		copyDir(t, fx.dir, dir)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := LoadRecognizer(dir)
+		if err != nil {
+			var be *BundleError
+			if !errors.As(err, &be) {
+				t.Fatalf("untyped error from corrupted %s: %v", name, err)
+			}
+			return
+		}
+		if rec == nil {
+			t.Fatalf("nil recognizer with nil error (%s)", name)
+		}
+	})
+}

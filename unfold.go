@@ -15,6 +15,7 @@
 package unfold
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/accel"
@@ -114,14 +115,27 @@ func (s *System) Words(ids []int32) []string {
 }
 
 // Recognize runs the full pipeline — acoustic scoring plus the on-the-fly
-// Viterbi search — and returns the recognized word IDs.
+// Viterbi search — and returns the recognized word IDs. Frames are
+// validated against the acoustic model's feature dimension up front; a
+// mismatch returns a *DimensionError instead of garbage scores or a panic
+// deep in the scorer.
 func (s *System) Recognize(frames [][]float32) ([]int32, error) {
+	return s.RecognizeContext(context.Background(), frames)
+}
+
+// RecognizeContext is Recognize with deadline/cancellation semantics: the
+// context is checked once per frame during the search, and on cancellation
+// the best partial hypothesis is returned together with ctx.Err().
+func (s *System) RecognizeContext(ctx context.Context, frames [][]float32) ([]int32, error) {
 	if len(frames) == 0 {
 		return nil, nil
 	}
+	if err := validateFrames(frames, s.Task.Senones.Dim); err != nil {
+		return nil, err
+	}
 	scores := s.Task.Scorer.ScoreUtterance(frames)
-	res := s.dec.Decode(scores)
-	return res.Words, nil
+	res, err := s.dec.DecodeContext(ctx, scores)
+	return res.Words, err
 }
 
 // NewDecoder builds a software on-the-fly decoder with a custom config.
@@ -147,8 +161,26 @@ func (s *System) NewDecodePool(cfg PoolConfig) (*DecodePool, error) {
 // per-utterance scratch state and are not concurrency-safe — so the
 // reported throughput covers the search, the component this pool scales.
 func (s *System) RecognizeBatch(frames [][][]float32, workers int) ([][]int32, Throughput, error) {
+	return s.RecognizeBatchContext(context.Background(), frames, workers)
+}
+
+// RecognizeBatchContext is RecognizeBatch with deadline/cancellation
+// semantics. Every utterance's feature dimensions are validated up front
+// (fail fast with a *DecodeError wrapping a *DimensionError, before any
+// scoring work). On cancellation it returns promptly with index-aligned
+// partial results — utterances decoded before the cancellation keep their
+// transcripts, the rest are nil — together with ctx.Err().
+func (s *System) RecognizeBatchContext(ctx context.Context, frames [][][]float32, workers int) ([][]int32, Throughput, error) {
+	for i, f := range frames {
+		if err := validateFrames(f, s.Task.Senones.Dim); err != nil {
+			return nil, Throughput{}, &DecodeError{Utterance: i, Stage: StageFeatures, Cause: err}
+		}
+	}
 	scores := make([][][]float32, len(frames))
 	for i, f := range frames {
+		if err := ctx.Err(); err != nil {
+			return nil, Throughput{}, err
+		}
 		if len(f) == 0 {
 			scores[i] = nil
 			continue
@@ -159,15 +191,17 @@ func (s *System) RecognizeBatch(frames [][][]float32, workers int) ([][]int32, T
 	if err != nil {
 		return nil, Throughput{}, err
 	}
-	batch, err := p.Decode(scores)
-	if err != nil {
+	batch, err := p.DecodeContext(ctx, scores)
+	if batch == nil {
 		return nil, Throughput{}, err
 	}
 	out := make([][]int32, len(batch.Results))
 	for i, r := range batch.Results {
-		out[i] = r.Words
+		if r != nil {
+			out[i] = r.Words
+		}
 	}
-	return out, batch.Throughput, nil
+	return out, batch.Throughput, err
 }
 
 // NewAccelerator builds the UNFOLD hardware simulator over the compressed
@@ -248,6 +282,9 @@ func (s *System) EvaluateWER() (float64, error) {
 func (s *System) RecognizeTimed(frames [][]float32) (words []int32, ends []float64, err error) {
 	if len(frames) == 0 {
 		return nil, nil, nil
+	}
+	if err := validateFrames(frames, s.Task.Senones.Dim); err != nil {
+		return nil, nil, err
 	}
 	res := s.dec.Decode(s.Task.Scorer.ScoreUtterance(frames))
 	ends = make([]float64, len(res.WordEnds))
