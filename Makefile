@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet race fuzz-smoke check bench experiments
+.PHONY: all build test vet race fuzz-smoke cover check bench bench-report experiments
 
 all: build test
 
@@ -25,12 +25,30 @@ race:
 fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s .
 
-# The pre-merge gate: vet, the full suite under the race detector, and a
-# fuzz smoke over the bundle loader.
-check: vet race fuzz-smoke
+# Coverage floor for the decoder package: the Viterbi hot path (token
+# store, pruning, rescue, streaming) must stay at least 80% covered by the
+# unit + differential + allocation suites.
+cover:
+	go test -coverprofile=cover.out ./internal/decoder/
+	@go tool cover -func=cover.out | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/decoder coverage: %.1f%% (floor 80%%)\n", pct; \
+		if (pct < 80) { print "FAIL: coverage below floor"; exit 1 } }'
+
+# The pre-merge gate: vet, the full suite under the race detector (which
+# includes the differential and allocation-regression tests), the decoder
+# coverage floor, and a fuzz smoke over the bundle loader.
+check: vet race cover fuzz-smoke
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Re-measures the decode hot path (tokenstore vs map-reference frontier,
+# streaming, worker pool) and rewrites BENCH_PR3.json; the history lives in
+# docs/BENCHMARKS.md.
+bench-report:
+	go test -run '^$$' -bench 'FrontierDecode|StreamPush|ParallelDecode' -benchmem .
+	go run ./cmd/unfold-bench -out BENCH_PR3.json
 
 experiments:
 	go run ./cmd/unfold-experiments -exp all -quick

@@ -320,6 +320,66 @@ func BenchmarkParallelDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontierDecode is the before/after comparison for the
+// zero-allocation token frontier: the same search run over the pooled
+// tokenStore (Decode) and over the retained per-frame map frontier
+// (DecodeReference). The two produce byte-identical results — the
+// differential suite proves it — so every difference in ns/frame and
+// allocs/frame is attributable to frontier storage. cmd/unfold-bench runs
+// the same comparison and records it in BENCH_PR3.json.
+func BenchmarkFrontierDecode(b *testing.B) {
+	f := getBenchFixture(b)
+	frames := benchFrames(f)
+	for _, impl := range []struct {
+		name   string
+		decode func(d *decoder.OnTheFly, scores [][]float32) *decoder.Result
+	}{
+		{"tokenstore", func(d *decoder.OnTheFly, scores [][]float32) *decoder.Result { return d.Decode(scores) }},
+		{"map-reference", func(d *decoder.OnTheFly, scores [][]float32) *decoder.Result { return d.DecodeReference(scores) }},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			d, err := f.sys.NewDecoder(decoder.Config{PreemptivePruning: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var allocObjs int64
+			for i := 0; i < b.N; i++ {
+				for _, scores := range f.scores {
+					r := impl.decode(d, scores)
+					allocObjs += r.Stats.AllocObjects
+				}
+			}
+			total := float64(b.N) * float64(frames)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/frame")
+			b.ReportMetric(float64(allocObjs)/total, "allocs/frame")
+		})
+	}
+}
+
+// BenchmarkStreamPush measures the incremental path: one stream lifecycle
+// (NewStream, Push per frame, Finish) per iteration over the fixture's first
+// utterance.
+func BenchmarkStreamPush(b *testing.B) {
+	f := getBenchFixture(b)
+	d, err := f.sys.NewDecoder(decoder.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores := f.scores[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := d.NewStream()
+		for _, frame := range scores {
+			if err := s.Push(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Finish()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(len(scores))), "ns/frame")
+}
+
 // BenchmarkAblationLMArcSearch compares the three LM lookup strategies of
 // Section 5.1 in the software decoder.
 func BenchmarkAblationLMArcSearch(b *testing.B) {

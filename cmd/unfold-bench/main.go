@@ -1,0 +1,212 @@
+// unfold-bench measures the decode hot path and writes a machine-readable
+// benchmark report (BENCH_PR3.json). It runs the same before/after
+// comparison as BenchmarkFrontierDecode — the pooled tokenStore frontier
+// (decoder.Decode) against the retained map frontier
+// (decoder.DecodeReference), which produce byte-identical results — plus the
+// streaming path and a DecodePool worker sweep, and derives per-frame
+// figures: ns/frame, heap bytes/frame, heap objects/frame and the real-time
+// factor.
+//
+// Usage:
+//
+//	unfold-bench [-out BENCH_PR3.json] [-workers 4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	unfold "repro"
+	"repro/internal/decoder"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/task"
+)
+
+// benchSpec is the same fixture task the repo's Benchmark* functions use, so
+// numbers are comparable with `make bench` output.
+var benchSpec = task.Spec{
+	Name:           "bench",
+	Vocab:          40,
+	Phones:         14,
+	TrainSentences: 300,
+	TestUtterances: 4,
+	LMMinCount:     2,
+	Seed:           2024,
+}
+
+// row is one benchmark line of the report.
+type row struct {
+	Name           string  `json:"name"`
+	NsPerFrame     float64 `json:"ns_per_frame"`
+	BytesPerFrame  float64 `json:"bytes_per_frame"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	RTF            float64 `json:"rtf"`
+	UttPerSec      float64 `json:"utt_per_sec,omitempty"`
+}
+
+// report is the BENCH_PR3.json schema.
+type report struct {
+	Task       string `json:"task"`
+	Frames     int    `json:"frames_per_op"`
+	Utterances int    `json:"utterances_per_op"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Rows       []row  `json:"rows"`
+	// Comparison summarizes tokenstore vs map-reference on the sequential
+	// decode: how many times fewer heap objects and how many times faster.
+	Comparison struct {
+		AllocReduction float64 `json:"alloc_reduction_x"`
+		Speedup        float64 `json:"speedup_x"`
+	} `json:"comparison"`
+}
+
+// perFrame converts a testing.BenchmarkResult over framesPerOp frames into a
+// report row.
+func perFrame(name string, r testing.BenchmarkResult, framesPerOp int) row {
+	total := float64(r.N) * float64(framesPerOp)
+	nsPerFrame := float64(r.T.Nanoseconds()) / total
+	return row{
+		Name:           name,
+		NsPerFrame:     nsPerFrame,
+		BytesPerFrame:  float64(r.MemBytes) / total,
+		AllocsPerFrame: float64(r.MemAllocs) / total,
+		AllocsPerOp:    float64(r.MemAllocs) / float64(r.N),
+		// One frame is 10 ms of audio; RTF = audio time / decode time.
+		RTF: float64(metrics.FrameDuration.Nanoseconds()) / nsPerFrame,
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "report path")
+	workers := flag.Int("workers", 4, "DecodePool worker count for the parallel row")
+	flag.Parse()
+
+	sys, err := unfold.NewSystem(benchSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var scores [][][]float32
+	frames := 0
+	for _, u := range sys.TestSet() {
+		sc := sys.Task.Scorer.ScoreUtterance(u.Frames)
+		scores = append(scores, sc)
+		frames += len(sc)
+	}
+	cfg := decoder.Config{PreemptivePruning: true}
+
+	newDecoder := func() *decoder.OnTheFly {
+		d, err := sys.NewDecoder(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
+
+	rep := report{
+		Task:       benchSpec.Name,
+		Frames:     frames,
+		Utterances: len(scores),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Sequential decode, pooled tokenStore frontier (the shipped path).
+	dStore := newDecoder()
+	store := perFrame("decode/tokenstore", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, sc := range scores {
+				dStore.Decode(sc)
+			}
+		}
+	}), frames)
+	rep.Rows = append(rep.Rows, store)
+
+	// Sequential decode, retained per-frame map frontier (the baseline).
+	dRef := newDecoder()
+	ref := perFrame("decode/map-reference", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, sc := range scores {
+				dRef.DecodeReference(sc)
+			}
+		}
+	}), frames)
+	rep.Rows = append(rep.Rows, ref)
+
+	// Streaming decode (frame-at-a-time Push) over the pooled frontier.
+	dStream := newDecoder()
+	rep.Rows = append(rep.Rows, perFrame("stream/tokenstore", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, sc := range scores {
+				s := dStream.NewStream()
+				for _, frame := range sc {
+					if err := s.Push(frame); err != nil {
+						log.Fatal(err)
+					}
+				}
+				s.Finish()
+			}
+		}
+	}), frames))
+
+	// Parallel batch decode through the worker pool (batch of 16 utterances).
+	var batch [][][]float32
+	for len(batch) < 16 {
+		batch = append(batch, scores...)
+	}
+	batchFrames := 0
+	for _, sc := range batch {
+		batchFrames += len(sc)
+	}
+	p, err := pool.New(sys.Task.AM.G, sys.Task.LMGraph.G, pool.Config{Workers: *workers, Decoder: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lastBatch *pool.Batch
+	par := perFrame(fmt.Sprintf("pool/workers=%d", *workers), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lastBatch, err = p.Decode(batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}), batchFrames)
+	if lastBatch != nil {
+		par.UttPerSec = lastBatch.Throughput.UtterancesPerSec()
+	}
+	rep.Rows = append(rep.Rows, par)
+
+	// Per-op (whole test set) object counts: the store path's fixed
+	// per-utterance bill (Result construction) keeps this finite even though
+	// its steady-state per-frame figure is zero.
+	if store.AllocsPerOp > 0 {
+		rep.Comparison.AllocReduction = ref.AllocsPerOp / store.AllocsPerOp
+	}
+	if store.NsPerFrame > 0 {
+		rep.Comparison.Speedup = ref.NsPerFrame / store.NsPerFrame
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, r := range rep.Rows {
+		fmt.Printf("  %-24s %8.0f ns/frame %8.0f B/frame %6.2f allocs/frame %6.1fx RT\n",
+			r.Name, r.NsPerFrame, r.BytesPerFrame, r.AllocsPerFrame, r.RTF)
+	}
+	fmt.Printf("  tokenstore vs map-reference: %.1fx fewer allocs, %.1fx faster\n",
+		rep.Comparison.AllocReduction, rep.Comparison.Speedup)
+}

@@ -1,0 +1,129 @@
+package decoder
+
+import (
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+// These tests are the allocation-regression gates for the zero-allocation
+// frontier: testing.AllocsPerRun over the hot-path entry points, with limits
+// tight enough that reintroducing a per-frame map, sort, or queue allocation
+// fails the suite. They run as part of `go test` (and therefore `make
+// check`); the numbers themselves are tracked in docs/BENCHMARKS.md.
+
+// decodeInPlace replays a full utterance through stepFrame/epsClosure using
+// one locally-owned scratch set — the steady-state shape of the hot path,
+// with the pool and Result construction factored out.
+func decodeInPlace(d *OnTheFly, scores [][]float32, sc *scratch) {
+	cfg := d.cfg
+	sc.lat.reset()
+	st := Stats{}
+	cur, next := sc.cur, sc.next
+	cur.reset()
+	cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	d.epsClosure(cur, &sc.lat, &st, semiring.Zero, -1, sc)
+	for f := range scores {
+		d.stepFrame(cur, next, scores[f], cfg.Beam, cfg.MaxActive, &sc.lat, &st, f, sc)
+		if next.len() == 0 {
+			return
+		}
+		cur, next = next, cur
+	}
+}
+
+// TestAllocsStepFrame gates the per-frame core: after one warmup utterance
+// (which grows every buffer to its high-water mark), replaying the same
+// utterance through stepFrame and epsClosure must allocate nothing at all.
+func TestAllocsStepFrame(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	decodeInPlace(d, f.scores[0], sc) // warm buffers and the offset memo
+
+	allocs := testing.AllocsPerRun(10, func() {
+		decodeInPlace(d, f.scores[0], sc)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state stepFrame loop allocates %.1f objects per utterance, want 0", allocs)
+	}
+}
+
+// TestAllocsEpsClosure gates the closure in isolation: relaxing a warm
+// frontier's epsilon arcs must not allocate.
+func TestAllocsEpsClosure(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	st := Stats{}
+	seed := func() {
+		sc.lat.reset()
+		sc.cur.reset()
+		sc.cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	}
+	seed()
+	d.epsClosure(sc.cur, &sc.lat, &st, semiring.Zero, -1, sc) // warm
+
+	allocs := testing.AllocsPerRun(10, func() {
+		seed()
+		d.epsClosure(sc.cur, &sc.lat, &st, semiring.Zero, -1, sc)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state epsClosure allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestAllocsDecodePerFrame gates the public batch entry point: a warm Decode
+// call's whole-utterance allocation bill (Result construction, backtrace
+// copies, counter sampling) must average below one object per frame.
+func TestAllocsDecodePerFrame(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := f.scores[0]
+	d.Decode(scores) // warm the scratch pool and the offset memo
+
+	allocs := testing.AllocsPerRun(10, func() { d.Decode(scores) })
+	perFrame := allocs / float64(len(scores))
+	if perFrame > 1 {
+		t.Errorf("Decode allocates %.2f objects/frame (%.0f per %d-frame utterance), want <= 1",
+			perFrame, allocs, len(scores))
+	}
+}
+
+// TestAllocsStreamPush gates the incremental path: a full stream lifecycle
+// (NewStream, one Push per frame, Finish) must stay under two objects per
+// frame even though each stream takes a fresh scratch from the pool.
+func TestAllocsStreamPush(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := f.scores[0]
+	run := func() {
+		s := d.NewStream()
+		for _, frame := range scores {
+			_ = s.Push(frame)
+		}
+		s.Finish()
+	}
+	run() // warm
+
+	allocs := testing.AllocsPerRun(10, run)
+	perFrame := allocs / float64(len(scores))
+	if perFrame > 2 {
+		t.Errorf("stream lifecycle allocates %.2f objects/frame (%.0f per %d-frame utterance), want <= 2",
+			perFrame, allocs, len(scores))
+	}
+}

@@ -14,6 +14,7 @@ package decoder
 import (
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/semiring"
 )
 
@@ -123,6 +124,28 @@ type Stats struct {
 
 	// LatticeEntries is the number of word-lattice records written.
 	LatticeEntries int64
+
+	// AllocBytes, AllocObjects and GCCycles are allocation/GC observability
+	// counters: process-wide heap deltas sampled (via runtime/metrics)
+	// around the decode. They make the token-store recycling measurable —
+	// a warm steady-state decode should report near-zero objects per frame
+	// — but they are properties of the process, not of the search:
+	// concurrent decoders attribute each other's allocations, and pool/GC
+	// state changes them run to run. Equality comparisons of search work
+	// must use the Search view, which excludes them.
+	AllocBytes   int64
+	AllocObjects int64
+	GCCycles     int64
+}
+
+// Search returns s with the allocation/GC observability counters zeroed:
+// the deterministic search-work view. Two decodes of the same utterance by
+// the same configuration are byte-identical under this view (the property
+// the differential harness asserts), while the raw struct also carries the
+// nondeterministic heap counters.
+func (s Stats) Search() Stats {
+	s.AllocBytes, s.AllocObjects, s.GCCycles = 0, 0, 0
+	return s
 }
 
 // Add accumulates another utterance's counters into s — the batch-level
@@ -143,6 +166,18 @@ func (s *Stats) Add(o Stats) {
 	s.Rescues += o.Rescues
 	s.SearchFailures += o.SearchFailures
 	s.LatticeEntries += o.LatticeEntries
+	s.AllocBytes += o.AllocBytes
+	s.AllocObjects += o.AllocObjects
+	s.GCCycles += o.GCCycles
+}
+
+// recordAlloc fills the allocation/GC counters with the process-wide heap
+// advance since the snapshot start (taken at decode entry).
+func (s *Stats) recordAlloc(start metrics.AllocCounters) {
+	d := metrics.ReadAllocCounters().Delta(start)
+	s.AllocBytes = int64(d.Bytes)
+	s.AllocObjects = int64(d.Objects)
+	s.GCCycles = int64(d.GCs)
 }
 
 // Result is the decoder output for one utterance.
@@ -175,6 +210,14 @@ type lattice struct {
 	words  []int32
 	prev   []int32
 	frames []int32
+}
+
+// reset empties the arena for reuse, retaining capacity — lattices are part
+// of the pooled per-decode scratch set.
+func (l *lattice) reset() {
+	l.words = l.words[:0]
+	l.prev = l.prev[:0]
+	l.frames = l.frames[:0]
 }
 
 func (l *lattice) add(word, prev, frame int32) int32 {

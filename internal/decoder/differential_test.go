@@ -1,0 +1,196 @@
+package decoder
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/task"
+)
+
+// frameSnap is one captured frontier: the token set after the initial
+// epsilon closure (frame -1) or after a decoded frame, in iteration order.
+type frameSnap struct {
+	frame int
+	keys  []uint64
+	toks  []token
+}
+
+// captureFrames installs a frameHook on d that deep-copies every reported
+// frontier.
+func captureFrames(d *OnTheFly) *[]frameSnap {
+	snaps := &[]frameSnap{}
+	d.frameHook = func(frame int, keys []uint64, toks []token) {
+		*snaps = append(*snaps, frameSnap{
+			frame: frame,
+			keys:  append([]uint64(nil), keys...),
+			toks:  append([]token(nil), toks...),
+		})
+	}
+	return snaps
+}
+
+// diffConfigs are the search configurations the differential harness sweeps:
+// every pruning and lookup feature that touches the frontier code paths.
+var diffConfigs = []struct {
+	name string
+	cfg  Config
+}{
+	{"default", Config{}},
+	{"preemptive", Config{PreemptivePruning: true}},
+	{"tight-histogram", Config{MaxActive: 12}},
+	{"tight-beam", Config{Beam: 6}},
+	{"binary-lookup", Config{Lookup: LookupBinary, PreemptivePruning: true}},
+	{"linear-lookup", Config{Lookup: LookupLinear}},
+	{"rescue", Config{Beam: 6, RescueWidenings: 3}},
+}
+
+// TestDifferentialStoreVsReference is the differential property test locking
+// down the zero-allocation frontier: across seeded synthetic tasks and every
+// config above, Decode (tokenStore path) and DecodeReference (retained map
+// frontier) must agree exactly — hypotheses, word end frames, cost bits,
+// finality, search statistics, and the entire per-frame token frontier
+// including iteration order. Any divergence in the store's hashing, growth,
+// pruning compaction or closure ordering shows up here as a frame-level diff.
+func TestDifferentialStoreVsReference(t *testing.T) {
+	seeds := []int64{201, 202, 203, 204, 205, 206, 207, 208}
+	total := 0
+	for _, seed := range seeds {
+		tk, err := task.Build(task.Spec{
+			Name:           fmt.Sprintf("diff-%d", seed),
+			Vocab:          24,
+			Phones:         10,
+			TrainSentences: 160,
+			TestUtterances: 1,
+			LMMinCount:     2,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := tk.Scorer.ScoreUtterance(tk.Test[0].Frames)
+		for _, tc := range diffConfigs {
+			total++
+			t.Run(fmt.Sprintf("seed%d/%s", seed, tc.name), func(t *testing.T) {
+				in := scores
+				if tc.cfg.RescueWidenings > 0 && len(in) > 2 {
+					// Poison one frame so the rescue/skip machinery runs on
+					// both implementations.
+					in = poisonFrame(in, len(in)/2)
+				}
+				// Separate decoder instances: the offset memo persists across
+				// utterances, so sharing one would skew hit/miss statistics
+				// between the two runs.
+				dStore, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dRef, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				storeSnaps := captureFrames(dStore)
+				refSnaps := captureFrames(dRef)
+
+				got := dStore.Decode(in)
+				want := dRef.DecodeReference(in)
+
+				if got.Cost != want.Cost {
+					t.Errorf("cost: store %v, reference %v", got.Cost, want.Cost)
+				}
+				if got.ReachedFinal != want.ReachedFinal {
+					t.Errorf("finality: store %v, reference %v", got.ReachedFinal, want.ReachedFinal)
+				}
+				if !equalInt32s(got.Words, want.Words) {
+					t.Errorf("words: store %v, reference %v", got.Words, want.Words)
+				}
+				if !equalInt32s(got.WordEnds, want.WordEnds) {
+					t.Errorf("word ends: store %v, reference %v", got.WordEnds, want.WordEnds)
+				}
+				if gs, ws := got.Stats.Search(), want.Stats.Search(); gs != ws {
+					t.Errorf("stats: store %+v, reference %+v", gs, ws)
+				}
+				compareSnaps(t, *storeSnaps, *refSnaps)
+			})
+		}
+	}
+	if total < 50 {
+		t.Fatalf("differential sweep shrank to %d cases; keep it at 50+", total)
+	}
+}
+
+// TestDifferentialStreamVsReference checks the incremental path through the
+// same oracle: a Stream fed frame by frame must finish with the reference
+// result.
+func TestDifferentialStreamVsReference(t *testing.T) {
+	f := getFixture(t, 42)
+	for _, tc := range diffConfigs {
+		if tc.cfg.RescueWidenings > 0 {
+			continue // streams have no rescue snapshots
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			dStream, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, scores := range f.scores {
+				s := dStream.NewStream()
+				for _, frame := range scores {
+					if err := s.Push(frame); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got := s.Finish()
+				want := dRef.DecodeReference(scores)
+				if got.Cost != want.Cost || !equalInt32s(got.Words, want.Words) {
+					t.Errorf("utt %d: stream (%v, %v) vs reference (%v, %v)",
+						i, got.Words, got.Cost, want.Words, want.Cost)
+				}
+				if gs, ws := got.Stats.Search(), want.Stats.Search(); gs != ws {
+					t.Errorf("utt %d stats: stream %+v, reference %+v", i, gs, ws)
+				}
+			}
+		})
+	}
+}
+
+func compareSnaps(t *testing.T, got, want []frameSnap) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("captured %d frontiers (store) vs %d (reference)", len(got), len(want))
+		return
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.frame != w.frame {
+			t.Errorf("snapshot %d: frame %d (store) vs %d (reference)", i, g.frame, w.frame)
+			return
+		}
+		if len(g.keys) != len(w.keys) {
+			t.Errorf("frame %d: %d tokens (store) vs %d (reference)", g.frame, len(g.keys), len(w.keys))
+			return
+		}
+		for j := range g.keys {
+			if g.keys[j] != w.keys[j] || g.toks[j] != w.toks[j] {
+				t.Errorf("frame %d entry %d: store (key %d, %+v) vs reference (key %d, %+v)",
+					g.frame, j, g.keys[j], g.toks[j], w.keys[j], w.toks[j])
+				return
+			}
+		}
+	}
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,8 +3,8 @@ package decoder
 import (
 	"context"
 	"fmt"
-	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/semiring"
 	"repro/internal/wfst"
 )
@@ -25,6 +25,12 @@ type OnTheFly struct {
 	// default is an unbounded private map; Config.OffsetCache substitutes a
 	// bounded or shared implementation (internal/pool's tiered cache).
 	memo OffsetCache
+	// frameHook, when non-nil, receives the post-closure frontier after the
+	// initial epsilon closure (frame == -1) and after every decoded frame,
+	// in frontier iteration order. It is the seam the differential test
+	// harness uses to compare per-frame token sets between the tokenStore
+	// path and the retained map reference; production decodes leave it nil.
+	frameHook func(frame int, keys []uint64, toks []token)
 }
 
 // NewOnTheFly builds the on-the-fly decoder over separate AM and LM graphs.
@@ -53,6 +59,13 @@ func otfKey(am, lm wfst.StateID) uint64 {
 	return uint64(uint32(am))<<32 | uint64(uint32(lm))
 }
 
+// hook invokes the differential-test frame hook, if installed.
+func (d *OnTheFly) hook(frame int, s *tokenStore) {
+	if d.frameHook != nil {
+		d.frameHook(frame, s.keys, s.toks)
+	}
+}
+
 // Decode runs the one-pass on-the-fly Viterbi search over acoustic scores.
 func (d *OnTheFly) Decode(scores [][]float32) *Result {
 	res, _ := d.DecodeContext(context.Background(), scores)
@@ -70,26 +83,44 @@ func (d *OnTheFly) Decode(scores [][]float32) *Result {
 // poisoned score frame, which no beam can cure), the frame is skipped and
 // the search continues from the snapshot — graceful degradation instead of
 // a truncated hypothesis when one frame is unsearchable.
+//
+// The search runs over pooled tokenStore frontiers (see tokenstore.go), so
+// a steady-state decode performs no per-frame heap allocation; the observed
+// allocation and GC activity is reported in Result.Stats.
 func (d *OnTheFly) DecodeContext(ctx context.Context, scores [][]float32) (*Result, error) {
+	a0 := metrics.ReadAllocCounters()
+	res, err := d.decode(ctx, scores)
+	res.Stats.recordAlloc(a0)
+	return res, err
+}
+
+// decode is the DecodeContext body; DecodeContext wraps it with the
+// allocation-counter sampling so every return path is covered.
+func (d *OnTheFly) decode(ctx context.Context, scores [][]float32) (*Result, error) {
 	cfg := d.cfg
-	lat := &lattice{}
+	sc := getScratch()
+	defer putScratch(sc)
+	lat := &sc.lat
+	lat.reset()
 	st := Stats{Frames: len(scores)}
 
-	cur := map[uint64]token{otfKey(d.am.Start(), d.lm.Start()): {semiring.One, -1}}
-	d.epsClosure(cur, lat, &st, semiring.Zero, -1)
+	cur, next, snap := sc.cur, sc.next, sc.snap
+	cur.reset()
+	cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	d.epsClosure(cur, lat, &st, semiring.Zero, -1, sc)
+	d.hook(-1, cur)
 
 	for f := range scores {
 		if err := ctx.Err(); err != nil {
 			st.Frames = f // frames actually searched
 			return d.finish(cur, lat, st), err
 		}
-		var snap map[uint64]token
 		if cfg.RescueWidenings > 0 {
-			snap = copyTokens(cur)
+			snap.copyFrom(cur)
 		}
 		beam, maxActive := cfg.Beam, cfg.MaxActive
-		next := d.stepFrame(cur, scores[f], beam, maxActive, lat, &st, f)
-		for attempt := 0; len(next) == 0 && attempt < cfg.RescueWidenings; attempt++ {
+		d.stepFrame(cur, next, scores[f], beam, maxActive, lat, &st, f, sc)
+		for attempt := 0; next.len() == 0 && attempt < cfg.RescueWidenings; attempt++ {
 			// Bounded escalation: restore the pre-pruning frontier and retry
 			// the frame with double the beam and double the histogram cap.
 			st.Rescues++
@@ -97,56 +128,48 @@ func (d *OnTheFly) DecodeContext(ctx context.Context, scores [][]float32) (*Resu
 			if maxActive > 0 {
 				maxActive *= 2
 			}
-			cur = copyTokens(snap)
-			next = d.stepFrame(cur, scores[f], beam, maxActive, lat, &st, f)
+			cur.copyFrom(snap)
+			d.stepFrame(cur, next, scores[f], beam, maxActive, lat, &st, f, sc)
 		}
-		if len(next) == 0 {
+		if next.len() == 0 {
 			st.SearchFailures++
 			if cfg.RescueWidenings > 0 {
 				// Unsearchable frame (no widening helped): skip it and keep
 				// the pre-frame frontier alive instead of truncating.
-				cur = snap
+				cur.copyFrom(snap)
+				d.hook(f, cur)
 				continue
 			}
 			return d.finish(cur, lat, st), nil
 		}
-		cur = next
+		cur, next = next, cur
+		d.hook(f, cur)
 	}
 	return d.finish(cur, lat, st), nil
 }
 
 // stepFrame advances the search by one frame: beam/histogram pruning of cur
 // (in place), emission of every non-epsilon arc, and the epsilon closure of
-// the resulting frontier. It returns the next frame's active set.
-func (d *OnTheFly) stepFrame(cur map[uint64]token, frame []float32, beam semiring.Weight, maxActive int, lat *lattice, st *Stats, f int) map[uint64]token {
+// the resulting frontier, written into next (which is reset first). Tokens
+// are expanded in frontier insertion order, which is deterministic by
+// construction, so the running-best threshold (and hence preemptive-pruning
+// statistics) are reproducible without the sorted key pass the map frontier
+// needed.
+func (d *OnTheFly) stepFrame(cur, next *tokenStore, frame []float32, beam semiring.Weight, maxActive int, lat *lattice, st *Stats, f int, sc *scratch) {
 	cfg := d.cfg
-	_, cut := beamPrune(cur, beam, maxActive)
+	_, cut := sc.beamPrune(cur, beam, maxActive)
 	st.TokensBeamCut += cut
-	st.TokensExpanded += int64(len(cur))
-	next := make(map[uint64]token, 2*len(cur))
-
-	// Iterate tokens in sorted key order so the running-best threshold
-	// (and hence preemptive-pruning statistics) are deterministic.
-	keys := make([]uint64, 0, len(cur))
-	for k := range cur {
-		keys = append(keys, k)
-	}
-	sortUint64(keys)
+	st.TokensExpanded += int64(cur.len())
+	next.reset()
 
 	// Preemptive pruning compares against the best hypothesis created
 	// so far in this frame plus the beam. The frame's final threshold
 	// can only be tighter, so anything pruned here was doomed anyway —
 	// the safety argument of Section 3.3.
 	runningBest := semiring.Zero
-	thr := func() semiring.Weight {
-		if semiring.IsZero(runningBest) {
-			return semiring.Zero // +Inf: nothing to compare against yet
-		}
-		return runningBest + beam
-	}
-
-	for _, key := range keys {
-		tok := cur[key]
+	for i := 0; i < len(cur.keys); i++ {
+		key := cur.keys[i]
+		tok := cur.toks[i]
 		amS := wfst.StateID(key >> 32)
 		lmS := wfst.StateID(uint32(key))
 		for _, a := range d.am.Arcs(amS) {
@@ -157,9 +180,13 @@ func (d *OnTheFly) stepFrame(cur map[uint64]token, frame []float32, beam semirin
 			c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
 			lmNext, latIdx := lmS, tok.lat
 			if a.Out != wfst.Epsilon {
+				thr := semiring.Zero // +Inf: nothing to compare against yet
+				if !semiring.IsZero(runningBest) {
+					thr = runningBest + beam
+				}
 				var ok bool
 				var lmW semiring.Weight
-				lmNext, lmW, ok = d.resolve(lmS, a.Out, c, thr(), st)
+				lmNext, lmW, ok = d.resolve(lmS, a.Out, c, thr, st)
 				if !ok {
 					continue // preemptively pruned (or unresolvable word)
 				}
@@ -172,7 +199,7 @@ func (d *OnTheFly) stepFrame(cur map[uint64]token, frame []float32, beam semirin
 				// hypothesis and let healthy arcs carry the frame.
 				continue
 			}
-			if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
+			if _, created, _ := next.relax(otfKey(a.Next, lmNext), c, latIdx); created {
 				st.TokensCreated++
 			}
 			if c < runningBest {
@@ -180,35 +207,12 @@ func (d *OnTheFly) stepFrame(cur map[uint64]token, frame []float32, beam semirin
 			}
 		}
 	}
-	d.epsClosure(next, lat, st, semiring.Zero, int32(f))
-	return next
+	d.epsClosure(next, lat, st, semiring.Zero, int32(f), sc)
 }
 
 // finiteWeight reports whether w is neither NaN nor ±Inf (w-w is 0 only for
 // finite w).
 func finiteWeight(w semiring.Weight) bool { return w-w == 0 }
-
-// copyTokens snapshots an active-token set for rescue retries.
-func copyTokens(m map[uint64]token) map[uint64]token {
-	out := make(map[uint64]token, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
-}
-
-// sortUint64 sorts keys ascending (insertion for tiny slices, else stdlib).
-func sortUint64(keys []uint64) {
-	if len(keys) < 24 {
-		for i := 1; i < len(keys); i++ {
-			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-				keys[j], keys[j-1] = keys[j-1], keys[j]
-			}
-		}
-		return
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-}
 
 // resolve locates the LM transition for word out of state s, walking the
 // back-off chain. base is the hypothesis cost before LM weights; with
@@ -271,19 +275,19 @@ func (d *OnTheFly) find(s wfst.StateID, word int32, st *Stats) (int, bool) {
 
 // epsClosure relaxes non-emitting AM arcs within a frame. A non-emitting
 // arc with a word output (possible in general transducers, though not
-// produced by our AM builder) still performs the LM transition.
-func (d *OnTheFly) epsClosure(active map[uint64]token, lat *lattice, st *Stats, thr semiring.Weight, frame int32) {
-	queue := make([]uint64, 0, len(active))
-	for k := range active {
-		queue = append(queue, k)
+// produced by our AM builder) still performs the LM transition. The worklist
+// holds store entry indices (entries are never removed during a closure, so
+// indices are stable) and is recycled through the scratch set.
+func (d *OnTheFly) epsClosure(active *tokenStore, lat *lattice, st *Stats, thr semiring.Weight, frame int32, sc *scratch) {
+	queue := sc.queue[:0]
+	for i := range active.keys {
+		queue = append(queue, int32(i))
 	}
 	for len(queue) > 0 {
-		key := queue[len(queue)-1]
+		idx := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		tok, ok := active[key]
-		if !ok {
-			continue
-		}
+		key := active.keys[idx]
+		tok := active.toks[idx]
 		amS := wfst.StateID(key >> 32)
 		lmS := wfst.StateID(uint32(key))
 		for _, a := range d.am.Arcs(amS) {
@@ -303,23 +307,27 @@ func (d *OnTheFly) epsClosure(active map[uint64]token, lat *lattice, st *Stats, 
 				c += lmW
 				latIdx = lat.add(a.Out, tok.lat, frame)
 			}
-			created, improved := relax(active, otfKey(a.Next, lmNext), c, latIdx)
+			nIdx, created, improved := active.relax(otfKey(a.Next, lmNext), c, latIdx)
 			if created {
 				st.TokensCreated++
 			}
 			if improved {
-				queue = append(queue, otfKey(a.Next, lmNext))
+				queue = append(queue, nIdx)
 			}
 		}
 	}
+	sc.queue = queue // retain any grown capacity for the next closure
 }
 
 // finish mirrors the composed decoder: a token is final when both component
-// states accept, with the product final weight.
-func (d *OnTheFly) finish(active map[uint64]token, lat *lattice, st Stats) *Result {
+// states accept, with the product final weight. The frontier is scanned in
+// its deterministic insertion order, so cost ties resolve reproducibly.
+func (d *OnTheFly) finish(active *tokenStore, lat *lattice, st Stats) *Result {
 	res := &Result{Cost: semiring.Zero, Stats: st}
 	bestAny, bestAnyLat := semiring.Zero, int32(-1)
-	for key, tok := range active {
+	for i := range active.keys {
+		key := active.keys[i]
+		tok := active.toks[i]
 		amS := wfst.StateID(key >> 32)
 		lmS := wfst.StateID(uint32(key))
 		fa, fl := d.am.Final(amS), d.lm.Final(lmS)

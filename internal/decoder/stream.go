@@ -2,10 +2,9 @@ package decoder
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/semiring"
-	"repro/internal/wfst"
 )
 
 // Stream is an incremental (frame-at-a-time) interface over the on-the-fly
@@ -13,23 +12,30 @@ import (
 // are pushed as the GPU produces each batch, and the current-best partial
 // hypothesis is available at any time. A Stream fed the same rows as a
 // batch Decode call produces exactly the same result.
+//
+// A Stream borrows one scratch set (token stores, lattice arena, closure
+// worklist) from the shared pool at creation and owns it for its lifetime,
+// so a steady-state Push performs no per-frame heap allocation beyond the
+// amortized growth of the word lattice.
 type Stream struct {
 	d      *OnTheFly
-	lat    *lattice
-	cur    map[uint64]token
+	sc     *scratch
+	cur    *tokenStore
+	next   *tokenStore
 	st     Stats
+	a0     metrics.AllocCounters
 	dead   bool
-	frozen map[uint64]token // last non-empty frontier if the search dies
+	frozen *tokenStore // last non-empty frontier if the search dies
 }
 
 // NewStream starts an incremental decode on d.
 func (d *OnTheFly) NewStream() *Stream {
-	s := &Stream{
-		d:   d,
-		lat: &lattice{},
-		cur: map[uint64]token{otfKey(d.am.Start(), d.lm.Start()): {semiring.One, -1}},
-	}
-	d.epsClosure(s.cur, s.lat, &s.st, semiring.Zero, -1)
+	sc := getScratch()
+	s := &Stream{d: d, sc: sc, cur: sc.cur, next: sc.next, a0: metrics.ReadAllocCounters()}
+	s.sc.lat.reset()
+	s.cur.reset()
+	s.cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	d.epsClosure(s.cur, &s.sc.lat, &s.st, semiring.Zero, -1, sc)
 	return s
 }
 
@@ -42,97 +48,52 @@ func (s *Stream) Push(frame []float32) error {
 		return fmt.Errorf("decoder: empty frame")
 	}
 	cfg := s.d.cfg
-	f := int32(s.st.Frames)
+	f := s.st.Frames
 	s.st.Frames++
-	_, cut := beamPrune(s.cur, cfg.Beam, cfg.MaxActive)
-	s.st.TokensBeamCut += cut
-	s.st.TokensExpanded += int64(len(s.cur))
-	next := make(map[uint64]token, 2*len(s.cur))
-
-	keys := make([]uint64, 0, len(s.cur))
-	for k := range s.cur {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-
-	runningBest := semiring.Zero
-	thr := func() semiring.Weight {
-		if semiring.IsZero(runningBest) {
-			return semiring.Zero
-		}
-		return runningBest + cfg.Beam
-	}
-	for _, key := range keys {
-		tok := s.cur[key]
-		amS := wfst.StateID(key >> 32)
-		lmS := wfst.StateID(uint32(key))
-		for _, a := range s.d.am.Arcs(amS) {
-			if a.In == wfst.Epsilon {
-				continue
-			}
-			s.st.ArcsTraversed++
-			c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
-			lmNext, latIdx := lmS, tok.lat
-			if a.Out != wfst.Epsilon {
-				var ok bool
-				var lmW semiring.Weight
-				lmNext, lmW, ok = s.d.resolve(lmS, a.Out, c, thr(), &s.st)
-				if !ok {
-					continue
-				}
-				c += lmW
-				latIdx = s.lat.add(a.Out, tok.lat, f)
-			}
-			if !finiteWeight(c) {
-				continue // poisoned score; same guard as the batch decoder
-			}
-			if created, _ := relax(next, otfKey(a.Next, lmNext), c, latIdx); created {
-				s.st.TokensCreated++
-			}
-			if c < runningBest {
-				runningBest = c
-			}
-		}
-	}
-	s.d.epsClosure(next, s.lat, &s.st, semiring.Zero, f)
-	if len(next) == 0 {
+	s.d.stepFrame(s.cur, s.next, frame, cfg.Beam, cfg.MaxActive, &s.sc.lat, &s.st, f, s.sc)
+	if s.next.len() == 0 {
 		s.dead = true
 		s.st.SearchFailures++
 		s.frozen = s.cur
 		return nil
 	}
-	s.cur = next
+	s.cur, s.next = s.next, s.cur
 	return nil
+}
+
+// frontier returns the live active set (or the frozen one after a search
+// death).
+func (s *Stream) frontier() *tokenStore {
+	if s.dead {
+		return s.frozen
+	}
+	return s.cur
 }
 
 // Partial returns the current best hypothesis without ending the stream —
 // what a UI would display while the user is still speaking. Finality is
 // ignored: the utterance is not over.
 func (s *Stream) Partial() []int32 {
-	frontier := s.cur
-	if s.dead {
-		frontier = s.frozen
-	}
+	frontier := s.frontier()
 	best := semiring.Zero
 	lat := int32(-1)
-	for _, t := range frontier {
-		if t.cost < best {
-			best, lat = t.cost, t.lat
+	for i := range frontier.toks {
+		if frontier.toks[i].cost < best {
+			best, lat = frontier.toks[i].cost, frontier.toks[i].lat
 		}
 	}
 	if semiring.IsZero(best) {
 		return nil
 	}
-	words, _ := s.lat.backtrace(lat)
+	words, _ := s.sc.lat.backtrace(lat)
 	return words
 }
 
 // Finish ends the utterance and returns the final result, identical to a
-// batch Decode over the same frames.
+// batch Decode over the same frames. The result carries the allocation/GC
+// counters accumulated since NewStream.
 func (s *Stream) Finish() *Result {
-	frontier := s.cur
-	if s.dead {
-		frontier = s.frozen
-	}
-	return s.d.finish(frontier, s.lat, s.st)
+	res := s.d.finish(s.frontier(), &s.sc.lat, s.st)
+	res.Stats.recordAlloc(s.a0)
+	return res
 }

@@ -1,0 +1,239 @@
+package decoder
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/semiring"
+)
+
+// tokenStore is the reusable token frontier of the Viterbi hot path: an
+// open-addressing hash table over flat parallel slices. It replaces the
+// per-frame map[uint64]token the seed decoder allocated (and the sorted key
+// slice it built to iterate deterministically) with storage that is recycled
+// across frames and across utterances, so a steady-state decode performs no
+// per-frame heap allocation at all.
+//
+// Layout: ctrl is the power-of-two probe table; a slot holds entryIndex+1
+// (0 = empty). keys and toks are parallel arrays in *insertion order*, which
+// is the store's iteration order. Insertion order is a pure function of the
+// search (arc order is fixed, predecessor order is the previous frame's
+// insertion order), so iteration is deterministic without any sorting — the
+// determinism contract documented in docs/ARCHITECTURE.md.
+//
+// A tokenStore is not safe for concurrent use; each decode owns its stores
+// via the scratch pool (see scratch), and each pool worker therefore works
+// on a private set.
+type tokenStore struct {
+	ctrl []int32 // probe table: entry index + 1, 0 = empty; len is a power of two
+	keys []uint64
+	toks []token
+}
+
+// fibMul is the 64-bit Fibonacci-hashing multiplier (2^64 / golden ratio);
+// the high table bits of key*fibMul spread the (AM,LM) state pairs evenly.
+const fibMul = 0x9E3779B97F4A7C15
+
+// minTableSize is the smallest probe table; big enough that tiny frontiers
+// never rehash, small enough that clearing it between frames is free.
+const minTableSize = 256
+
+func newTokenStore() *tokenStore {
+	return &tokenStore{ctrl: make([]int32, minTableSize)}
+}
+
+// len reports the number of live tokens.
+func (s *tokenStore) len() int { return len(s.keys) }
+
+// reset empties the store for reuse, retaining all capacity.
+func (s *tokenStore) reset() {
+	clear(s.ctrl)
+	s.keys = s.keys[:0]
+	s.toks = s.toks[:0]
+}
+
+// slotFor returns the home probe slot for key in the current table.
+func (s *tokenStore) slotFor(key uint64) uint32 {
+	return uint32((key*fibMul)>>32) & uint32(len(s.ctrl)-1)
+}
+
+// relax performs the tropical-semiring token update on the store: insert the
+// token if its state pair is new, keep the better cost otherwise. It returns
+// the entry index (stable until the next prune/reset) and whether the token
+// was created or improved — the same contract as the retained map relax.
+func (s *tokenStore) relax(key uint64, cost semiring.Weight, lat int32) (idx int32, created, improved bool) {
+	mask := uint32(len(s.ctrl) - 1)
+	slot := uint32((key*fibMul)>>32) & mask
+	for {
+		e := s.ctrl[slot]
+		if e == 0 {
+			if len(s.keys) >= len(s.ctrl)-len(s.ctrl)/4 {
+				s.grow()
+				return s.relax(key, cost, lat) // re-probe in the grown table
+			}
+			idx = int32(len(s.keys))
+			s.keys = append(s.keys, key)
+			s.toks = append(s.toks, token{cost, lat})
+			s.ctrl[slot] = idx + 1
+			return idx, true, true
+		}
+		if s.keys[e-1] == key {
+			if cost < s.toks[e-1].cost {
+				s.toks[e-1] = token{cost, lat}
+				return e - 1, false, true
+			}
+			return e - 1, false, false
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// grow doubles the probe table and reindexes every live entry.
+func (s *tokenStore) grow() {
+	s.ctrl = make([]int32, 2*len(s.ctrl))
+	s.reindex()
+}
+
+// reindex rebuilds the probe table (which must be zeroed) from the entry
+// arrays — used after growth and after pruning compactions.
+func (s *tokenStore) reindex() {
+	mask := uint32(len(s.ctrl) - 1)
+	for i, key := range s.keys {
+		slot := uint32((key*fibMul)>>32) & mask
+		for s.ctrl[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		s.ctrl[slot] = int32(i) + 1
+	}
+}
+
+// copyFrom makes s an exact copy of o (entries, order, and probe layout),
+// reusing s's storage. This is how rescue snapshots are taken and restored
+// without allocating.
+func (s *tokenStore) copyFrom(o *tokenStore) {
+	s.keys = append(s.keys[:0], o.keys...)
+	s.toks = append(s.toks[:0], o.toks...)
+	if len(s.ctrl) != len(o.ctrl) {
+		s.ctrl = make([]int32, len(o.ctrl))
+	}
+	copy(s.ctrl, o.ctrl)
+}
+
+// pruneEnt is one histogram-pruning sort record: cost-ordered with the token
+// key as the deterministic tiebreaker, exactly as the retained map frontier
+// sorts (decoder.go beamPrune).
+type pruneEnt struct {
+	c semiring.Weight
+	k uint64
+	i int32 // entry index in the store being pruned
+}
+
+// scratch is the per-decode working set: the three frontier stores (current,
+// next, rescue snapshot), the reusable lattice arena, the epsilon-closure
+// worklist, and the histogram-pruning sort buffers. Decodes borrow one from
+// scratchPool and return it, so the whole set is recycled across utterances;
+// a Stream owns one for its lifetime. Nothing in a scratch escapes into a
+// Result (backtraces copy), which is what makes the recycling safe.
+type scratch struct {
+	cur, next, snap *tokenStore
+	lat             lattice
+	queue           []int32
+	prune           []pruneEnt
+	dead            []bool
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{
+		cur:   newTokenStore(),
+		next:  newTokenStore(),
+		snap:  newTokenStore(),
+		queue: make([]int32, 0, minTableSize),
+	}
+}}
+
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// beamPrune removes tokens worse than best+beam from s, then applies the
+// MaxActive histogram cap, compacting survivors in insertion order. It
+// mirrors the retained map beamPrune exactly: the same survivor set, the
+// same (cost, key) tiebreak for the histogram cap, the same returned
+// threshold and cut count — only the storage differs.
+func (sc *scratch) beamPrune(s *tokenStore, beam semiring.Weight, maxActive int) (semiring.Weight, int64) {
+	if len(s.keys) == 0 {
+		return semiring.Zero, 0
+	}
+	best := semiring.Zero
+	for i := range s.toks {
+		if s.toks[i].cost < best {
+			best = s.toks[i].cost
+		}
+	}
+	thr := best + beam
+	var cut int64
+	n := 0
+	for i := range s.keys {
+		// Keep unless strictly worse than the threshold — the exact map
+		// predicate (`cost > thr` deletes), preserving non-finite parity.
+		if s.toks[i].cost > thr {
+			cut++
+			continue
+		}
+		s.keys[n] = s.keys[i]
+		s.toks[n] = s.toks[i]
+		n++
+	}
+	changed := n != len(s.keys)
+	s.keys = s.keys[:n]
+	s.toks = s.toks[:n]
+
+	if maxActive > 0 && n > maxActive {
+		ents := sc.prune[:0]
+		for i := range s.keys {
+			ents = append(ents, pruneEnt{s.toks[i].cost, s.keys[i], int32(i)})
+		}
+		slices.SortFunc(ents, func(a, b pruneEnt) int {
+			switch {
+			case a.c < b.c:
+				return -1
+			case a.c > b.c:
+				return 1
+			case a.k < b.k:
+				return -1
+			case a.k > b.k:
+				return 1
+			}
+			return 0
+		})
+		if cap(sc.dead) < n {
+			sc.dead = make([]bool, n)
+		} else {
+			sc.dead = sc.dead[:n]
+			clear(sc.dead)
+		}
+		for _, e := range ents[maxActive:] {
+			sc.dead[e.i] = true
+			cut++
+		}
+		thr = ents[maxActive-1].c
+		m := 0
+		for i := range s.keys {
+			if sc.dead[i] {
+				continue
+			}
+			s.keys[m] = s.keys[i]
+			s.toks[m] = s.toks[i]
+			m++
+		}
+		s.keys = s.keys[:m]
+		s.toks = s.toks[:m]
+		sc.prune = ents[:0]
+		changed = true
+	}
+
+	if changed {
+		clear(s.ctrl)
+		s.reindex()
+	}
+	return thr, cut
+}

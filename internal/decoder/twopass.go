@@ -3,7 +3,7 @@ package decoder
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/semiring"
 	"repro/internal/wfst"
@@ -62,6 +62,20 @@ func extendHist(h uint64, word int32) uint64 {
 	return h*1315423911 + uint64(uint32(word)) + 0x9e3779b97f4a7c15
 }
 
+// kfrontier is the first-pass active set: K-best token lists keyed by AM
+// state, plus the states in insertion order. Like the one-pass tokenStore,
+// iteration follows insertion order rather than Go's randomized map order,
+// so candidate collection, pruning statistics and N-best tie-breaking are
+// deterministic run to run.
+type kfrontier struct {
+	m     map[wfst.StateID][]ktoken
+	order []wfst.StateID
+}
+
+func newKFrontier(capHint int) *kfrontier {
+	return &kfrontier{m: make(map[wfst.StateID][]ktoken, capHint)}
+}
+
 // Decode runs both passes and returns the rescored best hypothesis.
 func (d *TwoPass) Decode(scores [][]float32) *TwoPassResult {
 	list := d.NBest(scores, 1)
@@ -96,7 +110,18 @@ func (d *TwoPass) NBest(scores [][]float32, n int) []*TwoPassResult {
 			PassOneCost: passOneBest,
 		})
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Cost < results[j].Cost })
+	// Stable so equal-cost hypotheses rank in their (deterministic)
+	// collection order.
+	slices.SortStableFunc(results, func(a, b *TwoPassResult) int {
+		switch {
+		case a.Cost < b.Cost:
+			return -1
+		case a.Cost > b.Cost:
+			return 1
+		default:
+			return 0
+		}
+	})
 	if len(results) > n {
 		results = results[:n]
 	}
@@ -135,14 +160,17 @@ func (d *TwoPass) passOne(scores [][]float32) ([]candidate, semiring.Weight, Sta
 		return d.lm.Arcs(d.lm.Start())[idx].W
 	}
 
-	cur := map[wfst.StateID][]ktoken{d.am.Start(): {{cost: semiring.One, lat: -1, hist: 14695981039346656037}}}
+	cur := newKFrontier(1)
+	cur.m[d.am.Start()] = []ktoken{{cost: semiring.One, lat: -1, hist: 14695981039346656037}}
+	cur.order = append(cur.order, d.am.Start())
 	d.epsClosure(cur, lat, uniCost, &st)
 
 	for f := range scores {
 		d.prune(cur, &st)
-		next := make(map[wfst.StateID][]ktoken, 2*len(cur))
+		next := newKFrontier(2 * len(cur.order))
 		frame := scores[f]
-		for s, toks := range cur {
+		for _, s := range cur.order {
+			toks := cur.m[s]
 			st.TokensExpanded += int64(len(toks))
 			for _, a := range d.am.Arcs(s) {
 				if a.In == wfst.Epsilon {
@@ -168,7 +196,7 @@ func (d *TwoPass) passOne(scores [][]float32) ([]candidate, semiring.Weight, Sta
 			}
 		}
 		d.epsClosure(next, lat, uniCost, &st)
-		if len(next) == 0 {
+		if len(next.order) == 0 {
 			break
 		}
 		cur = next
@@ -182,7 +210,8 @@ func (d *TwoPass) passOne(scores [][]float32) ([]candidate, semiring.Weight, Sta
 		seen := map[uint64]bool{}
 		var out []candidate
 		best := semiring.Zero
-		for s, toks := range cur {
+		for _, s := range cur.order {
+			toks := cur.m[s]
 			fw := d.am.Final(s)
 			if finalsOnly && semiring.IsZero(fw) {
 				continue
@@ -220,9 +249,11 @@ func (d *TwoPass) passOne(scores [][]float32) ([]candidate, semiring.Weight, Sta
 }
 
 // relaxK inserts a token into a state's K-best list, deduplicating by word
-// history (keep the cheaper) and keeping the K best by cost.
-func (d *TwoPass) relaxK(m map[wfst.StateID][]ktoken, s wfst.StateID, nt ktoken, st *Stats) bool {
-	toks := m[s]
+// history (keep the cheaper) and keeping the K best by cost. The sort is
+// stable so equal-cost alternatives keep their arrival order — part of the
+// two-pass determinism contract.
+func (d *TwoPass) relaxK(f *kfrontier, s wfst.StateID, nt ktoken, st *Stats) bool {
+	toks, ok := f.m[s]
 	for i := range toks {
 		if toks[i].hist == nt.hist {
 			if nt.cost < toks[i].cost {
@@ -233,25 +264,40 @@ func (d *TwoPass) relaxK(m map[wfst.StateID][]ktoken, s wfst.StateID, nt ktoken,
 		}
 	}
 	toks = append(toks, nt)
-	sort.Slice(toks, func(i, j int) bool { return toks[i].cost < toks[j].cost })
+	slices.SortStableFunc(toks, func(a, b ktoken) int {
+		switch {
+		case a.cost < b.cost:
+			return -1
+		case a.cost > b.cost:
+			return 1
+		default:
+			return 0
+		}
+	})
 	if len(toks) > d.K {
 		toks = toks[:d.K]
 	}
-	m[s] = toks
+	f.m[s] = toks
+	if !ok {
+		f.order = append(f.order, s)
+	}
 	st.TokensCreated++
 	return true
 }
 
-// prune applies the beam over all states' best tokens.
-func (d *TwoPass) prune(cur map[wfst.StateID][]ktoken, st *Stats) {
+// prune applies the beam over all states' best tokens, dropping emptied
+// states from the insertion-order list (survivors keep their order).
+func (d *TwoPass) prune(cur *kfrontier, st *Stats) {
 	best := semiring.Zero
-	for _, toks := range cur {
-		if len(toks) > 0 && toks[0].cost < best {
+	for _, s := range cur.order {
+		if toks := cur.m[s]; len(toks) > 0 && toks[0].cost < best {
 			best = toks[0].cost
 		}
 	}
 	thr := best + d.cfg.Beam
-	for s, toks := range cur {
+	n := 0
+	for _, s := range cur.order {
+		toks := cur.m[s]
 		keep := toks[:0]
 		for _, t := range toks {
 			if t.cost <= thr {
@@ -261,23 +307,24 @@ func (d *TwoPass) prune(cur map[wfst.StateID][]ktoken, st *Stats) {
 			}
 		}
 		if len(keep) == 0 {
-			delete(cur, s)
-		} else {
-			cur[s] = keep
+			delete(cur.m, s)
+			continue
 		}
+		cur.m[s] = keep
+		cur.order[n] = s
+		n++
 	}
+	cur.order = cur.order[:n]
 }
 
 // epsClosure relaxes non-emitting AM arcs for K-best token lists.
-func (d *TwoPass) epsClosure(active map[wfst.StateID][]ktoken, lat *lattice, uniCost func(int32) semiring.Weight, st *Stats) {
-	queue := make([]wfst.StateID, 0, len(active))
-	for s := range active {
-		queue = append(queue, s)
-	}
+func (d *TwoPass) epsClosure(active *kfrontier, lat *lattice, uniCost func(int32) semiring.Weight, st *Stats) {
+	queue := make([]wfst.StateID, 0, len(active.order))
+	queue = append(queue, active.order...)
 	for len(queue) > 0 {
 		s := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		toks := active[s]
+		toks := active.m[s]
 		for _, a := range d.am.Arcs(s) {
 			if a.In != wfst.Epsilon {
 				continue

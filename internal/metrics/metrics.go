@@ -5,6 +5,8 @@ package metrics
 
 import (
 	"fmt"
+	"runtime"
+	runtimemetrics "runtime/metrics"
 	"time"
 )
 
@@ -127,6 +129,68 @@ func MeanMax(ds []time.Duration) (mean, max time.Duration) {
 	return sum / time.Duration(len(ds)), max
 }
 
+// AllocCounters is a point-in-time snapshot of the process's cumulative
+// heap-allocation and GC counters, read cheaply (no stop-the-world) via
+// runtime/metrics. Decoders sample a snapshot before and after a decode and
+// report the Delta, which is how the token-store recycling of the Viterbi
+// hot path stays observable instead of merely asserted.
+type AllocCounters struct {
+	// Bytes is the cumulative heap bytes allocated since process start.
+	Bytes uint64
+	// Objects is the cumulative heap objects allocated since process start.
+	Objects uint64
+	// GCs is the number of completed GC cycles since process start.
+	GCs uint64
+}
+
+// allocSampleNames are the runtime/metrics series backing AllocCounters.
+var allocSampleNames = [3]string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// ReadAllocCounters samples the current process-wide allocation counters.
+//
+// The sample is cheap but span-granular: the runtime accounts small
+// allocations only when their span fills (or a GC flushes per-P caches), so
+// a window that allocates less than a span per size class can read a zero
+// delta. Use it on per-utterance paths where a stop-the-world sample would
+// stall concurrent workers; batch boundaries should prefer
+// ReadAllocCountersExact.
+func ReadAllocCounters() AllocCounters {
+	var samples [3]runtimemetrics.Sample
+	for i := range samples {
+		samples[i].Name = allocSampleNames[i]
+	}
+	runtimemetrics.Read(samples[:])
+	return AllocCounters{
+		Bytes:   samples[0].Value.Uint64(),
+		Objects: samples[1].Value.Uint64(),
+		GCs:     samples[2].Value.Uint64(),
+	}
+}
+
+// ReadAllocCountersExact samples the same counters precisely: it uses
+// runtime.ReadMemStats, which briefly stops the world to flush every P's
+// allocation cache, so even a handful of small allocations show up in the
+// delta. Call it at batch boundaries, not inside per-utterance hot paths.
+func ReadAllocCountersExact() AllocCounters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return AllocCounters{Bytes: ms.TotalAlloc, Objects: ms.Mallocs, GCs: uint64(ms.NumGC)}
+}
+
+// Delta returns the counter advance from start to a (a must be the later
+// snapshot; the runtime counters are monotonic).
+func (a AllocCounters) Delta(start AllocCounters) AllocCounters {
+	return AllocCounters{
+		Bytes:   a.Bytes - start.Bytes,
+		Objects: a.Objects - start.Objects,
+		GCs:     a.GCs - start.GCs,
+	}
+}
+
 // Throughput aggregates a batch-decoding run for serving-style reporting:
 // how many utterances and frames were decoded in how much wall time, and
 // how well the offset cache performed. The zero value is ready for Add.
@@ -142,6 +206,13 @@ type Throughput struct {
 	// zero when the decode path does not use one.
 	CacheHits    int64
 	CacheLookups int64
+	// AllocBytes, AllocObjects and GCCycles are the process-wide heap
+	// activity observed over the batch's wall time (AllocCounters deltas).
+	// With the pooled token-store frontier they stay near-constant per
+	// frame; a regression shows up here before it shows up in ns/frame.
+	AllocBytes   int64
+	AllocObjects int64
+	GCCycles     int64
 }
 
 // Add merges another batch into t (Wall adds; for concurrent batches keep
@@ -152,6 +223,9 @@ func (t *Throughput) Add(o Throughput) {
 	t.Wall += o.Wall
 	t.CacheHits += o.CacheHits
 	t.CacheLookups += o.CacheLookups
+	t.AllocBytes += o.AllocBytes
+	t.AllocObjects += o.AllocObjects
+	t.GCCycles += o.GCCycles
 }
 
 // UtterancesPerSec is the batch decode rate in utterances per second.
@@ -184,6 +258,24 @@ func (t Throughput) CacheHitRate() float64 {
 	return float64(t.CacheHits) / float64(t.CacheLookups)
 }
 
+// AllocsPerFrame is the average heap objects allocated per decoded frame
+// over the batch (0 when no frames or no measurement).
+func (t Throughput) AllocsPerFrame() float64 {
+	if t.Frames == 0 {
+		return 0
+	}
+	return float64(t.AllocObjects) / float64(t.Frames)
+}
+
+// BytesPerFrame is the average heap bytes allocated per decoded frame over
+// the batch (0 when no frames or no measurement).
+func (t Throughput) BytesPerFrame() float64 {
+	if t.Frames == 0 {
+		return 0
+	}
+	return float64(t.AllocBytes) / float64(t.Frames)
+}
+
 // String renders the aggregates as the one-line report unfold-decode prints
 // after a parallel run.
 func (t Throughput) String() string {
@@ -192,6 +284,10 @@ func (t Throughput) String() string {
 		t.UtterancesPerSec(), t.FramesPerSec(), t.RTF())
 	if t.CacheLookups > 0 {
 		s += fmt.Sprintf(", %.1f%% cache hit", 100*t.CacheHitRate())
+	}
+	if t.AllocObjects > 0 {
+		s += fmt.Sprintf(", %.1f allocs/frame (%.0f B/frame, %d GCs)",
+			t.AllocsPerFrame(), t.BytesPerFrame(), t.GCCycles)
 	}
 	return s
 }

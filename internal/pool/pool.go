@@ -175,6 +175,9 @@ func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*
 	}()
 
 	start := time.Now()
+	// Exact (mcache-flushing) sampling: a warm batch allocates so little
+	// that the span-granular counters can round it down to zero.
+	a0 := metrics.ReadAllocCountersExact()
 	results := make([]*decoder.Result, len(scores))
 	errs := make([]*DecodeError, len(scores))
 	jobs := make(chan int)
@@ -209,12 +212,19 @@ deal:
 	close(jobs)
 	wg.Wait()
 
+	alloc := metrics.ReadAllocCountersExact().Delta(a0)
 	b := &Batch{Results: results, Errors: errs}
 	for _, r := range results {
 		if r != nil {
 			b.Decoder.Add(r.Stats)
 		}
 	}
+	// Per-utterance allocation counters double-count under concurrency
+	// (each worker's snapshot window sees the other workers' allocations),
+	// so the batch aggregate is replaced by one batch-wide delta.
+	b.Decoder.AllocBytes = int64(alloc.Bytes)
+	b.Decoder.AllocObjects = int64(alloc.Objects)
+	b.Decoder.GCCycles = int64(alloc.GCs)
 	b.Search = metrics.Search{Rescues: b.Decoder.Rescues, Failures: b.Decoder.SearchFailures}
 	for _, e := range errs {
 		if e == nil {
@@ -233,6 +243,9 @@ deal:
 		Wall:         time.Since(start),
 		CacheHits:    b.Cache.L1Hits + b.Cache.L2Hits,
 		CacheLookups: b.Cache.Lookups(),
+		AllocBytes:   int64(alloc.Bytes),
+		AllocObjects: int64(alloc.Objects),
+		GCCycles:     int64(alloc.GCs),
 	}
 	return b, ctx.Err()
 }
