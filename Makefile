@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet race fuzz-smoke cover check bench bench-report experiments
+.PHONY: all build test vet lint race fuzz-smoke cover check bench bench-report bench-check experiments
 
 all: build test
 
@@ -12,6 +12,16 @@ test: build
 	go test ./...
 
 vet:
+	go vet ./...
+
+# Fast-fail style gate: gofmt on every tracked Go file plus go vet. Runs
+# first in CI so formatting mistakes fail in seconds, not after the race
+# suite.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	go vet ./...
 
 # race-checks the whole module, in particular the concurrent DecodePool
@@ -35,10 +45,11 @@ cover:
 		printf "internal/decoder coverage: %.1f%% (floor 80%%)\n", pct; \
 		if (pct < 80) { print "FAIL: coverage below floor"; exit 1 } }'
 
-# The pre-merge gate: vet, the full suite under the race detector (which
-# includes the differential and allocation-regression tests), the decoder
-# coverage floor, and a fuzz smoke over the bundle loader.
-check: vet race cover fuzz-smoke
+# The pre-merge gate: lint (gofmt + vet), the full suite under the race
+# detector (which includes the differential and allocation-regression
+# tests), the decoder coverage floor, and a fuzz smoke over the bundle
+# loader.
+check: lint race cover fuzz-smoke
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -49,6 +60,13 @@ bench:
 bench-report:
 	go test -run '^$$' -bench 'FrontierDecode|StreamPush|ParallelDecode' -benchmem .
 	go run ./cmd/unfold-bench -out BENCH_PR3.json
+
+# Benchmark-regression smoke: re-measures the hot path and fails if any
+# row's allocs/frame exceeds the committed BENCH_PR3.json baseline.
+# Allocation counts (unlike wall-clock) are stable across machines, so this
+# is safe to run on shared CI runners.
+bench-check:
+	go run ./cmd/unfold-bench -out /tmp/unfold-bench-check.json -check BENCH_PR3.json
 
 experiments:
 	go run ./cmd/unfold-experiments -exp all -quick

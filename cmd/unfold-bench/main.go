@@ -10,6 +10,13 @@
 // Usage:
 //
 //	unfold-bench [-out BENCH_PR3.json] [-workers 4]
+//	unfold-bench -out /tmp/bench.json -check BENCH_PR3.json
+//
+// With -check, the freshly measured report is compared row-by-row against
+// the committed baseline and the process exits nonzero if any row's
+// allocs/frame regressed beyond the tolerance — the CI smoke that keeps the
+// zero-allocation frontier honest. Only allocation counts are gated:
+// they are deterministic where wall-clock figures are machine-dependent.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	unfold "repro"
@@ -82,9 +90,54 @@ func perFrame(name string, r testing.BenchmarkResult, framesPerOp int) row {
 	}
 }
 
+// checkAgainst compares the fresh report's allocation figures against a
+// committed baseline. A row regresses when its allocs/frame exceeds the
+// baseline by more than the multiplicative tolerance plus a small absolute
+// slack (so near-zero baselines don't fail on measurement noise). Rows
+// missing from either side are reported but not fatal: baselines age, and
+// renaming a benchmark must not brick CI.
+func checkAgainst(baselinePath string, rep report, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	fresh := make(map[string]row, len(rep.Rows))
+	for _, r := range rep.Rows {
+		fresh[r.Name] = r
+	}
+	const slack = 0.05 // absolute allocs/frame headroom for ~zero baselines
+	var failures []string
+	for _, b := range base.Rows {
+		r, ok := fresh[b.Name]
+		if !ok {
+			fmt.Printf("  check: baseline row %q not measured this run (skipped)\n", b.Name)
+			continue
+		}
+		limit := b.AllocsPerFrame*tolerance + slack
+		if r.AllocsPerFrame > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.3f allocs/frame > limit %.3f (baseline %.3f x tolerance %.2f)",
+				b.Name, r.AllocsPerFrame, limit, b.AllocsPerFrame, tolerance))
+		} else {
+			fmt.Printf("  check: %-24s %.3f allocs/frame <= %.3f ok\n", b.Name, r.AllocsPerFrame, limit)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regression against %s:\n  %s",
+			baselinePath, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "report path")
 	workers := flag.Int("workers", 4, "DecodePool worker count for the parallel row")
+	check := flag.String("check", "", "baseline report to gate against; exits nonzero on allocation regression")
+	tolerance := flag.Float64("tolerance", 1.25, "multiplicative allocs/frame headroom for -check")
 	flag.Parse()
 
 	sys, err := unfold.NewSystem(benchSpec)
@@ -209,4 +262,11 @@ func main() {
 	}
 	fmt.Printf("  tokenstore vs map-reference: %.1fx fewer allocs, %.1fx faster\n",
 		rep.Comparison.AllocReduction, rep.Comparison.Speedup)
+
+	if *check != "" {
+		if err := checkAgainst(*check, rep, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  no allocation regressions against %s\n", *check)
+	}
 }

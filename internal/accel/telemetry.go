@@ -1,0 +1,56 @@
+package accel
+
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// PublishTo exports a simulation Result into a telemetry registry — the
+// same counters the paper's Figures 8–13 are built from (cycles, offset
+// lookup table hits, DRAM traffic by stream, SRAM cache behaviour, and the
+// per-component energy breakdown), rendered as the serving stack's
+// /metrics families so simulated and software runs are comparable on one
+// dashboard. Repeated calls accumulate counters (simulation campaigns sum)
+// and overwrite gauges (power and area describe the design, not the run).
+// A nil registry or nil result is a no-op.
+func (r *Result) PublishTo(reg *telemetry.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.Counter("unfold_accel_frames_total", "Frames decoded by the simulated accelerator.").Add(int64(r.Frames))
+	reg.Counter("unfold_accel_cycles_total", "Simulated accelerator cycles.").Add(int64(r.Cycles))
+	reg.Counter("unfold_accel_offset_hits_total", "Offset Lookup Table hits.").Add(int64(r.OffsetHits))
+	reg.Counter("unfold_accel_offset_misses_total", "Offset Lookup Table misses.").Add(int64(r.OffsetMisses))
+	reg.Counter("unfold_accel_overflow_tokens_total", "Tokens spilled past the hash-table ways.").Add(int64(r.OverflowTokens))
+	reg.Counter("unfold_accel_dram_bytes_total", "DRAM traffic.", telemetry.L("dir", "read")).Add(int64(r.DRAMReadBytes))
+	reg.Counter("unfold_accel_dram_bytes_total", "DRAM traffic.", telemetry.L("dir", "write")).Add(int64(r.DRAMWriteBytes))
+	for _, stream := range sortedKeys(r.DRAMByStream) {
+		reg.Counter("unfold_accel_dram_stream_bytes_total", "DRAM traffic by stream.",
+			telemetry.L("stream", stream)).Add(int64(r.DRAMByStream[stream]))
+	}
+	for _, name := range sortedKeys(r.Caches) {
+		st := r.Caches[name]
+		l := telemetry.L("cache", name)
+		reg.Counter("unfold_accel_cache_accesses_total", "SRAM cache accesses.", l).Add(int64(st.Accesses))
+		reg.Counter("unfold_accel_cache_misses_total", "SRAM cache misses.", l).Add(int64(st.Misses))
+		reg.Counter("unfold_accel_cache_writes_total", "SRAM cache writes.", l).Add(int64(st.Writes))
+	}
+	for _, comp := range sortedKeys(r.EnergyJ) {
+		reg.Gauge("unfold_accel_energy_joules", "Energy by component for the last simulation.",
+			telemetry.L("component", comp)).Set(r.EnergyJ[comp])
+	}
+	reg.Gauge("unfold_accel_power_watts", "Average power of the last simulation.").Set(r.AvgPowerW)
+	reg.Gauge("unfold_accel_area_mm2", "Modelled die area.").Set(r.AreaMM2)
+}
+
+// sortedKeys returns m's keys in sorted order so exposition series are
+// registered deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,54 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestResultPublishTo checks the simulator → registry export: counters
+// accumulate across results, gauges track the latest, and labeled series
+// (DRAM streams, caches, energy components) appear in the exposition.
+func TestResultPublishTo(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := &Result{
+		Frames:         100,
+		Cycles:         5000,
+		OffsetHits:     40,
+		OffsetMisses:   10,
+		OverflowTokens: 2,
+		DRAMReadBytes:  1 << 20,
+		DRAMWriteBytes: 1 << 18,
+		DRAMByStream:   map[string]uint64{StreamArcs: 1 << 19, StreamTokens: 1 << 17},
+		Caches:         map[string]CacheStats{"state": {Accesses: 100, Misses: 7, Writes: 3}},
+		EnergyJ:        map[string]float64{"DRAM": 0.5, "SRAM": 0.25},
+		AvgPowerW:      0.462,
+		AreaMM2:        24.5,
+	}
+	r.PublishTo(reg)
+	r.PublishTo(reg) // counters accumulate, gauges overwrite
+
+	var sb strings.Builder
+	reg.WriteTo(&sb)
+	out := sb.String()
+	for _, line := range []string{
+		"unfold_accel_frames_total 200",
+		"unfold_accel_cycles_total 10000",
+		"unfold_accel_offset_hits_total 80",
+		`unfold_accel_dram_bytes_total{dir="read"} 2097152`,
+		`unfold_accel_dram_stream_bytes_total{stream="ARCS"} 1048576`,
+		`unfold_accel_cache_misses_total{cache="state"} 14`,
+		`unfold_accel_energy_joules{component="DRAM"} 0.5`,
+		"unfold_accel_power_watts 0.462",
+		"unfold_accel_area_mm2 24.5",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q\n%s", line, out)
+		}
+	}
+
+	// Nil-safety both ways.
+	r.PublishTo(nil)
+	(*Result)(nil).PublishTo(reg)
+}

@@ -72,6 +72,16 @@ type Config struct {
 	// bounded per-worker cache backed by shared storage here. On-the-fly
 	// decoder only; cache contents never change results, only probe counts.
 	OffsetCache OffsetCache
+	// Telemetry, when non-nil, publishes continuous observability for this
+	// decoder — per-frame frontier sizes, per-decode search-work counters
+	// (LM fetches, back-off hops, memo hits, prune and rescue events), and
+	// optional per-decode spans — into a telemetry registry shared with
+	// other decoders. nil (the default) disables publication: the hot path
+	// pays one branch per frame and allocates nothing, preserving the
+	// zero-allocation steady state and byte-identical results. Telemetry
+	// never changes search behaviour; it only observes Stats the search
+	// already counts.
+	Telemetry *Telemetry
 	// RescueWidenings enables search-failure rescue on the on-the-fly
 	// decoder: when a frame empties the active-token set mid-utterance, the
 	// frame is retried from a pre-pruning snapshot with the beam and

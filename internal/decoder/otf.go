@@ -88,9 +88,13 @@ func (d *OnTheFly) Decode(scores [][]float32) *Result {
 // a steady-state decode performs no per-frame heap allocation; the observed
 // allocation and GC activity is reported in Result.Stats.
 func (d *OnTheFly) DecodeContext(ctx context.Context, scores [][]float32) (*Result, error) {
+	tel := d.cfg.Telemetry
+	start := tel.now()
+	sp := tel.startSpan("decode")
 	a0 := metrics.ReadAllocCounters()
 	res, err := d.decode(ctx, scores)
 	res.Stats.recordAlloc(a0)
+	tel.recordDecode(res.Stats, start, sp)
 	return res, err
 }
 
@@ -98,6 +102,7 @@ func (d *OnTheFly) DecodeContext(ctx context.Context, scores [][]float32) (*Resu
 // allocation-counter sampling so every return path is covered.
 func (d *OnTheFly) decode(ctx context.Context, scores [][]float32) (*Result, error) {
 	cfg := d.cfg
+	tel := cfg.Telemetry
 	sc := getScratch()
 	defer putScratch(sc)
 	lat := &sc.lat
@@ -138,12 +143,14 @@ func (d *OnTheFly) decode(ctx context.Context, scores [][]float32) (*Result, err
 				// the pre-frame frontier alive instead of truncating.
 				cur.copyFrom(snap)
 				d.hook(f, cur)
+				tel.observeFrontier(cur.len())
 				continue
 			}
 			return d.finish(cur, lat, st), nil
 		}
 		cur, next = next, cur
 		d.hook(f, cur)
+		tel.observeFrontier(cur.len())
 	}
 	return d.finish(cur, lat, st), nil
 }

@@ -2,9 +2,11 @@ package decoder
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/semiring"
+	"repro/internal/telemetry"
 )
 
 // Stream is an incremental (frame-at-a-time) interface over the on-the-fly
@@ -26,12 +28,22 @@ type Stream struct {
 	a0     metrics.AllocCounters
 	dead   bool
 	frozen *tokenStore // last non-empty frontier if the search dies
+
+	// Telemetry state: counters are published incrementally (every Push
+	// adds the frame's Stats delta) so a /metrics scrape mid-utterance sees
+	// the live search, not just completed streams. published is the
+	// high-water mark of what has been pushed to the registry so far.
+	published Stats
+	start     time.Time
+	span      telemetry.Span
 }
 
 // NewStream starts an incremental decode on d.
 func (d *OnTheFly) NewStream() *Stream {
 	sc := getScratch()
-	s := &Stream{d: d, sc: sc, cur: sc.cur, next: sc.next, a0: metrics.ReadAllocCounters()}
+	tel := d.cfg.Telemetry
+	s := &Stream{d: d, sc: sc, cur: sc.cur, next: sc.next,
+		a0: metrics.ReadAllocCounters(), start: tel.now(), span: tel.startSpan("stream")}
 	s.sc.lat.reset()
 	s.cur.reset()
 	s.cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
@@ -55,10 +67,25 @@ func (s *Stream) Push(frame []float32) error {
 		s.dead = true
 		s.st.SearchFailures++
 		s.frozen = s.cur
+		s.publish()
 		return nil
 	}
 	s.cur, s.next = s.next, s.cur
+	s.publish()
 	return nil
+}
+
+// publish pushes the Stats advance since the last publication into the
+// decoder's telemetry set, plus this frame's frontier size. One branch and
+// no work when telemetry is disabled.
+func (s *Stream) publish() {
+	tel := s.d.cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	tel.publishDelta(s.st, s.published)
+	s.published = s.st
+	tel.observeFrontier(s.frontier().len())
 }
 
 // frontier returns the live active set (or the frozen one after a search
@@ -95,5 +122,7 @@ func (s *Stream) Partial() []int32 {
 func (s *Stream) Finish() *Result {
 	res := s.d.finish(s.frontier(), &s.sc.lat, s.st)
 	res.Stats.recordAlloc(s.a0)
+	s.d.cfg.Telemetry.recordStream(s.st, s.published, s.start, s.span)
+	s.published = s.st
 	return res
 }

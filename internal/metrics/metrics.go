@@ -181,6 +181,44 @@ func ReadAllocCountersExact() AllocCounters {
 	return AllocCounters{Bytes: ms.TotalAlloc, Objects: ms.Mallocs, GCs: uint64(ms.NumGC)}
 }
 
+// MemoryFootprint is a point-in-time view of the process's memory and
+// scheduler state, read cheaply via runtime/metrics (no stop-the-world).
+// It is the serving-side counterpart of the paper's Figure 8 footprint
+// comparison: a production decoder's claim to memory efficiency should be
+// continuously observable, not only measured once per experiment.
+type MemoryFootprint struct {
+	// HeapLiveBytes is the memory occupied by live objects plus dead
+	// objects not yet swept — the working-set figure a dashboard wants.
+	HeapLiveBytes uint64
+	// HeapGoalBytes is the GC's current heap-size target.
+	HeapGoalBytes uint64
+	// Goroutines is the live goroutine count (worker liveness at a glance).
+	Goroutines uint64
+}
+
+// footprintSampleNames are the runtime/metrics series backing
+// MemoryFootprint.
+var footprintSampleNames = [3]string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/sched/goroutines:goroutines",
+}
+
+// ReadMemoryFootprint samples the current process memory footprint. Cheap
+// enough to call from a metrics scrape handler.
+func ReadMemoryFootprint() MemoryFootprint {
+	var samples [3]runtimemetrics.Sample
+	for i := range samples {
+		samples[i].Name = footprintSampleNames[i]
+	}
+	runtimemetrics.Read(samples[:])
+	return MemoryFootprint{
+		HeapLiveBytes: samples[0].Value.Uint64(),
+		HeapGoalBytes: samples[1].Value.Uint64(),
+		Goroutines:    samples[2].Value.Uint64(),
+	}
+}
+
 // Delta returns the counter advance from start to a (a must be the later
 // snapshot; the runtime counters are monotonic).
 func (a AllocCounters) Delta(start AllocCounters) AllocCounters {

@@ -234,3 +234,19 @@ func TestAllocCountersDelta(t *testing.T) {
 		t.Errorf("Delta = %+v", d)
 	}
 }
+
+// TestReadMemoryFootprint sanity-checks the runtime/metrics-backed
+// footprint snapshot: a running test binary has a live heap, a GC goal,
+// and at least one goroutine.
+func TestReadMemoryFootprint(t *testing.T) {
+	fp := ReadMemoryFootprint()
+	if fp.HeapLiveBytes == 0 {
+		t.Error("HeapLiveBytes = 0")
+	}
+	if fp.HeapGoalBytes == 0 {
+		t.Error("HeapGoalBytes = 0")
+	}
+	if fp.Goroutines == 0 {
+		t.Error("Goroutines = 0")
+	}
+}

@@ -181,6 +181,23 @@ func (c *ShardedLRU) Stats() CacheStats {
 	return st
 }
 
+// NumShards reports the shard (lock-stripe) count.
+func (c *ShardedLRU) NumShards() int { return len(c.shards) }
+
+// ShardStats snapshots one shard's cumulative hit/miss/eviction counters —
+// the per-shard view telemetry exports so lock-stripe imbalance (every
+// worker hammering one hot shard) is visible, not averaged away. Safe for
+// concurrent use; out-of-range shards read as zero.
+func (c *ShardedLRU) ShardStats(shard int) (hits, misses, evictions int64) {
+	if shard < 0 || shard >= len(c.shards) {
+		return 0, 0, 0
+	}
+	s := &c.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions
+}
+
 // moveToFront makes slot the shard's most recently used entry. Caller holds
 // the shard lock.
 func (s *lruShard) moveToFront(slot int32) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/decoder"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/wfst"
 )
 
@@ -30,6 +31,13 @@ type Config struct {
 	// Decoder configures each worker's beam search. Its OffsetCache field
 	// is overwritten with the pool's tiered cache; leave it nil.
 	Decoder decoder.Config
+	// Telemetry, when non-nil, publishes pool observability — worker
+	// utilization, batch throughput and fault classes, the two-layer cache
+	// counters (live per-shard L2 callbacks, per-batch L1 deltas) — and
+	// threads its shared decoder instrument set into every worker. nil (the
+	// default) disables all telemetry work; results are identical either
+	// way. Build one with NewTelemetry.
+	Telemetry *Telemetry
 	// WrapCache, when non-nil, wraps each worker's tiered cache before it
 	// is handed to the decoder. This is the fault-injection seam
 	// internal/faultinject uses to simulate cache-layer failures (panics,
@@ -76,6 +84,11 @@ type DecodePool struct {
 
 	mu   sync.Mutex // guards against overlapping Decode calls
 	busy bool
+
+	// lastL1 is the cumulative per-worker L1 cache snapshot already
+	// published to telemetry; each batch publishes the advance past it.
+	// Only touched inside DecodeContext, which the busy flag serializes.
+	lastL1 CacheStats
 }
 
 // New builds a pool of cfg.Workers decoders over the AM and LM graphs (the
@@ -88,6 +101,7 @@ func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
 		tc := NewTieredCache(cfg.L1Entries, shared)
 		dcfg := cfg.Decoder
 		dcfg.OffsetCache = tc
+		dcfg.Telemetry = cfg.Telemetry.decoderTelemetry()
 		if cfg.WrapCache != nil {
 			dcfg.OffsetCache = cfg.WrapCache(tc)
 		}
@@ -97,6 +111,7 @@ func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
 		}
 		p.workers[i] = worker{dec: d, cache: tc}
 	}
+	cfg.Telemetry.observePool(p)
 	return p, nil
 }
 
@@ -182,6 +197,12 @@ func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*
 	errs := make([]*DecodeError, len(scores))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	// The busy gauge is extracted once: a nil pool telemetry leaves it nil,
+	// and nil-gauge updates are free no-ops.
+	var workersBusy *telemetry.Gauge
+	if p.cfg.Telemetry != nil {
+		workersBusy = p.cfg.Telemetry.WorkersBusy
+	}
 	for w := range p.workers {
 		wg.Add(1)
 		go func(w worker) {
@@ -192,7 +213,9 @@ func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*
 					errs[i] = &DecodeError{Utterance: i, Stage: StageCanceled, Cause: err}
 					continue
 				}
+				workersBusy.Inc()
 				results[i], errs[i] = decodeOne(ctx, w.dec, i, scores[i])
+				workersBusy.Dec()
 			}
 		}(p.workers[w])
 	}
@@ -237,6 +260,16 @@ deal:
 		}
 	}
 	b.Cache = p.CacheStats()
+	if tel := p.cfg.Telemetry; tel != nil {
+		var l1 CacheStats
+		for i := range p.workers {
+			l1.Add(p.workers[i].cache.Stats())
+		}
+		delta := CacheStats{L1Hits: l1.L1Hits - p.lastL1.L1Hits, L1Misses: l1.L1Misses - p.lastL1.L1Misses}
+		p.lastL1 = l1
+		tel.recordBatch(len(scores), time.Since(start),
+			searchDelta{panics: b.Search.Panics, canceled: b.Search.Canceled}, delta)
+	}
 	b.Throughput = metrics.Throughput{
 		Utterances:   len(scores),
 		Frames:       b.Decoder.Frames,

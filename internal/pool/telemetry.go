@@ -1,0 +1,122 @@
+package pool
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/decoder"
+	"repro/internal/telemetry"
+)
+
+// Telemetry is the pool's instrument set: worker utilization, batch
+// throughput, per-utterance fault classes, and the two-layer offset cache.
+// The embedded decoder set is shared by every worker, so search-work
+// counters aggregate across the whole pool. A nil *Telemetry disables all
+// of it — the pool then does no telemetry work at all.
+//
+// Cache visibility is split by layer to match the cache's locking story:
+// the shared L2's per-shard hit/miss/eviction counters already live behind
+// shard mutexes, so they are exported as scrape-time callbacks and are
+// live even mid-batch; the per-worker L1 counters are lock-free worker
+// fields, so their advance is published once per batch, after the workers
+// have quiesced.
+type Telemetry struct {
+	// Decoder is the shared per-worker decoder instrument set.
+	Decoder *decoder.Telemetry
+
+	// Batches counts completed Decode calls; Utterances counts utterances
+	// dealt to workers (including failed and canceled ones).
+	Batches    *telemetry.Counter
+	Utterances *telemetry.Counter
+	// Panics and Canceled count the batch fault classes (see
+	// metrics.Search); rescues and search failures are decoder counters.
+	Panics   *telemetry.Counter
+	Canceled *telemetry.Counter
+	// BatchSeconds is the wall-time distribution of whole batches.
+	BatchSeconds *telemetry.Histogram
+	// WorkersBusy tracks how many workers are mid-utterance right now;
+	// WorkersTotal is the pool size. Utilization = busy/total.
+	WorkersBusy  *telemetry.Gauge
+	WorkersTotal *telemetry.Gauge
+	// L1Hits and L1Misses accumulate the per-worker direct-mapped cache
+	// counters, published at batch boundaries.
+	L1Hits   *telemetry.Counter
+	L1Misses *telemetry.Counter
+
+	reg *telemetry.Registry
+}
+
+// NewTelemetry registers the pool instrument family (and a shared decoder
+// instrument set) in reg. The same Telemetry may size any number of pools;
+// their counters aggregate. A nil registry yields an inert set.
+func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry {
+	return &Telemetry{
+		Decoder:      decoder.NewTelemetry(reg, tracer),
+		Batches:      reg.Counter("unfold_pool_batches_total", "Completed batch decode calls."),
+		Utterances:   reg.Counter("unfold_pool_utterances_total", "Utterances dealt to pool workers."),
+		Panics:       reg.Counter("unfold_pool_panics_total", "Worker panics converted to typed errors."),
+		Canceled:     reg.Counter("unfold_pool_canceled_total", "Utterances cut short or skipped by cancellation."),
+		BatchSeconds: reg.Histogram("unfold_pool_batch_seconds", "Wall time per batch decode.", telemetry.ExpBuckets(0.001, 4, 10)),
+		WorkersBusy:  reg.Gauge("unfold_pool_workers_busy", "Workers decoding an utterance right now."),
+		WorkersTotal: reg.Gauge("unfold_pool_workers", "Pool worker count."),
+		L1Hits:       reg.Counter("unfold_cache_l1_hits_total", "Per-worker direct-mapped cache hits."),
+		L1Misses:     reg.Counter("unfold_cache_l1_misses_total", "Per-worker cache misses that fell through to L2."),
+		reg:          reg,
+	}
+}
+
+// decoderTelemetry returns the decoder set to thread into worker configs
+// (nil when the pool telemetry itself is nil).
+func (t *Telemetry) decoderTelemetry() *decoder.Telemetry {
+	if t == nil {
+		return nil
+	}
+	return t.Decoder
+}
+
+// observePool wires pool-shaped callbacks: the worker-count gauge and the
+// shared LRU's per-shard counters, each exported as a scrape-time callback
+// under a shard label (the counters live behind the shard mutex, so the
+// scrape is race-free and live even while a batch is in flight).
+func (t *Telemetry) observePool(p *DecodePool) {
+	if t == nil {
+		return
+	}
+	t.WorkersTotal.Set(float64(len(p.workers)))
+	c := p.shared
+	t.reg.GaugeFunc("unfold_cache_l2_entries", "Resident entries in the shared LRU.",
+		func() float64 { return float64(c.Len()) })
+	t.reg.GaugeFunc("unfold_cache_l2_capacity", "Capacity of the shared LRU.",
+		func() float64 { return float64(c.Capacity()) })
+	for i := 0; i < c.NumShards(); i++ {
+		shard := i
+		label := telemetry.L("shard", strconv.Itoa(shard))
+		t.reg.CounterFunc("unfold_cache_l2_shard_hits_total", "Shared-LRU hits by shard.",
+			func() float64 { h, _, _ := c.ShardStats(shard); return float64(h) }, label)
+		t.reg.CounterFunc("unfold_cache_l2_shard_misses_total", "Shared-LRU misses by shard.",
+			func() float64 { _, m, _ := c.ShardStats(shard); return float64(m) }, label)
+		t.reg.CounterFunc("unfold_cache_l2_shard_evictions_total", "Shared-LRU evictions by shard.",
+			func() float64 { _, _, e := c.ShardStats(shard); return float64(e) }, label)
+	}
+}
+
+// recordBatch publishes one completed batch: counts, wall time, fault
+// classes, and the L1 cache advance since the previous batch (delta
+// computed by the caller, which owns the cumulative snapshot).
+func (t *Telemetry) recordBatch(utterances int, wall time.Duration, search searchDelta, l1 CacheStats) {
+	if t == nil {
+		return
+	}
+	t.Batches.Inc()
+	t.Utterances.Add(int64(utterances))
+	t.BatchSeconds.Observe(wall.Seconds())
+	t.Panics.Add(search.panics)
+	t.Canceled.Add(search.canceled)
+	t.L1Hits.Add(l1.L1Hits)
+	t.L1Misses.Add(l1.L1Misses)
+}
+
+// searchDelta carries the per-batch fault counts into recordBatch.
+type searchDelta struct {
+	panics, canceled int64
+}

@@ -1,0 +1,164 @@
+package pool
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestPoolTelemetry runs two instrumented batches and checks the pool
+// instrument family end to end: batch/utterance counters, worker gauges,
+// the per-batch L1 deltas, the live per-shard L2 callbacks, and the shared
+// decoder counters aggregated across workers.
+func TestPoolTelemetry(t *testing.T) {
+	f := getFixture(t)
+	reg := telemetry.NewRegistry()
+	tel := NewTelemetry(reg, telemetry.NewTracer(16))
+	p, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 3, L2Shards: 4, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := p.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tel.Batches.Value(); got != 2 {
+		t.Errorf("batches counter = %d, want 2", got)
+	}
+	if got := tel.Utterances.Value(); got != int64(2*len(f.scores)) {
+		t.Errorf("utterances counter = %d, want %d", got, 2*len(f.scores))
+	}
+	if got := tel.WorkersTotal.Value(); got != 3 {
+		t.Errorf("workers gauge = %g, want 3", got)
+	}
+	if got := tel.WorkersBusy.Value(); got != 0 {
+		t.Errorf("busy gauge after quiesce = %g, want 0", got)
+	}
+	if got := tel.BatchSeconds.Count(); got != 2 {
+		t.Errorf("batch seconds observations = %d, want 2", got)
+	}
+
+	// Decoder counters are shared across workers and must sum to the batch
+	// aggregates.
+	wantFrames := int64(b1.Decoder.Frames + b2.Decoder.Frames)
+	if got := tel.Decoder.Frames.Value(); got != wantFrames {
+		t.Errorf("decoder frames = %d, want %d", got, wantFrames)
+	}
+	if got := tel.Decoder.Decodes.Value(); got != int64(2*len(f.scores)) {
+		t.Errorf("decoder decodes = %d, want %d", got, 2*len(f.scores))
+	}
+
+	// The L1 delta publication must reproduce the pool's cumulative view.
+	cache := p.CacheStats()
+	if got := tel.L1Hits.Value(); got != cache.L1Hits {
+		t.Errorf("L1 hit counter = %d, want %d", got, cache.L1Hits)
+	}
+	if got := tel.L1Misses.Value(); got != cache.L1Misses {
+		t.Errorf("L1 miss counter = %d, want %d", got, cache.L1Misses)
+	}
+
+	// Per-shard L2 callbacks: the exposition's shard series must sum to the
+	// shared LRU's aggregate counters, live.
+	var shardHits, shardMisses, shardEvictions int64
+	for i := 0; i < p.shared.NumShards(); i++ {
+		h, m, e := p.shared.ShardStats(i)
+		shardHits += h
+		shardMisses += m
+		shardEvictions += e
+	}
+	l2 := p.shared.Stats()
+	if shardHits != l2.L2Hits || shardMisses != l2.L2Misses || shardEvictions != l2.Evictions {
+		t.Errorf("per-shard sums (%d/%d/%d) disagree with aggregate (%d/%d/%d)",
+			shardHits, shardMisses, shardEvictions, l2.L2Hits, l2.L2Misses, l2.Evictions)
+	}
+
+	var sb strings.Builder
+	reg.WriteTo(&sb)
+	for _, name := range []string{
+		"unfold_pool_batches_total 2",
+		"unfold_pool_workers 3",
+		`unfold_cache_l2_shard_hits_total{shard="0"}`,
+		`unfold_cache_l2_shard_evictions_total{shard="3"}`,
+		"unfold_cache_l2_entries",
+		"unfold_decoder_frames_total",
+	} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+}
+
+// TestPoolTelemetryCancellation checks the canceled-utterance counter: a
+// pre-canceled context marks every utterance canceled and telemetry must
+// agree with Batch.Search.
+func TestPoolTelemetryCancellation(t *testing.T) {
+	f := getFixture(t)
+	tel := NewTelemetry(telemetry.NewRegistry(), nil)
+	p, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := p.DecodeContext(ctx, f.scores)
+	if err == nil {
+		t.Fatal("expected ctx error")
+	}
+	if got := tel.Canceled.Value(); got != b.Search.Canceled {
+		t.Errorf("canceled counter = %d, want %d", got, b.Search.Canceled)
+	}
+	if got := tel.Batches.Value(); got != 1 {
+		t.Errorf("batches counter = %d, want 1 (canceled batches still record)", got)
+	}
+}
+
+// TestPoolTelemetryNil pins that a nil-telemetry pool works and publishes
+// nothing, and that results are identical to an instrumented pool — the
+// observability layer must never change transcripts.
+func TestPoolTelemetryNil(t *testing.T) {
+	f := getFixture(t)
+	plain, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 2, Telemetry: NewTelemetry(telemetry.NewRegistry(), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := instr.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i].Cost != b.Results[i].Cost {
+			t.Fatalf("utt %d: telemetry changed the decode cost", i)
+		}
+		aw, bw := a.Results[i].Words, b.Results[i].Words
+		if len(aw) != len(bw) {
+			t.Fatalf("utt %d: word count differs", i)
+		}
+		for j := range aw {
+			if aw[j] != bw[j] {
+				t.Fatalf("utt %d word %d differs", i, j)
+			}
+		}
+	}
+
+	var nilTel *Telemetry
+	nilTel.observePool(plain)
+	nilTel.recordBatch(1, 0, searchDelta{}, CacheStats{})
+	if nilTel.decoderTelemetry() != nil {
+		t.Fatal("nil pool telemetry must thread a nil decoder telemetry")
+	}
+}

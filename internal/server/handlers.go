@@ -1,0 +1,281 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/decoder"
+)
+
+// utteranceRequest is one utterance's feature frames.
+type utteranceRequest struct {
+	Frames [][]float32 `json:"frames"`
+}
+
+// recognizeRequest is the /v1/recognize body: a batch of utterances.
+type recognizeRequest struct {
+	Utterances []utteranceRequest `json:"utterances"`
+}
+
+// recognizeResult is one utterance's transcript.
+type recognizeResult struct {
+	Words          []int32 `json:"words"`
+	Text           string  `json:"text"`
+	Cost           float64 `json:"cost"`
+	Frames         int     `json:"frames"`
+	Rescues        int64   `json:"rescues,omitempty"`
+	SearchFailures int64   `json:"search_failures,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// recognizeResponse is the /v1/recognize reply.
+type recognizeResponse struct {
+	Results    []recognizeResult `json:"results"`
+	Throughput struct {
+		UttPerSec    float64 `json:"utt_per_sec"`
+		FramesPerSec float64 `json:"frames_per_sec"`
+		RTF          float64 `json:"rtf"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+	} `json:"throughput"`
+}
+
+// checkDims validates every frame row against the acoustic model's feature
+// dimension so a malformed request fails with a 400, not a panic deep in
+// the scorer.
+func checkDims(frames [][]float32, dim int) error {
+	for i, f := range frames {
+		if len(f) != dim {
+			return fmt.Errorf("frame %d has dim %d, want %d", i, len(f), dim)
+		}
+	}
+	return nil
+}
+
+// handleRecognize decodes a batch of utterances through the worker pool:
+// frames are scored sequentially (scorers are not concurrency-safe), the
+// searches fan out across workers, and cancellation of the request context
+// propagates into the per-frame checks of every in-flight search.
+func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sys, p, _ := s.system()
+	if sys == nil {
+		httpError(w, http.StatusServiceUnavailable, "model not loaded")
+		return
+	}
+	var req recognizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Utterances) == 0 {
+		httpError(w, http.StatusBadRequest, "no utterances")
+		return
+	}
+	dim := sys.Task.Senones.Dim
+	scores := make([][][]float32, len(req.Utterances))
+	for i, u := range req.Utterances {
+		if len(u.Frames) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("utterance %d is empty", i))
+			return
+		}
+		if err := checkDims(u.Frames, dim); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("utterance %d: %v", i, err))
+			return
+		}
+		scores[i] = s.score(sys, u.Frames)
+	}
+	batch, err := p.DecodeContext(r.Context(), scores)
+	if batch == nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp := recognizeResponse{Results: make([]recognizeResult, len(batch.Results))}
+	for i, res := range batch.Results {
+		out := &resp.Results[i]
+		if batch.Errors[i] != nil {
+			out.Error = batch.Errors[i].Error()
+		}
+		if res == nil {
+			continue
+		}
+		out.Words = res.Words
+		out.Text = text(sys, res.Words)
+		out.Cost = float64(res.Cost)
+		out.Frames = res.Stats.Frames
+		out.Rescues = res.Stats.Rescues
+		out.SearchFailures = res.Stats.SearchFailures
+	}
+	resp.Throughput.UttPerSec = batch.Throughput.UtterancesPerSec()
+	resp.Throughput.FramesPerSec = batch.Throughput.FramesPerSec()
+	resp.Throughput.RTF = batch.Throughput.RTF()
+	resp.Throughput.CacheHitRate = batch.Throughput.CacheHitRate()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamChunk is one NDJSON input line on /v1/stream: a chunk of feature
+// frames to append to the utterance.
+type streamChunk struct {
+	Frames [][]float32 `json:"frames"`
+}
+
+// streamUpdate is the NDJSON reply line emitted after each chunk (and, with
+// Final set, after the stream ends).
+type streamUpdate struct {
+	Words  []int32 `json:"words"`
+	Text   string  `json:"text"`
+	Frames int     `json:"frames"`
+	Final  bool    `json:"final,omitempty"`
+	// Populated on the final line only.
+	Cost           float64 `json:"cost,omitempty"`
+	Rescues        int64   `json:"rescues,omitempty"`
+	SearchFailures int64   `json:"search_failures,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// handleStream runs an incremental decode over a chunked NDJSON exchange:
+// each request line carries feature frames, each response line the current
+// best partial hypothesis, flushed immediately so the client sees the
+// transcript grow while it is still sending audio. EOF on the request body
+// finalizes the utterance; cancellation (client disconnect, context
+// deadline) aborts it and counts toward unfold_server_streams_aborted_total.
+//
+// Each stream gets a private decoder — construction borrows the shared
+// graphs, so it is cheap — but all streams share one bounded offset cache,
+// so concurrent connections warm each other's offset lookups.
+//
+// Frames are scored chunk-by-chunk. Frame-stateless scorers (the GMM
+// default) produce transcripts identical to batch /v1/recognize; the
+// emulated recurrent scorer resets its temporal state at chunk boundaries,
+// which is exactly the trade-off a real streaming frontend makes.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sys, _, cache := s.system()
+	if sys == nil {
+		httpError(w, http.StatusServiceUnavailable, "model not loaded")
+		return
+	}
+	dcfg := s.cfg.Decoder
+	dcfg.OffsetCache = cache
+	dcfg.Telemetry = s.ptel.Decoder
+	dec, err := decoder.NewOnTheFly(sys.Task.AM.G, sys.Task.LMGraph.G, dcfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	s.streamsActive.Add(1)
+	s.streamsGauge.Inc()
+	defer func() {
+		s.streamsActive.Add(-1)
+		s.streamsGauge.Dec()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// HTTP/1.x servers drain the unread request body before the first
+	// response flush; a streaming exchange needs concurrent read and write
+	// or the two sides deadlock, each waiting for the other. The error is
+	// ignored deliberately: transports that don't support the switch
+	// (HTTP/2, test recorders) are already full-duplex or in-memory.
+	http.NewResponseController(w).EnableFullDuplex()
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	stream := dec.NewStream()
+	dim := sys.Task.Senones.Dim
+	frames := 0
+
+	in := json.NewDecoder(r.Body)
+	for {
+		if r.Context().Err() != nil {
+			s.streamsAborted.Inc()
+			return
+		}
+		var chunk streamChunk
+		if err := in.Decode(&chunk); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // client finished sending; finalize below
+			}
+			// Mid-stream read failure: disconnect or canceled request.
+			s.streamsAborted.Inc()
+			return
+		}
+		if err := checkDims(chunk.Frames, dim); err != nil {
+			enc.Encode(streamUpdate{Final: true, Error: err.Error()})
+			return
+		}
+		// Score the chunk (serialized: scorers are stateful) and push the
+		// rows one frame at a time, exactly as a live frontend would.
+		for _, row := range s.score(sys, chunk.Frames) {
+			if err := stream.Push(row); err != nil {
+				enc.Encode(streamUpdate{Final: true, Error: err.Error()})
+				return
+			}
+			frames++
+		}
+		words := stream.Partial()
+		enc.Encode(streamUpdate{Words: words, Text: text(sys, words), Frames: frames})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	res := stream.Finish()
+	enc.Encode(streamUpdate{
+		Words:          res.Words,
+		Text:           text(sys, res.Words),
+		Frames:         res.Stats.Frames,
+		Final:          true,
+		Cost:           float64(res.Cost),
+		Rescues:        res.Stats.Rescues,
+		SearchFailures: res.Stats.SearchFailures,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// testsetItem describes one held-out utterance.
+type testsetItem struct {
+	Utt    int         `json:"utt"`
+	Ref    string      `json:"ref"`
+	Frames int         `json:"frames"`
+	Data   [][]float32 `json:"data,omitempty"`
+}
+
+// handleTestset exposes the task's held-out utterances so a client (or the
+// runbook's curl examples) has real frames to send: GET /v1/testset lists
+// references, GET /v1/testset?utt=N includes utterance N's frames.
+func (s *Server) handleTestset(w http.ResponseWriter, r *http.Request) {
+	sys, _, _ := s.system()
+	if sys == nil {
+		httpError(w, http.StatusServiceUnavailable, "model not loaded")
+		return
+	}
+	test := sys.TestSet()
+	if q := r.URL.Query().Get("utt"); q != "" {
+		i, err := strconv.Atoi(q)
+		if err != nil || i < 0 || i >= len(test) {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("utt must be in [0,%d)", len(test)))
+			return
+		}
+		u := test[i]
+		writeJSON(w, http.StatusOK, testsetItem{
+			Utt: i, Ref: text(sys, u.Words), Frames: len(u.Frames), Data: u.Frames,
+		})
+		return
+	}
+	items := make([]testsetItem, len(test))
+	for i, u := range test {
+		items[i] = testsetItem{Utt: i, Ref: text(sys, u.Words), Frames: len(u.Frames)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(test), "utterances": items})
+}

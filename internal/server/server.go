@@ -1,0 +1,279 @@
+// Package server implements the unfold-serve HTTP frontend: a streaming
+// speech-recognition service over the on-the-fly decoder with the
+// observability surface a production deployment needs — Prometheus
+// /metrics backed by internal/telemetry, a /healthz readiness probe
+// (model loaded, worker liveness, drain state), net/http/pprof, and a
+// /debug/spans ring of recent decode traces.
+//
+// The decode paths reuse the repo's serving machinery wholesale: batch
+// recognition fans out through a pool.DecodePool; streaming recognition
+// runs a decoder.Stream per connection, with all stream decoders sharing
+// one bounded ShardedLRU offset cache so word recurrence across
+// connections keeps the cache warm (the paper's Offset Lookup Table
+// locality, at the fleet level). Telemetry is threaded through both paths
+// via the nil-safe seams, so everything /metrics shows during a live
+// decode — frontier sizes, back-off walks, cache hits — is the decoder's
+// own accounting, not server-side estimation.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	unfold "repro"
+	"repro/internal/decoder"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/telemetry"
+)
+
+// Config sizes the server. The zero value selects sensible defaults for
+// every field.
+type Config struct {
+	// Workers is the DecodePool size for batch /v1/recognize requests
+	// (defaults to GOMAXPROCS, per pool.Config).
+	Workers int
+	// Decoder configures the beam search for both the pool workers and the
+	// per-connection stream decoders. OffsetCache and Telemetry are
+	// overwritten by the server's own wiring; leave them nil.
+	Decoder decoder.Config
+	// StreamCacheEntries bounds the offset cache shared by all stream
+	// decoders. Default 1<<16.
+	StreamCacheEntries int
+	// SpanCapacity is the size of the /debug/spans ring. Default 128.
+	SpanCapacity int
+	// DisablePprof removes the net/http/pprof handlers (for deployments
+	// that must not expose profiling endpoints).
+	DisablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.StreamCacheEntries <= 0 {
+		c.StreamCacheEntries = 1 << 16
+	}
+	if c.SpanCapacity <= 0 {
+		c.SpanCapacity = 128
+	}
+	return c
+}
+
+// Server is the HTTP recognition frontend. Construct with New, install a
+// model with Load, and serve Handler. All methods are safe for concurrent
+// use.
+type Server struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	ptel   *pool.Telemetry
+	mux    *http.ServeMux
+	start  time.Time
+
+	// scorerMu serializes acoustic scoring: scorers keep per-utterance
+	// scratch state and are not concurrency-safe. The search itself (the
+	// component the pool scales) runs outside this lock.
+	scorerMu sync.Mutex
+
+	// mu guards the loaded model state below.
+	mu          sync.RWMutex
+	sys         *unfold.System
+	pool        *pool.DecodePool
+	streamCache *pool.ShardedLRU
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	streamsActive atomic.Int64
+
+	// Server-level instruments.
+	requestsByPath map[string]*telemetry.Counter
+	streamsGauge   *telemetry.Gauge
+	streamsAborted *telemetry.Counter
+}
+
+// New builds an unloaded server: every route is installed and /healthz
+// reports "loading" until Load succeeds. The registry and tracer are
+// created here and exposed via Registry/Tracer for callers that publish
+// additional instruments (the CLI's accelerator export, tests).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(cfg.SpanCapacity)
+	s := &Server{
+		cfg:    cfg,
+		reg:    reg,
+		tracer: tracer,
+		ptel:   pool.NewTelemetry(reg, tracer),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.streamsGauge = reg.Gauge("unfold_server_streams_active", "Streaming decodes in flight.")
+	s.streamsAborted = reg.Counter("unfold_server_streams_aborted_total", "Streams ended by cancellation or client disconnect.")
+	s.requestsByPath = map[string]*telemetry.Counter{}
+	for _, route := range []string{"/v1/recognize", "/v1/stream", "/v1/testset", "/healthz", "/metrics"} {
+		s.requestsByPath[route] = reg.Counter("unfold_server_requests_total", "HTTP requests by route.", telemetry.L("route", route))
+	}
+
+	// Process-level gauges: the serving view of the paper's memory
+	// footprint claim, plus liveness basics.
+	reg.GaugeFunc("unfold_process_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("unfold_process_heap_live_bytes", "Live heap bytes (runtime/metrics).",
+		func() float64 { return float64(metrics.ReadMemoryFootprint().HeapLiveBytes) })
+	reg.GaugeFunc("unfold_process_heap_goal_bytes", "GC heap-size target.",
+		func() float64 { return float64(metrics.ReadMemoryFootprint().HeapGoalBytes) })
+	reg.GaugeFunc("unfold_process_goroutines", "Live goroutines.",
+		func() float64 { return float64(metrics.ReadMemoryFootprint().Goroutines) })
+
+	s.routes()
+	return s
+}
+
+// Registry returns the server's telemetry registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Tracer returns the server's span tracer.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Load installs a recognizer system: it builds the batch DecodePool and
+// the shared stream cache, then marks the server ready. Call once at
+// startup (subsequent calls replace the model for the next request).
+func (s *Server) Load(sys *unfold.System) error {
+	p, err := sys.NewDecodePool(pool.Config{
+		Workers:   s.cfg.Workers,
+		Decoder:   s.cfg.Decoder,
+		Telemetry: s.ptel,
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sys = sys
+	s.pool = p
+	s.streamCache = pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16)
+	s.mu.Unlock()
+	s.ready.Store(true)
+	return nil
+}
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing new
+// work, while in-flight requests keep running — call on SIGTERM, then
+// http.Server.Shutdown to wait for the drain.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// routes installs every endpoint.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", s.counted("/metrics", s.reg.Handler()))
+	s.mux.Handle("/debug/spans", s.tracer.Handler())
+	s.mux.Handle("/v1/recognize", s.counted("/v1/recognize", http.HandlerFunc(s.handleRecognize)))
+	s.mux.Handle("/v1/stream", s.counted("/v1/stream", http.HandlerFunc(s.handleStream)))
+	s.mux.Handle("/v1/testset", s.counted("/v1/testset", http.HandlerFunc(s.handleTestset)))
+	if !s.cfg.DisablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// counted wraps h with the per-route request counter.
+func (s *Server) counted(route string, h http.Handler) http.Handler {
+	c := s.requestsByPath[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// healthResponse is the /healthz JSON body.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Task          string  `json:"task,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Workers       struct {
+		Total int `json:"total"`
+		Busy  int `json:"busy"`
+	} `json:"workers"`
+	StreamsActive int64  `json:"streams_active"`
+	Decodes       int64  `json:"decodes_total"`
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+}
+
+// handleHealthz reports readiness: 200 only when a model bundle is loaded
+// and the server is not draining. The body carries worker liveness (pool
+// size and how many are mid-utterance) and headline load figures either
+// way, so an unhealthy probe is still diagnosable.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requestsByPath["/healthz"].Inc()
+	var resp healthResponse
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.Draining = s.draining.Load()
+	resp.StreamsActive = s.streamsActive.Load()
+	resp.HeapLiveBytes = metrics.ReadMemoryFootprint().HeapLiveBytes
+
+	s.mu.RLock()
+	if s.sys != nil {
+		resp.Task = s.sys.Task.Spec.Name
+	}
+	if s.pool != nil {
+		resp.Workers.Total = s.pool.Workers()
+	}
+	s.mu.RUnlock()
+	resp.Workers.Busy = int(s.ptel.WorkersBusy.Value())
+	resp.Decodes = s.ptel.Decoder.Decodes.Value() + s.ptel.Decoder.Streams.Value()
+
+	code := http.StatusOK
+	switch {
+	case !s.ready.Load():
+		resp.Status = "loading"
+		code = http.StatusServiceUnavailable
+	case resp.Draining:
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	default:
+		resp.Status = "ok"
+	}
+	writeJSON(w, code, resp)
+}
+
+// system returns the loaded model state, or (nil, nil, nil) before Load.
+func (s *Server) system() (*unfold.System, *pool.DecodePool, *pool.ShardedLRU) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys, s.pool, s.streamCache
+}
+
+// score runs the acoustic scorer under the scorer lock.
+func (s *Server) score(sys *unfold.System, frames [][]float32) [][]float32 {
+	s.scorerMu.Lock()
+	defer s.scorerMu.Unlock()
+	return sys.Task.Scorer.ScoreUtterance(frames)
+}
+
+// writeJSON writes v as a JSON response with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body — clients of a JSON API should never
+// have to parse a text/plain error page.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// text renders word IDs as a space-joined surface string.
+func text(sys *unfold.System, ids []int32) string {
+	return strings.Join(sys.Words(ids), " ")
+}

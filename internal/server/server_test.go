@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	unfold "repro"
+	"repro/internal/task"
+)
+
+var (
+	fixOnce sync.Once
+	fixSys  *unfold.System
+)
+
+// getSystem builds one small recognizer shared by every test in the
+// package (construction compresses both graphs, so it is the slow part).
+func getSystem(t testing.TB) *unfold.System {
+	t.Helper()
+	fixOnce.Do(func() {
+		sys, err := unfold.NewSystem(task.Spec{
+			Name:           "server-test",
+			Vocab:          30,
+			Phones:         12,
+			TrainSentences: 250,
+			TestUtterances: 4,
+			LMMinCount:     2,
+			Seed:           42,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fixSys = sys
+	})
+	return fixSys
+}
+
+// newLoadedServer builds a ready server over the shared fixture.
+func newLoadedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	if err := s.Load(getSystem(t)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestHealthzLifecycle walks the probe through its three states: loading
+// (no model), ok, draining.
+func TestHealthzLifecycle(t *testing.T) {
+	s := New(Config{})
+	get := func() (int, healthResponse) {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		var h healthResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+			t.Fatalf("healthz body not JSON: %v", err)
+		}
+		return rec.Code, h
+	}
+
+	code, h := get()
+	if code != http.StatusServiceUnavailable || h.Status != "loading" {
+		t.Errorf("unloaded: got %d %q, want 503 loading", code, h.Status)
+	}
+
+	if err := s.Load(getSystem(t)); err != nil {
+		t.Fatal(err)
+	}
+	code, h = get()
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Errorf("loaded: got %d %q, want 200 ok", code, h.Status)
+	}
+	if h.Task != "server-test" || h.Workers.Total <= 0 {
+		t.Errorf("health body missing model info: %+v", h)
+	}
+
+	s.BeginDrain()
+	code, h = get()
+	if code != http.StatusServiceUnavailable || h.Status != "draining" || !h.Draining {
+		t.Errorf("draining: got %d %q, want 503 draining", code, h.Status)
+	}
+}
+
+// TestRecognizeBatch posts the whole test set and checks the transcripts
+// against the sequential reference path, then checks that the decode left
+// its trace in /metrics.
+func TestRecognizeBatch(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 2})
+	sys := getSystem(t)
+
+	var req recognizeRequest
+	for _, u := range sys.TestSet() {
+		req.Utterances = append(req.Utterances, utteranceRequest{Frames: u.Frames})
+	}
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recognize: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp recognizeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(sys.TestSet()) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(sys.TestSet()))
+	}
+	for i, u := range sys.TestSet() {
+		want, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Results[i].Words; fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("utt %d: server words %v != sequential %v", i, got, want)
+		}
+		if resp.Results[i].Error != "" {
+			t.Errorf("utt %d: unexpected error %q", i, resp.Results[i].Error)
+		}
+		if resp.Results[i].Text == "" {
+			t.Errorf("utt %d: empty text", i)
+		}
+	}
+	if resp.Throughput.FramesPerSec <= 0 {
+		t.Errorf("throughput not populated: %+v", resp.Throughput)
+	}
+
+	// The batch must be visible on the metrics endpoint.
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, want := range []string{
+		"unfold_pool_batches_total 1",
+		"unfold_decoder_decodes_total 4",
+		"unfold_decoder_frames_total",
+		`unfold_server_requests_total{route="/v1/recognize"} 1`,
+	} {
+		if !strings.Contains(mrec.Body.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRecognizeRejects pins the error paths: wrong method, bad JSON, empty
+// batch, and a feature-dimension mismatch.
+func TestRecognizeRejects(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		want   int
+	}{
+		{"method", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"badjson", http.MethodPost, "{", http.StatusBadRequest},
+		{"empty", http.MethodPost, `{"utterances":[]}`, http.StatusBadRequest},
+		{"emptyutt", http.MethodPost, `{"utterances":[{"frames":[]}]}`, http.StatusBadRequest},
+		{"dim", http.MethodPost, `{"utterances":[{"frames":[[1,2]]}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(tc.method, "/v1/recognize", strings.NewReader(tc.body)))
+		if rec.Code != tc.want {
+			t.Errorf("%s: got %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, rec.Body.String())
+		}
+	}
+}
+
+// TestStreamLive drives a chunked NDJSON stream over a real HTTP server and
+// checks the tentpole acceptance criterion end to end: partial hypotheses
+// arrive while the client is still sending, /metrics shows live decoder
+// counters mid-stream, and the final transcript matches the batch path.
+func TestStreamLive(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	sys := getSystem(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Stream the whole test set as one long utterance: long enough that
+	// LM back-off traffic shows up in the mid-stream metrics check.
+	var frames [][]float32
+	for _, u := range sys.TestSet() {
+		frames = append(frames, u.Frames...)
+	}
+	want, err := sys.Recognize(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream", pr)
+	enc := json.NewEncoder(pw)
+
+	// Send the first half before the request even completes: the server
+	// reads the body incrementally.
+	half := len(frames) / 2
+	go enc.Encode(streamChunk{Frames: frames[:half]})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+
+	readUpdate := func() streamUpdate {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var up streamUpdate
+		if err := json.Unmarshal(sc.Bytes(), &up); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		return up
+	}
+
+	up := readUpdate()
+	if up.Final || up.Frames != half {
+		t.Errorf("first update: final=%v frames=%d, want partial at %d", up.Final, up.Frames, half)
+	}
+
+	// Mid-stream the utterance is in flight: the live gauge must show it,
+	// and the decoder counters published per-Push must already be nonzero.
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	metricsOut := string(mbody)
+	if !strings.Contains(metricsOut, "unfold_server_streams_active 1") {
+		t.Errorf("mid-stream metrics missing live stream gauge")
+	}
+	for _, name := range []string{
+		"unfold_decoder_frames_total", "unfold_decoder_lm_fetches_total",
+		"unfold_decoder_backoff_hops_total", "unfold_decoder_frontier_tokens_count",
+	} {
+		if v := metricValue(metricsOut, name); v <= 0 {
+			t.Errorf("mid-stream metric %s = %g, want > 0", name, v)
+		}
+	}
+
+	// Second half, then EOF to finalize.
+	if err := enc.Encode(streamChunk{Frames: frames[half:]}); err != nil {
+		t.Fatal(err)
+	}
+	up = readUpdate()
+	if up.Final || up.Frames != len(frames) {
+		t.Errorf("second update: final=%v frames=%d, want partial at %d", up.Final, up.Frames, len(frames))
+	}
+	pw.Close()
+
+	fin := readUpdate()
+	if !fin.Final {
+		t.Fatalf("expected final line, got %+v", fin)
+	}
+	if fmt.Sprint(fin.Words) != fmt.Sprint(want) {
+		t.Errorf("stream words %v != batch %v", fin.Words, want)
+	}
+	if fin.Frames != len(frames) || fin.Cost == 0 {
+		t.Errorf("final line incomplete: %+v", fin)
+	}
+
+	// After the stream ends the gauge must settle back to zero.
+	if v := s.streamsGauge.Value(); v != 0 {
+		t.Errorf("streams gauge after finish = %g, want 0", v)
+	}
+	if s.streamsAborted.Value() != 0 {
+		t.Errorf("clean stream counted as aborted")
+	}
+}
+
+// metricValue extracts an unlabeled sample value from exposition text.
+func metricValue(out, name string) float64 {
+	for _, line := range strings.Split(out, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v
+		}
+	}
+	return -1
+}
+
+// TestStreamCancelMidUtterance disconnects a client halfway through an
+// utterance and checks the server aborts the stream: the aborted counter
+// increments and the live gauge returns to zero.
+func TestStreamCancelMidUtterance(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	sys := getSystem(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u := sys.TestSet()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/stream", pr)
+
+	go json.NewEncoder(pw).Encode(streamChunk{Frames: u.Frames[:len(u.Frames)/2]})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no partial before cancel: %v", sc.Err())
+	}
+
+	// Client walks away mid-utterance: cancel the request with the body
+	// pipe still open, so the server sees a broken read, not a clean EOF.
+	cancel()
+	resp.Body.Close()
+	defer pw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.streamsAborted.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.streamsAborted.Value(); got != 1 {
+		t.Fatalf("aborted counter = %d, want 1", got)
+	}
+	for s.streamsGauge.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := s.streamsGauge.Value(); v != 0 {
+		t.Errorf("streams gauge after abort = %g, want 0", v)
+	}
+}
+
+// TestTestsetEndpoint checks the demo-data endpoint: listing, fetching one
+// utterance with frames, and range validation.
+func TestTestsetEndpoint(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	sys := getSystem(t)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/testset", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	var list struct {
+		Count      int           `json:"count"`
+		Utterances []testsetItem `json:"utterances"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != len(sys.TestSet()) || len(list.Utterances) != list.Count {
+		t.Errorf("list count %d, want %d", list.Count, len(sys.TestSet()))
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/testset?utt=0", nil))
+	var item testsetItem
+	if err := json.Unmarshal(rec.Body.Bytes(), &item); err != nil {
+		t.Fatal(err)
+	}
+	if len(item.Data) != len(sys.TestSet()[0].Frames) || item.Ref == "" {
+		t.Errorf("item missing frames or ref: frames=%d ref=%q", len(item.Data), item.Ref)
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/testset?utt=99", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("out-of-range utt: %d, want 400", rec.Code)
+	}
+}
+
+// TestDebugEndpoints checks the pprof and span-ring wiring, including the
+// DisablePprof switch.
+func TestDebugEndpoints(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index: %d", rec.Code)
+	}
+
+	// A decode leaves a span in the ring.
+	sys := getSystem(t)
+	body, _ := json.Marshal(recognizeRequest{Utterances: []utteranceRequest{{Frames: sys.TestSet()[0].Frames}}})
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recognize: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/spans", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"decode"`) {
+		t.Errorf("spans endpoint missing decode span: %d %s", rec.Code, rec.Body.String())
+	}
+
+	noPprof := New(Config{DisablePprof: true})
+	rec = httptest.NewRecorder()
+	noPprof.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("disabled pprof: %d, want 404", rec.Code)
+	}
+}

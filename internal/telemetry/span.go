@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Attr is one integer-valued span attribute (frame counts, token counts,
+// rescue counts — everything a decode span wants to record is a counter).
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// SpanRecord is one completed span as stored in the tracer's ring.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer keeps the most recent completed spans in a fixed ring — enough to
+// answer "what did the last N decodes look like" from a debug endpoint
+// without unbounded memory or a tracing dependency. A nil *Tracer is a
+// valid disabled tracer: Start returns a zero Span whose End is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// Span is an in-flight measurement handle. The zero value (from a nil
+// tracer) is inert: End does nothing and costs nothing.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start begins a span. On a nil tracer it returns the inert zero Span
+// without reading the clock.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// Active reports whether the span will record on End — callers can skip
+// attribute preparation for inert spans.
+func (s Span) Active() bool { return s.t != nil }
+
+// End completes the span, recording its duration and attributes into the
+// tracer's ring. No-op on an inert span.
+func (s Span) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	rec := SpanRecord{Name: s.name, Start: s.start, Duration: time.Since(s.start), Attrs: attrs}
+	t := s.t
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total reports how many spans have completed since construction
+// (including those evicted from the ring). 0 on a nil tracer.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans, most recent first. Nil tracers
+// return nil.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	// The ring's logical order is oldest..newest starting at next (once
+	// full); walk it backwards to emit newest first.
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + 2*cap(t.ring)) % cap(t.ring)
+		if idx < len(t.ring) {
+			out = append(out, t.ring[idx])
+		}
+	}
+	return out
+}
+
+// Handler serves the retained spans as JSON — the /debug/spans endpoint.
+// A nil tracer serves an empty list.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := t.Snapshot()
+		if snap == nil {
+			snap = []SpanRecord{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			Total uint64       `json:"total"`
+			Spans []SpanRecord `json:"spans"`
+		}{t.Total(), snap})
+	})
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestNilTracer pins the disabled-tracing contract mirrored from the
+// registry: Start on a nil tracer returns an inert span whose End is free.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("decode")
+	if sp.Active() {
+		t.Fatal("nil tracer produced an active span")
+	}
+	sp.End(A("frames", 100)) // must not panic
+	if tr.Total() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+}
+
+// TestTracerRing checks capacity-bounded retention and newest-first
+// snapshots.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start("decode")
+		sp.End(A("i", int64(i)))
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot retained %d spans, want 3", len(snap))
+	}
+	// Newest first: i attrs should read 4, 3, 2.
+	for j, want := range []int64{4, 3, 2} {
+		if got := snap[j].Attrs[0].Value; got != want {
+			t.Errorf("snap[%d] attr = %d, want %d", j, got, want)
+		}
+	}
+	if snap[0].Duration < 0 {
+		t.Error("negative span duration")
+	}
+}
+
+// TestTracerPartialRing covers snapshots before the ring wraps.
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("a").End()
+	tr.Start("b").End()
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
+		t.Fatalf("partial snapshot wrong: %+v", snap)
+	}
+}
+
+// TestTracerConcurrent is the -race gate: spans ending from many
+// goroutines while snapshots are taken.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Start("decode").End(A("i", int64(i)))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Snapshot()
+			_ = tr.Total()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 8*500)
+	}
+}
+
+// TestTracerHandler checks the /debug/spans JSON shape.
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Start("decode").End(A("frames", 12))
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/spans", nil))
+	var out struct {
+		Total uint64       `json:"total"`
+		Spans []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 1 || len(out.Spans) != 1 || out.Spans[0].Name != "decode" {
+		t.Fatalf("handler payload wrong: %+v", out)
+	}
+	if out.Spans[0].Attrs[0] != A("frames", 12) {
+		t.Fatalf("attrs lost: %+v", out.Spans[0].Attrs)
+	}
+}
