@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet lint race fuzz-smoke cover check bench bench-report bench-check experiments
+.PHONY: all build test vet lint race race-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke
 
 all: build test
 
@@ -30,20 +30,36 @@ lint:
 race:
 	go test -race ./...
 
+# Extended lifecycle soak: 20 seconds of mixed batch + stream load against
+# a saturated two-worker pool with a mid-flight SIGTERM drain, under the
+# race detector. `make race` runs the same test at its 2s default; this
+# target is the pre-release deep pass (docs/LOAD.md).
+race-soak:
+	go test -race -run TestSoakMixedLoadWithDrain -soak 20s -count=1 -v ./internal/server/
+
 # 10-second randomized corruption pass over the model-bundle loader
 # (docs/ROBUSTNESS.md). Catches loader panics long fuzz runs would.
 fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s .
 
-# Coverage floor for the decoder package: the Viterbi hot path (token
-# store, pruning, rescue, streaming) must stay at least 80% covered by the
-# unit + differential + allocation suites.
+# Coverage floors: the decoder package (Viterbi hot path — token store,
+# pruning, rescue, streaming) must stay at least 80% covered; the serving
+# stack (server admission/handlers, pool, telemetry) at least 75% each.
 cover:
 	go test -coverprofile=cover.out ./internal/decoder/
 	@go tool cover -func=cover.out | awk '/^total:/ { \
 		pct = $$3 + 0; \
 		printf "internal/decoder coverage: %.1f%% (floor 80%%)\n", pct; \
 		if (pct < 80) { print "FAIL: coverage below floor"; exit 1 } }'
+	@for pkg in server pool telemetry; do \
+		go test -coverprofile=cover-$$pkg.out ./internal/$$pkg/ > cover-$$pkg.log 2>&1 || \
+			{ cat cover-$$pkg.log; rm -f cover-$$pkg.log; exit 1; }; \
+		rm -f cover-$$pkg.log; \
+		go tool cover -func=cover-$$pkg.out | awk -v pkg=$$pkg '/^total:/ { \
+			pct = $$3 + 0; \
+			printf "internal/%s coverage: %.1f%% (floor 75%%)\n", pkg, pct; \
+			if (pct < 75) { print "FAIL: coverage below floor"; exit 1 } }' || exit 1; \
+	done
 
 # The pre-merge gate: lint (gofmt + vet), the full suite under the race
 # detector (which includes the differential and allocation-regression
@@ -70,3 +86,22 @@ bench-check:
 
 experiments:
 	go run ./cmd/unfold-experiments -exp all -quick
+
+# Overload smoke (docs/LOAD.md): a 2-worker quarter-scale server takes 10
+# seconds of 4x-capacity open-loop load. The loadgen exits nonzero on any
+# 5xx, transport failure, malformed accepted response, or accepted p99
+# past 8s (the per-request deadline is 5s); the final `wait` fails if the
+# server crashed or did not drain cleanly on SIGTERM.
+loadgen-smoke:
+	go build -o /tmp/unfold-smoke-serve ./cmd/unfold-serve
+	go build -o /tmp/unfold-smoke-loadgen ./cmd/unfold-loadgen
+	@/tmp/unfold-smoke-serve -task voxforge -scale 0.25 -workers 2 \
+		-addr 127.0.0.1:18090 -max-queue 8 -degrade-low 2 -degrade-high 6 & \
+	SERVE_PID=$$!; \
+	trap "kill $$SERVE_PID 2>/dev/null" EXIT; \
+	/tmp/unfold-smoke-loadgen -target http://127.0.0.1:18090 \
+		-task voxforge -scale 0.25 -duration 10s -multiplier 4 \
+		-utt-frames 40 -max-p99 8s || exit 1; \
+	trap - EXIT; \
+	kill -TERM $$SERVE_PID; \
+	wait $$SERVE_PID

@@ -1,0 +1,450 @@
+// Command unfold-loadgen drives an unfold-serve instance with open-loop
+// load — requests launch on a fixed schedule regardless of how fast the
+// server answers, which is what makes overload visible: a closed-loop
+// client slows down with the server and never exposes the shedding path.
+//
+// Utterances are synthesized from the same seeded task generator the
+// server uses, so the run is reproducible end to end: same -task, -scale
+// and -seed produce byte-identical feature frames. The target rate is
+// either explicit (-rps) or calibrated: a short sequential warm-up
+// measures per-decode latency, capacity is estimated as
+// workers/median-latency, and the run drives -multiplier times that.
+//
+// The report is one JSON object on stdout: outcome counts (ok, shed,
+// deadline, errors), accepted-latency percentiles, and degraded-decode
+// counts. Exit status is the CI contract: nonzero when any 5xx or
+// transport failure occurred, or when accepted p99 exceeds -max-p99.
+//
+// Examples:
+//
+//	unfold-loadgen -target http://localhost:8080 -rps 20 -duration 30s
+//	unfold-loadgen -multiplier 4 -duration 10s -max-p99 8s   # 4x capacity
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	unfold "repro"
+	"repro/internal/task"
+)
+
+type options struct {
+	target      string
+	taskName    string
+	scale       float64
+	seed        int64
+	rps         float64
+	multiplier  float64
+	duration    time.Duration
+	streamFrac  float64
+	timeout     time.Duration
+	uttFrames   int
+	maxInflight int
+	waitReady   time.Duration
+	maxP99      time.Duration
+}
+
+// report is the JSON document the run prints.
+type report struct {
+	TargetRPS     float64        `json:"target_rps"`
+	AchievedRPS   float64        `json:"achieved_rps"`
+	Duration      string         `json:"duration"`
+	Sent          int64          `json:"sent"`
+	Outcomes      map[string]int `json:"outcomes"`
+	Degraded      int64          `json:"degraded"`
+	LatencyMs     latencyReport  `json:"accepted_latency_ms"`
+	CapacityRPS   float64        `json:"calibrated_capacity_rps,omitempty"`
+	FailureReason string         `json:"failure_reason,omitempty"`
+}
+
+type latencyReport struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.target, "target", "http://localhost:8080", "base URL of the server under test")
+	flag.StringVar(&o.taskName, "task", "voxforge", "task: tedlium, librispeech, voxforge, eesen (must match the server)")
+	flag.Float64Var(&o.scale, "scale", 1.0, "task scale factor (must match the server)")
+	flag.Int64Var(&o.seed, "seed", 0, "override the task seed (0 = the task's own)")
+	flag.Float64Var(&o.rps, "rps", 0, "target requests/sec (0 = calibrate and use -multiplier)")
+	flag.Float64Var(&o.multiplier, "multiplier", 4, "target = multiplier x calibrated capacity when -rps is 0")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "length of the measured run")
+	flag.Float64Var(&o.streamFrac, "stream-fraction", 0.2, "fraction of requests sent as /v1/stream")
+	flag.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-request decode deadline sent to the server")
+	flag.IntVar(&o.uttFrames, "utt-frames", 60, "cap utterance length in frames (0 = full utterances)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 256, "client-side concurrency cap; launches past it count as client_overrun")
+	flag.DurationVar(&o.waitReady, "wait-ready", 30*time.Second, "max wait for /healthz to report ready (0 = don't wait)")
+	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail when accepted p99 exceeds this (0 = no bound)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "unfold-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func specFor(name string, scale float64) (task.Spec, error) {
+	switch strings.ToLower(name) {
+	case "tedlium":
+		return unfold.KaldiTedlium(scale), nil
+	case "librispeech":
+		return unfold.KaldiLibrispeech(scale), nil
+	case "voxforge":
+		return unfold.KaldiVoxforge(scale), nil
+	case "eesen":
+		return unfold.EesenTedlium(scale), nil
+	default:
+		return task.Spec{}, fmt.Errorf("unknown task %q (tedlium, librispeech, voxforge, eesen)", name)
+	}
+}
+
+// utterances synthesizes the request payloads from the seeded generator.
+func utterances(o options) ([][][]float32, error) {
+	spec, err := specFor(o.taskName, o.scale)
+	if err != nil {
+		return nil, err
+	}
+	if o.seed != 0 {
+		spec.Seed = o.seed
+	}
+	tk, err := task.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	var utts [][][]float32
+	for _, u := range tk.Test {
+		frames := u.Frames
+		if o.uttFrames > 0 && len(frames) > o.uttFrames {
+			frames = frames[:o.uttFrames]
+		}
+		utts = append(utts, frames)
+	}
+	if len(utts) == 0 {
+		return nil, fmt.Errorf("task %s produced no test utterances", spec.Name)
+	}
+	return utts, nil
+}
+
+// waitReady polls /healthz until the server reports ready.
+func waitReady(client *http.Client, target string, limit time.Duration) (workers int, err error) {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := client.Get(target + "/healthz")
+		if err == nil {
+			var h struct {
+				Status  string `json:"status"`
+				Workers struct {
+					Total int `json:"total"`
+				} `json:"workers"`
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &h) == nil {
+				return h.Workers.Total, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("server at %s not ready after %v", target, limit)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// tally is the thread-safe outcome accumulator.
+type tally struct {
+	mu        sync.Mutex
+	outcomes  map[string]int
+	latencies []time.Duration
+	degraded  int64
+	sent      atomic.Int64
+}
+
+func newTally() *tally { return &tally{outcomes: map[string]int{}} }
+
+func (tl *tally) record(outcome string, latency time.Duration, degraded bool) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.outcomes[outcome]++
+	if outcome == "ok" {
+		tl.latencies = append(tl.latencies, latency)
+		if degraded {
+			tl.degraded++
+		}
+	}
+}
+
+func classify(status int) string {
+	switch {
+	case status == http.StatusOK:
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status == http.StatusRequestTimeout:
+		return "deadline"
+	case status == http.StatusServiceUnavailable:
+		return "unavailable"
+	case status >= 500:
+		return "5xx"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
+}
+
+// oneBatch posts a single-utterance batch and classifies the reply.
+func oneBatch(client *http.Client, o options, tl *tally, body []byte) {
+	start := time.Now()
+	resp, err := client.Post(o.target+"/v1/recognize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tl.record("transport_error", 0, false)
+		return
+	}
+	defer resp.Body.Close()
+	outcome := classify(resp.StatusCode)
+	degraded := false
+	if resp.StatusCode == http.StatusOK {
+		var r struct {
+			Degraded int `json:"degraded"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&r) != nil {
+			outcome = "bad_body"
+		}
+		degraded = r.Degraded > 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	tl.record(outcome, time.Since(start), degraded)
+}
+
+// oneStream runs a two-chunk NDJSON stream and classifies the final line.
+func oneStream(client *http.Client, o options, tl *tally, frames [][]float32) {
+	start := time.Now()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, o.target+"/v1/stream", pr)
+	if err != nil {
+		tl.record("transport_error", 0, false)
+		return
+	}
+	req.Header.Set("X-Unfold-Timeout", o.timeout.String())
+	go func() {
+		enc := json.NewEncoder(pw)
+		half := len(frames) / 2
+		if half == 0 {
+			half = len(frames)
+		}
+		enc.Encode(map[string][][]float32{"frames": frames[:half]})
+		if half < len(frames) {
+			enc.Encode(map[string][][]float32{"frames": frames[half:]})
+		}
+		pw.Close()
+	}()
+	resp, err := client.Do(req)
+	if err != nil {
+		tl.record("transport_error", 0, false)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		tl.record(classify(resp.StatusCode), 0, false)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var final struct {
+		Final    bool   `json:"final"`
+		Degraded int    `json:"degraded"`
+		Error    string `json:"error"`
+	}
+	sawFinal := false
+	for sc.Scan() {
+		if json.Unmarshal(sc.Bytes(), &final) == nil && final.Final {
+			sawFinal = true
+		}
+	}
+	switch {
+	case !sawFinal:
+		tl.record("stream_truncated", 0, false)
+	case final.Error != "":
+		tl.record("stream_error", 0, false)
+	default:
+		tl.record("ok", time.Since(start), final.Degraded > 0)
+	}
+}
+
+// calibrate measures sequential decode latency and estimates the server's
+// aggregate capacity as workers / median-latency.
+func calibrate(client *http.Client, o options, body []byte, workers int) (float64, error) {
+	const probes = 8
+	lat := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		start := time.Now()
+		resp, err := client.Post(o.target+"/v1/recognize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, fmt.Errorf("calibration request failed: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("calibration got status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	median := lat[len(lat)/2]
+	if median <= 0 {
+		median = time.Millisecond
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return float64(workers) / median.Seconds(), nil
+}
+
+func percentileMs(d []time.Duration, p float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[int(p*float64(len(s)-1))]) / float64(time.Millisecond)
+}
+
+func run(o options) error {
+	utts, err := utterances(o)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{}
+
+	workers := 0
+	if o.waitReady > 0 {
+		if workers, err = waitReady(client, o.target, o.waitReady); err != nil {
+			return err
+		}
+	}
+
+	// Request bodies are pre-marshaled: the generator cycles through the
+	// task's utterances so the server sees realistic variety.
+	bodies := make([][]byte, len(utts))
+	for i, frames := range utts {
+		bodies[i], _ = json.Marshal(map[string]any{
+			"utterances": []map[string]any{{"frames": frames}},
+			"timeout":    o.timeout.String(),
+		})
+	}
+
+	rep := report{Outcomes: map[string]int{}}
+	rate := o.rps
+	if rate <= 0 {
+		capacity, err := calibrate(client, o, bodies[0], workers)
+		if err != nil {
+			return err
+		}
+		rep.CapacityRPS = capacity
+		rate = o.multiplier * capacity
+	}
+	if rate <= 0.01 {
+		rate = 0.01
+	}
+	rep.TargetRPS = rate
+
+	tl := newTally()
+	interval := time.Duration(float64(time.Second) / rate)
+	stop := time.Now().Add(o.duration)
+	streamEvery := 0
+	if o.streamFrac > 0 {
+		streamEvery = int(1 / o.streamFrac)
+	}
+
+	// Open-loop pacing: launch i fires at start + i*interval regardless of
+	// how earlier requests fared. A fixed in-flight cap keeps the client
+	// itself from melting when the schedule outruns the server — launches
+	// past the cap are tallied as client_overrun, the open-loop equivalent
+	// of the server's own shed.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.maxInflight)
+	start := time.Now()
+	for i := 0; ; i++ {
+		next := start.Add(time.Duration(float64(i) * float64(interval)))
+		now := time.Now()
+		if now.After(stop) {
+			break
+		}
+		if next.After(now) {
+			time.Sleep(next.Sub(now))
+		}
+		tl.sent.Add(1)
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if streamEvery > 0 && i%streamEvery == streamEvery-1 {
+					oneStream(client, o, tl, utts[i%len(utts)])
+				} else {
+					oneBatch(client, o, tl, bodies[i%len(bodies)])
+				}
+			}(i)
+		default:
+			tl.record("client_overrun", 0, false)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	tl.mu.Lock()
+	rep.Outcomes = tl.outcomes
+	rep.Degraded = tl.degraded
+	rep.LatencyMs = latencyReport{
+		P50: percentileMs(tl.latencies, 0.50),
+		P95: percentileMs(tl.latencies, 0.95),
+		P99: percentileMs(tl.latencies, 0.99),
+		Max: percentileMs(tl.latencies, 1.0),
+	}
+	tl.mu.Unlock()
+	rep.Sent = tl.sent.Load()
+	rep.Duration = elapsed.String()
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Sent) / elapsed.Seconds()
+	}
+
+	// The CI contract: 5xx, transport failures and unbounded p99 are run
+	// failures, structured rejections (shed/deadline/unavailable) are not.
+	switch {
+	case rep.Outcomes["5xx"] > 0:
+		rep.FailureReason = fmt.Sprintf("%d 5xx responses", rep.Outcomes["5xx"])
+	case rep.Outcomes["transport_error"] > 0:
+		rep.FailureReason = fmt.Sprintf("%d transport errors", rep.Outcomes["transport_error"])
+	case rep.Outcomes["bad_body"] > 0 || rep.Outcomes["stream_truncated"] > 0 || rep.Outcomes["stream_error"] > 0:
+		rep.FailureReason = "malformed accepted responses"
+	case o.maxP99 > 0 && rep.LatencyMs.P99 > float64(o.maxP99)/float64(time.Millisecond):
+		rep.FailureReason = fmt.Sprintf("accepted p99 %.1fms exceeds bound %v", rep.LatencyMs.P99, o.maxP99)
+	case rep.Outcomes["ok"] == 0:
+		rep.FailureReason = "no request succeeded"
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if rep.FailureReason != "" {
+		return fmt.Errorf("run failed: %s", rep.FailureReason)
+	}
+	return nil
+}

@@ -6,6 +6,13 @@
 // flips to 503 immediately, in-flight decodes finish, then the process
 // exits.
 //
+// Load management is on by default: batch requests queue behind a bounded
+// wait queue (-max-queue) and shed with 429 + Retry-After past it, decode
+// quality steps down between the -degrade-low/-degrade-high watermarks,
+// and per-request deadlines (the `timeout` body field or X-Unfold-Timeout
+// header) free their slot the moment they expire. See docs/LOAD.md for
+// capacity planning and tuning.
+//
 // Examples:
 //
 //	unfold-serve -task voxforge -addr :8080
@@ -58,6 +65,15 @@ func main() {
 	rescue := flag.Int("rescue", 2, "search-failure rescue widenings per frame")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	noPprof := flag.Bool("no-pprof", false, "disable the /debug/pprof endpoints")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent batch decodes (0 = pool workers)")
+	maxQueue := flag.Int("max-queue", 0, "queued batch requests before shedding (0 = default 16)")
+	maxStreams := flag.Int("max-streams", 0, "concurrent streams before shedding (0 = default 32)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "decode deadline for requests without their own (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested timeouts (0 = default 2m)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint on shed responses (0 = default 1s)")
+	degradeLow := flag.Int("degrade-low", 0, "queue depth where search degradation starts (0 = max-queue/4)")
+	degradeHigh := flag.Int("degrade-high", 0, "queue depth of deepest degradation (0 = 3*max-queue/4)")
+	degradeLevels := flag.Int("degrade-levels", 0, "degradation ladder depth (0 = default 2, negative disables)")
 	flag.Parse()
 
 	spec, err := specFor(*taskName, *scale)
@@ -69,6 +85,17 @@ func main() {
 		Workers:      *workers,
 		Decoder:      decoder.Config{PreemptivePruning: true, RescueWidenings: *rescue},
 		DisablePprof: *noPprof,
+		Admission: server.AdmissionConfig{
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			MaxStreams:     *maxStreams,
+			DefaultTimeout: *defaultTimeout,
+			MaxTimeout:     *maxTimeout,
+			RetryAfter:     *retryAfter,
+			DegradeLow:     *degradeLow,
+			DegradeHigh:    *degradeHigh,
+			DegradeLevels:  *degradeLevels,
+		},
 	})
 
 	// Listen before the model is ready: /healthz answers "loading" (503)

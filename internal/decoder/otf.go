@@ -31,6 +31,10 @@ type OnTheFly struct {
 	// harness uses to compare per-frame token sets between the tokenStore
 	// path and the retained map reference; production decodes leave it nil.
 	frameHook func(frame int, keys []uint64, toks []token)
+	// preset, when non-nil, overrides the configured Beam/MaxActive — the
+	// degraded operating point a loaded server installs between decodes
+	// (SetSearchPreset). nil preserves Config exactly.
+	preset *SearchPreset
 }
 
 // NewOnTheFly builds the on-the-fly decoder over separate AM and LM graphs.
@@ -123,7 +127,7 @@ func (d *OnTheFly) decode(ctx context.Context, scores [][]float32) (*Result, err
 		if cfg.RescueWidenings > 0 {
 			snap.copyFrom(cur)
 		}
-		beam, maxActive := cfg.Beam, cfg.MaxActive
+		beam, maxActive := d.searchParams()
 		d.stepFrame(cur, next, scores[f], beam, maxActive, lat, &st, f, sc)
 		for attempt := 0; next.len() == 0 && attempt < cfg.RescueWidenings; attempt++ {
 			// Bounded escalation: restore the pre-pruning frontier and retry

@@ -1,0 +1,59 @@
+package decoder
+
+import "repro/internal/semiring"
+
+// SearchPreset is one (Beam, MaxActive) search operating point. Presets are
+// the knob a serving layer turns when load builds up: narrowing the beam
+// and the histogram cap trades a little accuracy for a large reduction in
+// per-frame work — the inverse of the rescue widening that doubles both
+// when a search dies (Config.RescueWidenings).
+type SearchPreset struct {
+	Beam      semiring.Weight
+	MaxActive int
+}
+
+// Degradation ladder floors: no preset narrows the search below these, so
+// even the most degraded decode still explores a usable beam.
+const (
+	minDegradedBeam      = semiring.Weight(4)
+	minDegradedMaxActive = 64
+)
+
+// DegradedPreset returns step level of the config's degradation ladder:
+// level 0 is the configured search, and each further level halves both the
+// beam and MaxActive, clamped at floors (beam 4, MaxActive 64). Levels past
+// the floors return the floor preset, so any non-negative level is valid.
+func (c Config) DegradedPreset(level int) SearchPreset {
+	c = c.withDefaults()
+	p := SearchPreset{Beam: c.Beam, MaxActive: c.MaxActive}
+	for ; level > 0; level-- {
+		if p.Beam/2 >= minDegradedBeam {
+			p.Beam /= 2
+		}
+		if p.MaxActive > 0 && p.MaxActive/2 >= minDegradedMaxActive {
+			p.MaxActive /= 2
+		}
+	}
+	return p
+}
+
+// SetSearchPreset overrides the decoder's Beam and MaxActive for subsequent
+// Decode/DecodeContext calls and newly created Streams. It must not be
+// called while a decode is in flight on this decoder — the pool applies
+// presets to a worker only while it holds that worker, and a server applies
+// them to a per-connection stream decoder before the stream starts. Lookup
+// strategy, pruning mode and rescue behaviour are unchanged; rescue
+// widenings double from the preset's values.
+func (d *OnTheFly) SetSearchPreset(p SearchPreset) { d.preset = &p }
+
+// ClearSearchPreset restores the configured Beam/MaxActive.
+func (d *OnTheFly) ClearSearchPreset() { d.preset = nil }
+
+// searchParams resolves the effective beam and histogram cap: the installed
+// preset when one is set, the configuration otherwise.
+func (d *OnTheFly) searchParams() (semiring.Weight, int) {
+	if d.preset != nil {
+		return d.preset.Beam, d.preset.MaxActive
+	}
+	return d.cfg.Beam, d.cfg.MaxActive
+}

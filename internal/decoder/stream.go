@@ -59,10 +59,10 @@ func (s *Stream) Push(frame []float32) error {
 	if len(frame) == 0 {
 		return fmt.Errorf("decoder: empty frame")
 	}
-	cfg := s.d.cfg
+	beam, maxActive := s.d.searchParams()
 	f := s.st.Frames
 	s.st.Frames++
-	s.d.stepFrame(s.cur, s.next, frame, cfg.Beam, cfg.MaxActive, &s.sc.lat, &s.st, f, s.sc)
+	s.d.stepFrame(s.cur, s.next, frame, beam, maxActive, &s.sc.lat, &s.st, f, s.sc)
 	if s.next.len() == 0 {
 		s.dead = true
 		s.st.SearchFailures++

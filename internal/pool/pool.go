@@ -75,19 +75,23 @@ type worker struct {
 // stays warm, which is exactly the locality the paper's Offset Lookup
 // Table exploits across utterances.
 //
-// Decode calls must not overlap: workers are stateful. Results are
-// deterministic and identical to sequential decoding for any worker count.
+// Decode calls may overlap: each call checks workers out of a free list,
+// so concurrent batches split the pool between them instead of corrupting
+// worker state (a serving frontend issues one small batch per request).
+// Results are deterministic and identical to sequential decoding for any
+// worker count and any interleaving — each utterance is decoded whole by
+// one worker, and the shared cache never changes results.
 type DecodePool struct {
 	cfg     Config
 	shared  *ShardedLRU
 	workers []worker
+	// idle is the worker free list: it holds the index of every worker not
+	// currently checked out by a Decode call.
+	idle chan int
 
-	mu   sync.Mutex // guards against overlapping Decode calls
-	busy bool
-
-	// lastL1 is the cumulative per-worker L1 cache snapshot already
-	// published to telemetry; each batch publishes the advance past it.
-	// Only touched inside DecodeContext, which the busy flag serializes.
+	// telMu serializes the telemetry L1 snapshot across overlapping batches;
+	// lastL1 is the cumulative per-worker advance already published.
+	telMu  sync.Mutex
 	lastL1 CacheStats
 }
 
@@ -111,8 +115,38 @@ func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
 		}
 		p.workers[i] = worker{dec: d, cache: tc}
 	}
+	p.idle = make(chan int, cfg.Workers)
+	for i := range p.workers {
+		p.idle <- i
+	}
 	cfg.Telemetry.observePool(p)
 	return p, nil
+}
+
+// checkout claims up to want workers: it blocks (honouring ctx) until at
+// least one is free, then greedily grabs any further idle workers without
+// waiting — a batch running alongside others takes what it can get and the
+// dealing loop balances utterances over it.
+func (p *DecodePool) checkout(ctx context.Context, want int) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ids := make([]int, 0, want)
+	select {
+	case id := <-p.idle:
+		ids = append(ids, id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	for len(ids) < want {
+		select {
+		case id := <-p.idle:
+			ids = append(ids, id)
+		default:
+			return ids, nil
+		}
+	}
+	return ids, nil
 }
 
 // Workers reports the pool's worker count.
@@ -172,29 +206,43 @@ func (p *DecodePool) Decode(scores [][][]float32) (*Batch, error) {
 //     index-aligned partial results and ctx.Err(). Utterances cut short or
 //     never started carry a StageCanceled error.
 //
-// The returned Batch is non-nil whenever the call ran (only the overlap
-// guard returns a nil Batch); the error is ctx.Err() when the context ended
-// the batch, nil otherwise — per-utterance faults live in Batch.Errors.
+// The returned Batch is always non-nil; the error is ctx.Err() when the
+// context ended the batch (including while waiting for a free worker), nil
+// otherwise — per-utterance faults live in Batch.Errors.
 func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*Batch, error) {
-	p.mu.Lock()
-	if p.busy {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("pool: overlapping Decode calls on one DecodePool")
-	}
-	p.busy = true
-	p.mu.Unlock()
-	defer func() {
-		p.mu.Lock()
-		p.busy = false
-		p.mu.Unlock()
-	}()
+	return p.DecodePresetContext(ctx, scores, nil)
+}
 
+// DecodePresetContext is DecodeContext with a search operating point: when
+// preset is non-nil, every worker this batch checks out decodes at the
+// degraded (Beam, MaxActive) point instead of its configured one — the
+// load-shedding ladder a serving frontend steps through under pressure
+// (decoder.Config.DegradedPreset). nil preset decodes at full quality; the
+// preset applies only to this batch, never to concurrent or later ones.
+func (p *DecodePool) DecodePresetContext(ctx context.Context, scores [][][]float32, preset *decoder.SearchPreset) (*Batch, error) {
 	start := time.Now()
 	// Exact (mcache-flushing) sampling: a warm batch allocates so little
 	// that the span-granular counters can round it down to zero.
 	a0 := metrics.ReadAllocCountersExact()
 	results := make([]*decoder.Result, len(scores))
 	errs := make([]*DecodeError, len(scores))
+
+	var ids []int
+	if len(scores) > 0 {
+		want := len(p.workers)
+		if len(scores) < want {
+			want = len(scores)
+		}
+		var cerr error
+		ids, cerr = p.checkout(ctx, want)
+		if cerr != nil {
+			// No worker ever ran: the whole batch is canceled work.
+			for j := range scores {
+				errs[j] = &DecodeError{Utterance: j, Stage: StageCanceled, Cause: cerr}
+			}
+		}
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	// The busy gauge is extracted once: a nil pool telemetry leaves it nil,
@@ -203,10 +251,19 @@ func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*
 	if p.cfg.Telemetry != nil {
 		workersBusy = p.cfg.Telemetry.WorkersBusy
 	}
-	for w := range p.workers {
+	for _, id := range ids {
 		wg.Add(1)
-		go func(w worker) {
+		go func(id int) {
 			defer wg.Done()
+			w := p.workers[id]
+			// The caller holds the worker exclusively until it is returned
+			// to the free list, so installing the batch's operating point
+			// here cannot race with another batch.
+			if preset != nil {
+				w.dec.SetSearchPreset(*preset)
+			} else {
+				w.dec.ClearSearchPreset()
+			}
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					// Drain the remaining dealt jobs cheaply.
@@ -217,19 +274,22 @@ func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*
 				results[i], errs[i] = decodeOne(ctx, w.dec, i, scores[i])
 				workersBusy.Dec()
 			}
-		}(p.workers[w])
+			p.idle <- id
+		}(id)
 	}
-deal:
-	for i := range scores {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			// Utterance i and everything after it were never dealt; mark
-			// them canceled (workers only touch indices they received).
-			for j := i; j < len(scores); j++ {
-				errs[j] = &DecodeError{Utterance: j, Stage: StageCanceled, Cause: ctx.Err()}
+	if len(ids) > 0 {
+	deal:
+		for i := range scores {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// Utterance i and everything after it were never dealt; mark
+				// them canceled (workers only touch indices they received).
+				for j := i; j < len(scores); j++ {
+					errs[j] = &DecodeError{Utterance: j, Stage: StageCanceled, Cause: ctx.Err()}
+				}
+				break deal
 			}
-			break deal
 		}
 	}
 	close(jobs)
@@ -265,8 +325,13 @@ deal:
 		for i := range p.workers {
 			l1.Add(p.workers[i].cache.Stats())
 		}
+		// The snapshot/advance pair is serialized across overlapping
+		// batches, so each L1 increment is published exactly once even
+		// when several batches finish together.
+		p.telMu.Lock()
 		delta := CacheStats{L1Hits: l1.L1Hits - p.lastL1.L1Hits, L1Misses: l1.L1Misses - p.lastL1.L1Misses}
 		p.lastL1 = l1
+		p.telMu.Unlock()
 		tel.recordBatch(len(scores), time.Since(start),
 			searchDelta{panics: b.Search.Panics, canceled: b.Search.Canceled}, delta)
 	}
@@ -303,7 +368,8 @@ func decodeOne(ctx context.Context, dec *decoder.OnTheFly, i int, scores [][]flo
 }
 
 // CacheStats merges the shared LRU's counters with every worker's L1
-// counters. Call between Decode calls (workers must be idle).
+// counters. Safe to call at any time; a snapshot taken while batches are in
+// flight includes their work so far.
 func (p *DecodePool) CacheStats() CacheStats {
 	st := p.shared.Stats()
 	for i := range p.workers {

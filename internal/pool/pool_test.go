@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -143,25 +144,101 @@ func TestDecodePoolThroughputAndCache(t *testing.T) {
 	}
 }
 
-// TestDecodePoolRejectsOverlap ensures a second Decode while one is in
-// flight fails fast instead of corrupting worker state.
-func TestDecodePoolRejectsOverlap(t *testing.T) {
+// TestDecodePoolConcurrentBatches overlaps many Decode calls on one pool —
+// the serving pattern, one small batch per HTTP request — and checks that
+// worker checkout keeps every result byte-identical to a sequential decode.
+// Run under -race this is the pool's overlap-safety proof.
+func TestDecodePoolConcurrentBatches(t *testing.T) {
 	f := getFixture(t)
+	want := make([][]int32, len(f.scores))
+	seq, err := decoder.NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, decoder.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range f.scores {
+		want[i] = seq.Decode(sc).Words
+	}
+
 	p, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.mu.Lock()
-	p.busy = true
-	p.mu.Unlock()
-	if _, err := p.Decode(f.scores[:1]); err == nil {
-		t.Fatal("overlapping Decode did not error")
+	const callers = 6
+	const rounds = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				utt := (c + r) % len(f.scores)
+				b, err := p.Decode(f.scores[utt : utt+1])
+				if err != nil || b.Failed() != 0 {
+					errCh <- fmt.Errorf("caller %d round %d: err=%v failed=%d", c, r, err, b.Failed())
+					return
+				}
+				if fmt.Sprint(b.Results[0].Words) != fmt.Sprint(want[utt]) {
+					errCh <- fmt.Errorf("caller %d round %d: utt %d diverged from sequential", c, r, utt)
+					return
+				}
+			}
+		}(c)
 	}
-	p.mu.Lock()
-	p.busy = false
-	p.mu.Unlock()
-	if _, err := p.Decode(f.scores[:1]); err != nil {
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Every worker must be back on the free list.
+	if got := len(p.idle); got != p.Workers() {
+		t.Errorf("free list holds %d workers after quiescence, want %d", got, p.Workers())
+	}
+}
+
+// TestDecodePoolPreset checks the degraded-preset path: a preset batch
+// matches a pool configured at that operating point, and the very next
+// full-quality batch on the same workers is byte-identical to sequential —
+// presets never leak across batches.
+func TestDecodePoolPreset(t *testing.T) {
+	f := getFixture(t)
+	preset := decoder.Config{}.DegradedPreset(2)
+	oracle, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 2,
+		Decoder: decoder.Config{Beam: preset.Beam, MaxActive: preset.MaxActive}})
+	if err != nil {
 		t.Fatal(err)
+	}
+	wantDeg, err := oracle.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := New(f.tk.AM.G, f.tk.LMGraph.G, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full1, err := p.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := p.DecodePresetContext(context.Background(), f.scores, &preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.scores {
+		if fmt.Sprint(deg.Results[i].Words) != fmt.Sprint(wantDeg.Results[i].Words) {
+			t.Errorf("utt %d: preset batch %v != equivalently configured pool %v",
+				i, deg.Results[i].Words, wantDeg.Results[i].Words)
+		}
+	}
+	full2, err := p.Decode(f.scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.scores {
+		if fmt.Sprint(full2.Results[i].Words) != fmt.Sprint(full1.Results[i].Words) {
+			t.Errorf("utt %d: full-quality decode changed after a preset batch", i)
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
 package pool
 
+import "sync/atomic"
+
 // l1Entry is one slot of a worker's direct-mapped front cache.
 type l1Entry struct {
 	key   uint64
@@ -15,14 +17,16 @@ type l1Entry struct {
 // every binary search any worker performs.
 //
 // A TieredCache must be used by a single goroutine at a time (the shared
-// layer does its own locking). Hit/miss counters are plain fields read by
-// the pool only after its workers have quiesced.
+// layer does its own locking). Hit/miss counters are atomics so the pool
+// can aggregate them while other workers are mid-decode — overlapping
+// batches snapshot cache statistics without waiting for pool-wide
+// quiescence.
 type TieredCache struct {
 	l1     []l1Entry
 	mask   uint64
 	shared *ShardedLRU
 
-	l1Hits, l1Misses int64
+	l1Hits, l1Misses atomic.Int64
 }
 
 // NewTieredCache fronts shared with a direct-mapped table of l1Entries
@@ -49,10 +53,10 @@ func (c *TieredCache) slot(key uint64) *l1Entry {
 func (c *TieredCache) Get(key uint64) (int32, bool) {
 	e := c.slot(key)
 	if e.valid && e.key == key {
-		c.l1Hits++
+		c.l1Hits.Add(1)
 		return e.val, true
 	}
-	c.l1Misses++
+	c.l1Misses.Add(1)
 	if c.shared == nil {
 		return 0, false
 	}
@@ -81,8 +85,9 @@ func (c *TieredCache) Reset() {
 }
 
 // Stats snapshots this worker's L1 counters (L2 columns are zero here; the
-// shared layer reports them once, pool-wide). Call only while the worker is
-// idle.
+// shared layer reports them once, pool-wide). Safe to call at any time; the
+// two counters are loaded independently, so a mid-decode snapshot can be
+// off by the probe in flight.
 func (c *TieredCache) Stats() CacheStats {
-	return CacheStats{L1Hits: c.l1Hits, L1Misses: c.l1Misses}
+	return CacheStats{L1Hits: c.l1Hits.Load(), L1Misses: c.l1Misses.Load()}
 }

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	unfold "repro"
+	"repro/internal/task"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden /v1/recognize fixtures")
+
+// goldenScale mirrors internal/experiments/golden_test.go: the four
+// evaluation tasks at quarter scale, four held-out utterances each.
+const (
+	goldenScale      = 0.25
+	goldenUtterances = 4
+)
+
+// goldenRecognize is the recorded wire contract for one task: the exact
+// response body /v1/recognize produced, minus the wall-time-dependent
+// throughput block.
+type goldenRecognize struct {
+	Task     string            `json:"task"`
+	Results  []recognizeResult `json:"results"`
+	Degraded int               `json:"degraded"`
+}
+
+func goldenPath(taskName string) string {
+	return filepath.Join("testdata", "golden_recognize_"+taskName+".json")
+}
+
+// TestGoldenRecognizeResponses replays the four evaluation tasks through
+// the full HTTP path — request JSON in, response JSON out — against
+// committed fixtures. Everything semantically meaningful must match the
+// fixture exactly (words, surface text, frame counts, rescue/failure
+// stats, degraded level 0), costs to 1e-3; throughput is excluded as
+// wall-time noise. This pins the wire contract the same way the
+// experiments package pins the decoder: an intentional change re-records
+// with -update and shows up as a reviewable fixture diff — in particular,
+// the load-management layer at rest must leave every byte of the decode
+// path untouched.
+func TestGoldenRecognizeResponses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay builds four systems; skipped in -short")
+	}
+	for _, spec := range task.AllSpecs(goldenScale) {
+		spec.TestUtterances = goldenUtterances
+		t.Run(spec.Name, func(t *testing.T) {
+			sys, err := unfold.NewSystem(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(Config{Workers: 2})
+			if err := s.Load(sys); err != nil {
+				t.Fatal(err)
+			}
+
+			var req recognizeRequest
+			for _, u := range sys.TestSet() {
+				req.Utterances = append(req.Utterances, utteranceRequest{Frames: u.Frames})
+			}
+			body, _ := json.Marshal(req)
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("recognize: %d %s", rec.Code, rec.Body.String())
+			}
+			var resp recognizeResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			got := goldenRecognize{Task: spec.Name, Results: resp.Results, Degraded: resp.Degraded}
+
+			path := goldenPath(spec.Name)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run `go test ./internal/server -run Golden -update`): %v", err)
+			}
+			var want goldenRecognize
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			compareGoldenResponse(t, got, want)
+		})
+	}
+}
+
+func compareGoldenResponse(t *testing.T, got, want goldenRecognize) {
+	t.Helper()
+	if got.Degraded != want.Degraded {
+		t.Errorf("degraded: got %d, fixture %d", got.Degraded, want.Degraded)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("got %d results, fixture has %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		g, w := got.Results[i], want.Results[i]
+		if fmtWords(g.Words) != fmtWords(w.Words) {
+			t.Errorf("utt %d words: got %v, fixture %v", i, g.Words, w.Words)
+		}
+		if g.Text != w.Text {
+			t.Errorf("utt %d text: got %q, fixture %q", i, g.Text, w.Text)
+		}
+		if math.Abs(g.Cost-w.Cost) > 1e-3 {
+			t.Errorf("utt %d cost: got %v, fixture %v", i, g.Cost, w.Cost)
+		}
+		if g.Frames != w.Frames || g.Rescues != w.Rescues || g.SearchFailures != w.SearchFailures {
+			t.Errorf("utt %d stats: got {frames %d rescues %d failures %d}, fixture {%d %d %d}",
+				i, g.Frames, g.Rescues, g.SearchFailures, w.Frames, w.Rescues, w.SearchFailures)
+		}
+		if g.Error != w.Error {
+			t.Errorf("utt %d error: got %q, fixture %q", i, g.Error, w.Error)
+		}
+	}
+}
+
+func fmtWords(w []int32) string {
+	b, _ := json.Marshal(w)
+	return string(b)
+}

@@ -1,12 +1,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/decoder"
 )
@@ -16,9 +20,25 @@ type utteranceRequest struct {
 	Frames [][]float32 `json:"frames"`
 }
 
-// recognizeRequest is the /v1/recognize body: a batch of utterances.
+// recognizeRequest is the /v1/recognize body: a batch of utterances, plus
+// an optional decode deadline as a Go duration string ("2s", "750ms");
+// the X-Unfold-Timeout header is the fallback when the field is empty.
 type recognizeRequest struct {
 	Utterances []utteranceRequest `json:"utterances"`
+	Timeout    string             `json:"timeout,omitempty"`
+}
+
+// compatibleContentType reports whether an explicitly-set Content-Type can
+// carry the JSON bodies the decode routes accept. Requests without the
+// header are taken at face value (curl one-liners and existing clients
+// omit it), so only an explicit wrong type earns a 415.
+func compatibleContentType(ct string) bool {
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || mt == "application/x-ndjson" ||
+		mt == "text/json" || strings.HasSuffix(mt, "+json")
 }
 
 // recognizeResult is one utterance's transcript.
@@ -32,9 +52,12 @@ type recognizeResult struct {
 	Error          string  `json:"error,omitempty"`
 }
 
-// recognizeResponse is the /v1/recognize reply.
+// recognizeResponse is the /v1/recognize reply. Degraded is the ladder
+// level the batch decoded at (absent when full quality), so a client can
+// tell a pressure-narrowed transcript from a full-search one.
 type recognizeResponse struct {
 	Results    []recognizeResult `json:"results"`
+	Degraded   int               `json:"degraded,omitempty"`
 	Throughput struct {
 		UttPerSec    float64 `json:"utt_per_sec"`
 		FramesPerSec float64 `json:"frames_per_sec"`
@@ -55,48 +78,129 @@ func checkDims(frames [][]float32, dim int) error {
 	return nil
 }
 
-// handleRecognize decodes a batch of utterances through the worker pool:
-// frames are scored sequentially (scorers are not concurrency-safe), the
-// searches fan out across workers, and cancellation of the request context
-// propagates into the per-frame checks of every in-flight search.
+// handleRecognize decodes a batch of utterances through the worker pool,
+// behind the admission gate: validation is free and happens first, then the
+// request claims an execution slot (queueing behind at most MaxQueue
+// waiters, shedding with a structured 429 past that), decodes at the
+// degradation level the current queue depth selects, and frees its slot the
+// moment its deadline fires — an expired request never occupies a worker.
+// Frames are scored sequentially (scorers are not concurrency-safe); the
+// searches fan out across the pool.
 func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	outcome := "error"
+	defer func() { s.observeLatency("/v1/recognize", outcome, start) }()
+
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		outcome = "invalid"
+		s.fail(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" && !compatibleContentType(ct) {
+		outcome = "invalid"
+		s.fail(w, http.StatusUnsupportedMediaType, "content_type", fmt.Sprintf("cannot decode %q; send application/json", ct))
+		return
+	}
+	if s.draining.Load() {
+		outcome = "unavailable"
+		s.fail(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	sys, p, _ := s.system()
 	if sys == nil {
-		httpError(w, http.StatusServiceUnavailable, "model not loaded")
+		outcome = "unavailable"
+		s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Admission.MaxBodyBytes)
 	var req recognizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		outcome = "invalid"
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad_json", "bad JSON: "+err.Error())
 		return
 	}
 	if len(req.Utterances) == 0 {
-		httpError(w, http.StatusBadRequest, "no utterances")
+		outcome = "invalid"
+		s.fail(w, http.StatusBadRequest, "empty_batch", "no utterances")
 		return
 	}
 	dim := sys.Task.Senones.Dim
-	scores := make([][][]float32, len(req.Utterances))
 	for i, u := range req.Utterances {
 		if len(u.Frames) == 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("utterance %d is empty", i))
+			outcome = "invalid"
+			s.fail(w, http.StatusBadRequest, "empty_utterance", fmt.Sprintf("utterance %d is empty", i))
 			return
 		}
 		if err := checkDims(u.Frames, dim); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("utterance %d: %v", i, err))
+			outcome = "invalid"
+			s.fail(w, http.StatusBadRequest, "bad_dims", fmt.Sprintf("utterance %d: %v", i, err))
 			return
 		}
-		scores[i] = s.score(sys, u.Frames)
 	}
-	batch, err := p.DecodeContext(r.Context(), scores)
-	if batch == nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+	timeout, err := s.admit.parseTimeout(r, req.Timeout)
+	if err != nil {
+		outcome = "invalid"
+		s.fail(w, http.StatusBadRequest, "bad_timeout", err.Error())
 		return
 	}
-	resp := recognizeResponse{Results: make([]recognizeResult, len(batch.Results))}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	release, aerr := s.admit.acquire(ctx)
+	if aerr != nil {
+		switch {
+		case errors.Is(aerr, errShed):
+			outcome = "shed"
+			s.shed(w, "/v1/recognize")
+		case errors.Is(aerr, context.DeadlineExceeded):
+			outcome = "deadline"
+			s.fail(w, http.StatusRequestTimeout, "deadline", "deadline expired before a decode slot was free")
+		default:
+			// Client went away while queued; nobody is listening for a body.
+			outcome = "canceled"
+		}
+		return
+	}
+	defer release()
+
+	// Sample the pressure controller once per request: the level the queue
+	// depth selects now is the operating point for this whole batch.
+	level := s.admit.level()
+	var preset *decoder.SearchPreset
+	if level > 0 {
+		pr := s.cfg.Decoder.DegradedPreset(level)
+		preset = &pr
+		s.degradedTotal.Inc()
+	}
+
+	// Scoring happens under the execution slot — it is real CPU work, and
+	// admitting it unbounded would defeat the gate.
+	scores := make([][][]float32, len(req.Utterances))
+	for i, u := range req.Utterances {
+		scores[i] = s.score(sys, u.Frames)
+	}
+	batch, _ := p.DecodePresetContext(ctx, scores, preset)
+	if cerr := ctx.Err(); cerr != nil {
+		if errors.Is(cerr, context.DeadlineExceeded) {
+			outcome = "deadline"
+			s.fail(w, http.StatusRequestTimeout, "deadline", "decode exceeded the request deadline")
+		} else {
+			outcome = "canceled"
+		}
+		return
+	}
+	outcome = "ok"
+	resp := recognizeResponse{Results: make([]recognizeResult, len(batch.Results)), Degraded: level}
 	for i, res := range batch.Results {
 		out := &resp.Results[i]
 		if batch.Errors[i] != nil {
@@ -136,6 +240,7 @@ type streamUpdate struct {
 	Cost           float64 `json:"cost,omitempty"`
 	Rescues        int64   `json:"rescues,omitempty"`
 	SearchFailures int64   `json:"search_failures,omitempty"`
+	Degraded       int     `json:"degraded,omitempty"`
 	Error          string  `json:"error,omitempty"`
 }
 
@@ -155,22 +260,69 @@ type streamUpdate struct {
 // emulated recurrent scorer resets its temporal state at chunk boundaries,
 // which is exactly the trade-off a real streaming frontend makes.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	outcome := "error"
+	defer func() { s.observeLatency("/v1/stream", outcome, begin) }()
+
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		outcome = "invalid"
+		s.fail(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" && !compatibleContentType(ct) {
+		outcome = "invalid"
+		s.fail(w, http.StatusUnsupportedMediaType, "content_type", fmt.Sprintf("cannot decode %q; send application/x-ndjson", ct))
+		return
+	}
+	if s.draining.Load() {
+		outcome = "unavailable"
+		s.fail(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	sys, _, cache := s.system()
 	if sys == nil {
-		httpError(w, http.StatusServiceUnavailable, "model not loaded")
+		outcome = "unavailable"
+		s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		return
 	}
+	timeout, err := s.admit.parseTimeout(r, "")
+	if err != nil {
+		outcome = "invalid"
+		s.fail(w, http.StatusBadRequest, "bad_timeout", err.Error())
+		return
+	}
+	// Streams are long-lived, so there is no queue: past MaxStreams the
+	// honest answer is an immediate shed, not minutes of head-of-line wait.
+	releaseStream, ok := s.admit.acquireStream()
+	if !ok {
+		outcome = "shed"
+		s.shed(w, "/v1/stream")
+		return
+	}
+	defer releaseStream()
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	dcfg := s.cfg.Decoder
 	dcfg.OffsetCache = cache
 	dcfg.Telemetry = s.ptel.Decoder
 	dec, err := decoder.NewOnTheFly(sys.Task.AM.G, sys.Task.LMGraph.G, dcfg)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.fail(w, http.StatusInternalServerError, "internal", err.Error())
 		return
+	}
+	// The pressure level at connection time sets this stream's operating
+	// point; the decoder is private to the connection, so installing the
+	// preset here cannot race with other streams.
+	level := s.admit.level()
+	if level > 0 {
+		dec.SetSearchPreset(s.cfg.Decoder.DegradedPreset(level))
+		s.degradedTotal.Inc()
 	}
 
 	s.streamsActive.Add(1)
@@ -195,7 +347,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	in := json.NewDecoder(r.Body)
 	for {
-		if r.Context().Err() != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				// The stream outlived its decode deadline: tell the client
+				// on the wire it is already reading, then stop.
+				outcome = "deadline"
+				enc.Encode(streamUpdate{Final: true, Degraded: level, Error: "stream exceeded its decode deadline"})
+			} else {
+				outcome = "canceled"
+			}
 			s.streamsAborted.Inc()
 			return
 		}
@@ -205,10 +365,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				break // client finished sending; finalize below
 			}
 			// Mid-stream read failure: disconnect or canceled request.
+			outcome = "canceled"
 			s.streamsAborted.Inc()
 			return
 		}
 		if err := checkDims(chunk.Frames, dim); err != nil {
+			outcome = "invalid"
 			enc.Encode(streamUpdate{Final: true, Error: err.Error()})
 			return
 		}
@@ -229,6 +391,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := stream.Finish()
+	outcome = "ok"
 	enc.Encode(streamUpdate{
 		Words:          res.Words,
 		Text:           text(sys, res.Words),
@@ -237,6 +400,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Cost:           float64(res.Cost),
 		Rescues:        res.Stats.Rescues,
 		SearchFailures: res.Stats.SearchFailures,
+		Degraded:       level,
 	})
 	if flusher != nil {
 		flusher.Flush()

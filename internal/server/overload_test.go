@@ -1,0 +1,354 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// overloadOutcomes tallies what a fleet of clients saw.
+type overloadOutcomes struct {
+	mu        sync.Mutex
+	ok        int
+	okLatency []time.Duration
+	shed      int
+	deadline  int
+	degraded  int
+	other     map[int]int // status -> count, for anything unexpected
+	fiveXX    int
+}
+
+func (o *overloadOutcomes) record(status int, latency time.Duration, degraded int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch {
+	case status == http.StatusOK:
+		o.ok++
+		o.okLatency = append(o.okLatency, latency)
+		if degraded > 0 {
+			o.degraded++
+		}
+	case status == http.StatusTooManyRequests:
+		o.shed++
+	case status == http.StatusRequestTimeout:
+		o.deadline++
+	default:
+		if o.other == nil {
+			o.other = map[int]int{}
+		}
+		o.other[status]++
+		if status >= 500 {
+			o.fiveXX++
+		}
+	}
+}
+
+func percentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+// waitUntil polls cond to true with a hard deadline; admission state
+// transitions are fast, so the 5s bound only ever trips on a real hang.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestOverloadSheddingAndDegradation is the acceptance test for the load
+// management layer, in two phases.
+//
+// Phase 1 pins the admission outcomes deterministically: with every
+// execution slot held (exactly the state two long decodes produce) and the
+// queue filled by real requests, the next request MUST shed with a
+// structured 429, the episode MUST be scrape-visible on /metrics, and the
+// queued requests MUST decode degraded once slots free — no scheduler race
+// decides whether overload "happened".
+//
+// Phase 2 drives a closed-loop client fleet several times the pool
+// capacity with per-request deadlines and must observe
+//
+//   - zero 5xx — every rejection is a structured 429 (Retry-After header
+//     plus machine-readable body) or a 408 deadline,
+//   - a bounded accepted p99: the per-request deadline caps how long any
+//     accepted decode can take, so p99 of the 200s stays under
+//     deadline + scheduling slack,
+//   - the episode on /metrics mid-run, and full quality restored once
+//     load clears.
+func TestOverloadSheddingAndDegradation(t *testing.T) {
+	s := newLoadedServer(t, Config{
+		Workers: 2,
+		Admission: AdmissionConfig{
+			MaxConcurrent: 2,
+			MaxQueue:      4,
+			DegradeLow:    1,
+			DegradeHigh:   3,
+			DegradeLevels: 2,
+		},
+	})
+	sys := getSystem(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One short utterance keeps each decode fast, so the fleet drives many
+	// admission decisions per second instead of a few long decodes.
+	frames := sys.TestSet()[0].Frames
+	if len(frames) > 40 {
+		frames = frames[:40]
+	}
+	const deadline = 2 * time.Second
+	body, _ := json.Marshal(recognizeRequest{
+		Utterances: []utteranceRequest{{Frames: frames}},
+		Timeout:    deadline.String(),
+	})
+
+	// ---- Phase 1: deterministic saturation -----------------------------
+	// Hold both execution slots, then fill the wait queue with real
+	// requests whose generous deadline outlives the whole phase.
+	longBody, _ := json.Marshal(recognizeRequest{
+		Utterances: []utteranceRequest{{Frames: frames}},
+		Timeout:    "30s",
+	})
+	for i := 0; i < s.admit.cfg.MaxConcurrent; i++ {
+		s.admit.slots <- struct{}{}
+	}
+	queuedResp := make(chan *http.Response, s.admit.cfg.MaxQueue)
+	var qwg sync.WaitGroup
+	for i := 0; i < s.admit.cfg.MaxQueue; i++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			resp, err := http.Post(ts.URL+"/v1/recognize", "application/json", bytes.NewReader(longBody))
+			if err != nil {
+				t.Errorf("queued request failed: %v", err)
+				return
+			}
+			queuedResp <- resp
+		}()
+	}
+	waitUntil(t, "queue to fill", func() bool { return s.admit.depth() == s.admit.cfg.MaxQueue })
+
+	// The queue is full, so the next arrival must be shed — structured.
+	resp, err := http.Post(ts.URL+"/v1/recognize", "application/json", bytes.NewReader(longBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request into a full queue: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var shedBody errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&shedBody); err != nil || shedBody.Reason != "overloaded" || shedBody.RetryAfterSeconds <= 0 {
+		t.Errorf("429 body malformed: %v %+v", err, shedBody)
+	}
+	resp.Body.Close()
+
+	// The saturated episode is scrape-visible while it is happening.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, name := range []string{
+		"unfold_server_queue_depth 4",
+		"unfold_server_queue_capacity 4",
+		"unfold_server_degrade_level 2",
+		`unfold_server_shed_total{route="/v1/recognize"} 1`,
+	} {
+		if !strings.Contains(string(mb), name) {
+			t.Errorf("saturated /metrics missing %q", name)
+		}
+	}
+
+	// Free the slots: the queued requests start decoding while the queue
+	// behind them is still deep, so the first dequeuers sample a pressure
+	// level above zero and must come back marked degraded.
+	for i := 0; i < s.admit.cfg.MaxConcurrent; i++ {
+		<-s.admit.slots
+	}
+	qwg.Wait()
+	close(queuedResp)
+	degradedQueued := 0
+	for resp := range queuedResp {
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("queued request finished %d, want 200", resp.StatusCode)
+		}
+		var r recognizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Errorf("queued 200 with unreadable body: %v", err)
+		}
+		resp.Body.Close()
+		if r.Degraded > 0 {
+			degradedQueued++
+		}
+	}
+	if degradedQueued == 0 {
+		t.Error("pressure controller never engaged: no queued request decoded degraded")
+	}
+
+	// ---- Phase 2: closed-loop fleet ------------------------------------
+	// 16 closed-loop clients against 2 slots + 4 queue spots is a sustained
+	// >4x overload: at any instant at least 10 clients are over capacity.
+	const clients = 16
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = 500 * time.Millisecond
+	}
+
+	var out overloadOutcomes
+	var wg sync.WaitGroup
+	stop := time.Now().Add(duration)
+	var midMetrics atomic.Pointer[string]
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/recognize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("transport error under overload: %v", err)
+					return
+				}
+				var r recognizeResponse
+				if resp.StatusCode == http.StatusOK {
+					if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+						t.Errorf("200 with unreadable body: %v", err)
+					}
+				} else if resp.StatusCode == http.StatusTooManyRequests {
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+					var e errorBody
+					if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Reason != "overloaded" {
+						t.Errorf("429 body malformed: %v %+v", err, e)
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+				out.record(resp.StatusCode, time.Since(start), r.Degraded)
+			}
+		}()
+	}
+
+	// Mid-run, scrape /metrics so the test proves the episode is observable
+	// while it is happening, not only after.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(duration / 2)
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Errorf("mid-run metrics scrape failed: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		str := string(b)
+		midMetrics.Store(&str)
+	}()
+	wg.Wait()
+
+	if out.fiveXX > 0 || len(out.other) > 0 {
+		t.Fatalf("unexpected statuses under overload: %v (5xx: %d)", out.other, out.fiveXX)
+	}
+	if out.ok == 0 {
+		t.Fatal("no request succeeded under overload; gate starved the pool")
+	}
+	// Shedding and degradation are pinned deterministically by phase 1;
+	// whether the closed-loop fleet also trips them depends on scheduler
+	// interleaving (on one CPU fast decodes can drain the queue between
+	// arrivals), so here they are reported, not required.
+	t.Logf("fleet outcomes: ok=%d shed=%d deadline=%d degraded=%d",
+		out.ok, out.shed, out.deadline, out.degraded)
+	p99 := percentile(out.okLatency, 0.99)
+	if bound := deadline + time.Second; p99 > bound {
+		t.Errorf("accepted p99 = %v, want < %v (deadline + slack)", p99, bound)
+	}
+
+	if m := midMetrics.Load(); m == nil {
+		t.Error("mid-run metrics scrape missing")
+	} else {
+		for _, name := range []string{
+			"unfold_server_queue_depth", "unfold_server_queue_capacity 4",
+			"unfold_server_degrade_level", `unfold_server_shed_total{route="/v1/recognize"}`,
+			"unfold_server_degraded_total",
+			`unfold_server_request_seconds_count{route="/v1/recognize",outcome="ok"}`,
+		} {
+			if !strings.Contains(*m, name) {
+				t.Errorf("mid-run metrics missing %q", name)
+			}
+		}
+	}
+
+	// Load has cleared: the very next request runs full quality again.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-overload decode: %d %s", rec.Code, rec.Body.String())
+	}
+	var r recognizeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Degraded != 0 {
+		t.Errorf("quality not restored after load cleared: degraded=%d", r.Degraded)
+	}
+	want, err := sys.Recognize(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r.Results[0].Words) != fmt.Sprint(want) {
+		t.Errorf("post-overload transcript %v != reference %v", r.Results[0].Words, want)
+	}
+}
+
+// TestDrainRejectsNewDecodes checks BeginDrain turns the decode routes away
+// with structured 503s (reason draining) while /metrics stays up for the
+// final scrape.
+func TestDrainRejectsNewDecodes(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	s.BeginDrain()
+
+	for _, route := range []string{"/v1/recognize", "/v1/stream"} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, route, strings.NewReader("{}")))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s during drain: %d, want 503", route, rec.Code)
+		}
+		var e errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Reason != "draining" {
+			t.Errorf("%s drain body = %s, want reason=draining", route, rec.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("metrics during drain: %d, want 200", rec.Code)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +52,11 @@ type Config struct {
 	// DisablePprof removes the net/http/pprof handlers (for deployments
 	// that must not expose profiling endpoints).
 	DisablePprof bool
+	// Admission bounds accepted work: execution slots, a bounded wait
+	// queue, the degradation watermarks, and per-request deadline policy.
+	// The zero value enables load management with the AdmissionConfig
+	// defaults (MaxConcurrent tracks the pool worker count).
+	Admission AdmissionConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -89,10 +96,15 @@ type Server struct {
 
 	streamsActive atomic.Int64
 
+	// admit is the load-management gate every decode route passes through.
+	admit *admitter
+
 	// Server-level instruments.
 	requestsByPath map[string]*telemetry.Counter
 	streamsGauge   *telemetry.Gauge
 	streamsAborted *telemetry.Counter
+	shedTotal      map[string]*telemetry.Counter
+	degradedTotal  *telemetry.Counter
 }
 
 // New builds an unloaded server: every route is installed and /healthz
@@ -101,6 +113,11 @@ type Server struct {
 // additional instruments (the CLI's accelerator export, tests).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) // mirror pool.Config's default
+	}
+	cfg.Admission = cfg.Admission.withDefaults(workers)
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(cfg.SpanCapacity)
 	s := &Server{
@@ -110,6 +127,7 @@ func New(cfg Config) *Server {
 		ptel:   pool.NewTelemetry(reg, tracer),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		admit:  newAdmitter(cfg.Admission),
 	}
 	s.streamsGauge = reg.Gauge("unfold_server_streams_active", "Streaming decodes in flight.")
 	s.streamsAborted = reg.Counter("unfold_server_streams_aborted_total", "Streams ended by cancellation or client disconnect.")
@@ -117,6 +135,21 @@ func New(cfg Config) *Server {
 	for _, route := range []string{"/v1/recognize", "/v1/stream", "/v1/testset", "/healthz", "/metrics"} {
 		s.requestsByPath[route] = reg.Counter("unfold_server_requests_total", "HTTP requests by route.", telemetry.L("route", route))
 	}
+
+	// Load-management instruments: live pressure (queue depth against its
+	// capacity, current ladder level) plus the shed/degrade totals the
+	// overload runbook alerts on.
+	reg.GaugeFunc("unfold_server_queue_depth", "Batch requests waiting for an execution slot.",
+		func() float64 { return float64(s.admit.depth()) })
+	reg.GaugeFunc("unfold_server_queue_capacity", "Admission wait-queue capacity.",
+		func() float64 { return float64(cfg.Admission.MaxQueue) })
+	reg.GaugeFunc("unfold_server_degrade_level", "Degradation ladder level new decodes start at.",
+		func() float64 { return float64(s.admit.level()) })
+	s.shedTotal = map[string]*telemetry.Counter{}
+	for _, route := range []string{"/v1/recognize", "/v1/stream"} {
+		s.shedTotal[route] = reg.Counter("unfold_server_shed_total", "Requests shed by admission control, by route.", telemetry.L("route", route))
+	}
+	s.degradedTotal = reg.Counter("unfold_server_degraded_total", "Decodes run at a degraded search preset.")
 
 	// Process-level gauges: the serving view of the paper's memory
 	// footprint claim, plus liveness basics.
@@ -207,6 +240,12 @@ type healthResponse struct {
 	StreamsActive int64  `json:"streams_active"`
 	Decodes       int64  `json:"decodes_total"`
 	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	Load          struct {
+		QueueDepth    int   `json:"queue_depth"`
+		QueueCapacity int   `json:"queue_capacity"`
+		DegradeLevel  int   `json:"degrade_level"`
+		Shed          int64 `json:"shed_total"`
+	} `json:"load"`
 }
 
 // handleHealthz reports readiness: 200 only when a model bundle is loaded
@@ -220,6 +259,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.Draining = s.draining.Load()
 	resp.StreamsActive = s.streamsActive.Load()
 	resp.HeapLiveBytes = metrics.ReadMemoryFootprint().HeapLiveBytes
+	resp.Load.QueueDepth = s.admit.depth()
+	resp.Load.QueueCapacity = s.cfg.Admission.MaxQueue
+	resp.Load.DegradeLevel = s.admit.level()
+	for _, c := range s.shedTotal {
+		resp.Load.Shed += c.Value()
+	}
 
 	s.mu.RLock()
 	if s.sys != nil {
@@ -271,6 +316,54 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // have to parse a text/plain error page.
 func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// errorBody is the structured error reply on the decode routes: a
+// human-readable message, a machine-matchable reason token, and — on shed
+// responses — the backoff hint mirrored from the Retry-After header.
+type errorBody struct {
+	Error             string  `json:"error"`
+	Reason            string  `json:"reason,omitempty"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+// fail rejects a request with a structured error and counts it under
+// unfold_server_errors_total{reason}.
+func (s *Server) fail(w http.ResponseWriter, code int, reason, msg string) {
+	s.reg.Counter("unfold_server_errors_total", "Requests rejected, by reason.", telemetry.L("reason", reason)).Inc()
+	writeJSON(w, code, errorBody{Error: msg, Reason: reason})
+}
+
+// shed answers an over-capacity request: 429 with a Retry-After header and
+// the same hint in the body, counted per route. The hint is the configured
+// constant — under a sustained overload there is no honest queue-time
+// estimate, and a fixed short backoff spreads the retry wave.
+func (s *Server) shed(w http.ResponseWriter, route string) {
+	s.shedTotal[route].Inc()
+	retry := s.cfg.Admission.RetryAfter
+	secs := int(retry.Seconds() + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, errorBody{
+		Error:             "server overloaded: request queue full, retry later",
+		Reason:            "overloaded",
+		RetryAfterSeconds: retry.Seconds(),
+	})
+}
+
+// requestBuckets spans 1ms..8s exponentially — decode latencies from a
+// trivial utterance to a deadline-bounded worst case.
+var requestBuckets = telemetry.ExpBuckets(0.001, 2, 14)
+
+// observeLatency records one request's wall time under
+// unfold_server_request_seconds{route,outcome}. Registration is
+// get-or-create, so the series appears the first time an outcome occurs.
+func (s *Server) observeLatency(route, outcome string, start time.Time) {
+	s.reg.Histogram("unfold_server_request_seconds", "Request latency by route and outcome.",
+		requestBuckets, telemetry.L("route", route), telemetry.L("outcome", outcome)).
+		Observe(time.Since(start).Seconds())
 }
 
 // text renders word IDs as a space-joined surface string.

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// -soak stretches TestSoakMixedLoadWithDrain; `make race-soak` runs it at
+// 20s under the race detector, the default keeps it inside unit-test
+// budget for `make check`.
+var soakDuration = flag.Duration("soak", 2*time.Second, "wall time for the mixed-load soak test")
+
+// TestSoakMixedLoadWithDrain is the lifecycle stress for the serving stack:
+// concurrent /v1/recognize and /v1/stream clients run against a saturated
+// two-worker pool, and halfway through the server takes the SIGTERM path —
+// BeginDrain, then http.Server.Shutdown — exactly as cmd/unfold-serve wires
+// it. The invariants:
+//
+//   - no accepted request is dropped: every 200 carries a complete,
+//     error-free decode; every final stream line is well-formed,
+//   - rejections stay structured: 429/408/503 only, never a 5xx,
+//   - the drain completes: Shutdown returns without error inside its grace
+//     window (a stuck worker or leaked admission slot would hang it),
+//   - nothing races — run under -race via `make race-soak`.
+func TestSoakMixedLoadWithDrain(t *testing.T) {
+	duration := *soakDuration
+	if testing.Short() {
+		duration = 500 * time.Millisecond
+	}
+	s := newLoadedServer(t, Config{
+		Workers: 2,
+		Admission: AdmissionConfig{
+			MaxConcurrent: 2,
+			MaxQueue:      4,
+			MaxStreams:    4,
+			DegradeLow:    1,
+			DegradeHigh:   3,
+		},
+	})
+	sys := getSystem(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+
+	frames := sys.TestSet()[0].Frames
+	if len(frames) > 40 {
+		frames = frames[:40]
+	}
+	reqBody, _ := json.Marshal(recognizeRequest{
+		Utterances: []utteranceRequest{{Frames: frames}},
+		Timeout:    "2s",
+	})
+
+	var (
+		drained                 atomic.Bool
+		oks, rejects, streamsOK atomic.Int64
+		stop                    = time.Now().Add(duration)
+		wg                      sync.WaitGroup
+	)
+
+	allowedReject := func(code int) bool {
+		return code == http.StatusTooManyRequests ||
+			code == http.StatusRequestTimeout ||
+			code == http.StatusServiceUnavailable
+	}
+
+	// Batch clients: hammer /v1/recognize until the clock runs out; once
+	// the drain starts, transport errors (Shutdown closing connections) are
+	// a legitimate way for the loop to end.
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				resp, err := client.Post(base+"/v1/recognize", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					if !drained.Load() {
+						t.Errorf("transport error before drain: %v", err)
+					}
+					return
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var r recognizeResponse
+					if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+						t.Errorf("accepted request dropped: unreadable 200 body: %v", err)
+					} else {
+						for i, res := range r.Results {
+							if res.Error != "" {
+								t.Errorf("accepted request utt %d carried error %q", i, res.Error)
+							}
+						}
+						oks.Add(1)
+					}
+				case allowedReject(resp.StatusCode):
+					rejects.Add(1)
+					io.Copy(io.Discard, resp.Body)
+				default:
+					t.Errorf("unexpected status %d under soak", resp.StatusCode)
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Stream clients: two-chunk NDJSON exchanges, each expecting a
+	// well-formed final line when admitted.
+	half := len(frames) / 2
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				pr, pw := io.Pipe()
+				req, _ := http.NewRequest(http.MethodPost, base+"/v1/stream", pr)
+				go func() {
+					enc := json.NewEncoder(pw)
+					enc.Encode(streamChunk{Frames: frames[:half]})
+					enc.Encode(streamChunk{Frames: frames[half:]})
+					pw.Close()
+				}()
+				resp, err := client.Do(req)
+				if err != nil {
+					if !drained.Load() {
+						t.Errorf("stream transport error before drain: %v", err)
+					}
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					if !allowedReject(resp.StatusCode) {
+						t.Errorf("unexpected stream status %d", resp.StatusCode)
+					}
+					rejects.Add(1)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					continue
+				}
+				sc := bufio.NewScanner(resp.Body)
+				var final streamUpdate
+				sawFinal := false
+				for sc.Scan() {
+					if err := json.Unmarshal(sc.Bytes(), &final); err != nil {
+						t.Errorf("bad NDJSON line under soak: %q", sc.Text())
+						break
+					}
+					if final.Final {
+						sawFinal = true
+					}
+				}
+				if sawFinal && final.Error == "" {
+					if final.Frames != len(frames) {
+						t.Errorf("final stream line has %d frames, want %d", final.Frames, len(frames))
+					}
+					streamsOK.Add(1)
+				} else if !drained.Load() && (!sawFinal || final.Error != "") {
+					t.Errorf("accepted stream dropped before drain: final=%v err=%q scan=%v", sawFinal, final.Error, sc.Err())
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Mid-flight, take the SIGTERM path.
+	shutdownDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(duration / 2)
+		s.BeginDrain()
+		drained.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(ctx)
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("drain did not complete cleanly: %v", err)
+		}
+	case <-time.After(35 * time.Second):
+		t.Fatal("Shutdown hung: leaked admission slot or stuck worker")
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	if oks.Load() == 0 || streamsOK.Load() == 0 {
+		t.Errorf("soak did no real work: %d batch oks, %d stream oks", oks.Load(), streamsOK.Load())
+	}
+	t.Logf("soak: %d batch ok, %d streams ok, %d structured rejects over %v",
+		oks.Load(), streamsOK.Load(), rejects.Load(), duration)
+}
