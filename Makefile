@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet lint race race-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke
+.PHONY: all build test vet lint race race-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat
 
 all: build test
 
@@ -37,10 +37,12 @@ race:
 race-soak:
 	go test -race -run TestSoakMixedLoadWithDrain -soak 20s -count=1 -v ./internal/server/
 
-# 10-second randomized corruption pass over the model-bundle loader
-# (docs/ROBUSTNESS.md). Catches loader panics long fuzz runs would.
+# Randomized corruption passes over the model-bundle loaders — the v2
+# directory format and the v3 flat container (docs/ROBUSTNESS.md,
+# docs/MODEL_STORE.md). Catches loader panics long fuzz runs would.
 fuzz-smoke:
-	go test -run '^$$' -fuzz FuzzLoadBundle -fuzztime 10s .
+	go test -run '^$$' -fuzz '^FuzzLoadBundle$$' -fuzztime 10s .
+	go test -run '^$$' -fuzz '^FuzzLoadBundleV3$$' -fuzztime 10s .
 
 # Coverage floors: the decoder package (Viterbi hot path — token store,
 # pruning, rescue, streaming) must stay at least 80% covered; the serving
@@ -83,6 +85,19 @@ bench-report:
 # is safe to run on shared CI runners.
 bench-check:
 	go run ./cmd/unfold-bench -out /tmp/unfold-bench-check.json -check BENCH_PR3.json
+
+# On-disk format compatibility gate (docs/MODEL_STORE.md): the checked-in
+# golden v2 bundle must load, convert to a v3 flat bundle via wfst-tool,
+# pass full verification, and decode byte-identically on every load path
+# against the checked-in transcript. A failure means a format change broke
+# already-deployed bundles. Regenerate the golden set after an intentional
+# format bump with: go test -run TestGoldenFormatCompat -update-golden .
+format-compat:
+	go test -run TestGoldenFormatCompat -count=1 -v .
+	go build -o /tmp/unfold-wfst-tool ./cmd/wfst-tool
+	/tmp/unfold-wfst-tool -op convert -dir testdata/golden-v2 -out /tmp/unfold-golden.ufb3
+	/tmp/unfold-wfst-tool -op info -bundle /tmp/unfold-golden.ufb3
+	/tmp/unfold-wfst-tool -op verify -bundle /tmp/unfold-golden.ufb3
 
 experiments:
 	go run ./cmd/unfold-experiments -exp all -quick

@@ -11,12 +11,21 @@
 //
 //	unfold-bench [-out BENCH_PR3.json] [-workers 4]
 //	unfold-bench -out /tmp/bench.json -check BENCH_PR3.json
+//	unfold-bench -coldstart
 //
 // With -check, the freshly measured report is compared row-by-row against
 // the committed baseline and the process exits nonzero if any row's
 // allocs/frame regressed beyond the tolerance — the CI smoke that keeps the
 // zero-allocation frontier honest. Only allocation counts are gated:
 // they are deterministic where wall-clock figures are machine-dependent.
+//
+// With -coldstart, the decode benchmarks are skipped; instead the tool
+// builds tasks at several scales, saves each as both a v2 directory bundle
+// and a v3 flat bundle, and measures cold-start load time and heap growth
+// for the three load paths (v2 parse, v3 verified, v3 fast). This is the
+// source for the docs/BENCHMARKS.md model-store table. The report goes to
+// BENCH_COLDSTART.json unless -out overrides it; cold-start rows are never
+// gated by -check (wall-clock load times are machine-dependent).
 package main
 
 import (
@@ -24,10 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	unfold "repro"
 	"repro/internal/decoder"
@@ -133,12 +145,148 @@ func checkAgainst(baselinePath string, rep report, tolerance float64) error {
 	return nil
 }
 
+// coldRow is one load-path measurement of the -coldstart mode.
+type coldRow struct {
+	Name           string  `json:"name"`             // "<scale>/<path>", e.g. "medium/v3-fast"
+	BundleBytes    int64   `json:"bundle_bytes"`     // on-disk size of the loaded artifact
+	LoadMs         float64 `json:"load_ms"`          // best-of-N wall time for one cold load
+	HeapDeltaBytes int64   `json:"heap_delta_bytes"` // live-heap growth attributable to the loaded model
+	Mapped         bool    `json:"mapped"`           // true when the bundle is served from an mmap
+}
+
+// coldReport is the BENCH_COLDSTART.json schema.
+type coldReport struct {
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Iterations int       `json:"iterations"`
+	Rows       []coldRow `json:"rows"`
+}
+
+// heapLive forces a GC and reads the live-heap gauge, so two samples
+// bracket exactly the allocations that survived between them.
+func heapLive() int64 {
+	runtime.GC()
+	return int64(metrics.ReadMemoryFootprint().HeapLiveBytes)
+}
+
+// measureLoad runs one load path iters times, keeping the best wall time
+// (cold-start cost is a floor, not an average — later runs only add page
+// cache and scheduler noise), and samples live-heap growth while the last
+// loaded model is still reachable.
+func measureLoad(name string, path string, iters int, loadFn func(string) (*unfold.Recognizer, error)) coldRow {
+	best := math.MaxFloat64
+	var rec *unfold.Recognizer
+	var heapDelta int64
+	for i := 0; i < iters; i++ {
+		before := heapLive()
+		start := time.Now()
+		r, err := loadFn(path)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		elapsed := float64(time.Since(start).Nanoseconds()) / 1e6
+		heapDelta = heapLive() - before
+		if rec != nil {
+			rec.Close()
+		}
+		rec = r
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+	size := rec.ResidentBytes()
+	if st, err := os.Stat(path); err == nil && !st.IsDir() {
+		size = st.Size()
+	}
+	row := coldRow{
+		Name:           name,
+		BundleBytes:    size,
+		LoadMs:         best,
+		HeapDeltaBytes: heapDelta,
+		Mapped:         rec.Mapped(),
+	}
+	rec.Close()
+	return row
+}
+
+// runColdstart measures the three load paths across task scales. The v2
+// directory bundle is parsed element by element, so its load time grows
+// with model size; the v3 flat bundle's fast path only checks the header
+// and section table, so its load time should stay flat as bundles grow —
+// the O(1) cold-start property the flat store exists for.
+func runColdstart(out string, iters int) {
+	scales := []struct {
+		name  string
+		vocab int
+		sents int
+	}{
+		{"small", 40, 300},
+		{"medium", 80, 1200},
+		{"large", 140, 3000},
+	}
+	rep := coldReport{GoMaxProcs: runtime.GOMAXPROCS(0), Iterations: iters}
+	work, err := os.MkdirTemp("", "unfold-coldstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	for _, sc := range scales {
+		spec := benchSpec
+		spec.Name = "coldstart-" + sc.name
+		spec.Vocab = sc.vocab
+		spec.TrainSentences = sc.sents
+		spec.TestUtterances = 1
+		sys, err := unfold.NewSystem(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v2dir := filepath.Join(work, sc.name+"-v2")
+		v3path := filepath.Join(work, sc.name+".ufb3")
+		if err := sys.Save(v2dir); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SaveFlat(v3path); err != nil {
+			log.Fatal(err)
+		}
+		rep.Rows = append(rep.Rows,
+			measureLoad(sc.name+"/v2", v2dir, iters, unfold.LoadRecognizer),
+			measureLoad(sc.name+"/v3-verify", v3path, iters, unfold.LoadRecognizer),
+			measureLoad(sc.name+"/v3-fast", v3path, iters, unfold.LoadRecognizerFast),
+		)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, r := range rep.Rows {
+		fmt.Printf("  %-18s %10.2f KB bundle %10.3f ms load %10.1f KB heap delta  mapped=%v\n",
+			r.Name, float64(r.BundleBytes)/1024, r.LoadMs, float64(r.HeapDeltaBytes)/1024, r.Mapped)
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "report path")
 	workers := flag.Int("workers", 4, "DecodePool worker count for the parallel row")
 	check := flag.String("check", "", "baseline report to gate against; exits nonzero on allocation regression")
 	tolerance := flag.Float64("tolerance", 1.25, "multiplicative allocs/frame headroom for -check")
+	coldstart := flag.Bool("coldstart", false, "measure model cold-start load paths instead of decode throughput")
+	coldIters := flag.Int("coldstart-iters", 5, "load repetitions per cold-start row (best time wins)")
 	flag.Parse()
+
+	if *coldstart {
+		coldOut := *out
+		if coldOut == "BENCH_PR3.json" {
+			coldOut = "BENCH_COLDSTART.json"
+		}
+		runColdstart(coldOut, *coldIters)
+		return
+	}
 
 	sys, err := unfold.NewSystem(benchSpec)
 	if err != nil {

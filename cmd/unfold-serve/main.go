@@ -13,11 +13,21 @@
 // header) free their slot the moment they expire. See docs/LOAD.md for
 // capacity planning and tuning.
 //
+// The server can serve several models at once (docs/MODEL_STORE.md):
+// -bundle name=path preloads a v3 flat bundle under a name (repeatable),
+// -model-budget caps the summed resident bytes, and models can be hot
+// added, swapped and drained at runtime through /v1/models. Requests pick
+// a model with the `model` body field or ?model= parameter; without one
+// they use the model named "default" (the -task system, or a -bundle
+// loaded under that name when running with -task none).
+//
 // Examples:
 //
 //	unfold-serve -task voxforge -addr :8080
+//	unfold-serve -task none -bundle vox=/models/vox.ufb3 -model-budget 2147483648
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics | grep unfold_decoder
+//	curl -s -X POST -d '{"name":"new","path":"/models/new.ufb3"}' localhost:8080/v1/models
 //	curl -s localhost:8080/v1/testset?utt=0 |
 //	  jq '{utterances:[{frames:.data}]}' |
 //	  curl -s -d @- localhost:8080/v1/recognize
@@ -42,6 +52,26 @@ import (
 	unfold "repro"
 )
 
+// bundleList collects repeated -bundle name=path flags.
+type bundleList []struct{ name, path string }
+
+func (b *bundleList) String() string {
+	var parts []string
+	for _, e := range *b {
+		parts = append(parts, e.name+"="+e.path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *bundleList) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*b = append(*b, struct{ name, path string }{name, path})
+	return nil
+}
+
 func specFor(name string, scale float64) (task.Spec, error) {
 	switch strings.ToLower(name) {
 	case "tedlium":
@@ -59,8 +89,12 @@ func specFor(name string, scale float64) (task.Spec, error) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	taskName := flag.String("task", "voxforge", "task: tedlium, librispeech, voxforge, eesen")
+	taskName := flag.String("task", "voxforge", "task: tedlium, librispeech, voxforge, eesen, or none (bundles only)")
 	scale := flag.Float64("scale", 1.0, "task scale factor")
+	var bundles bundleList
+	flag.Var(&bundles, "bundle", "preload a v3 flat bundle as name=path (repeatable)")
+	verifyBundles := flag.Bool("verify-bundles", false, "verify per-section checksums when loading bundles")
+	modelBudget := flag.Int64("model-budget", 0, "cap on summed resident model bytes (0 = unlimited)")
 	workers := flag.Int("workers", 0, "batch decode workers (0 = GOMAXPROCS)")
 	rescue := flag.Int("rescue", 2, "search-failure rescue widenings per frame")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
@@ -76,15 +110,23 @@ func main() {
 	degradeLevels := flag.Int("degrade-levels", 0, "degradation ladder depth (0 = default 2, negative disables)")
 	flag.Parse()
 
-	spec, err := specFor(*taskName, *scale)
-	if err != nil {
-		fail(err)
+	buildTask := !strings.EqualFold(*taskName, "none")
+	var spec task.Spec
+	if buildTask {
+		var err error
+		spec, err = specFor(*taskName, *scale)
+		if err != nil {
+			fail(err)
+		}
+	} else if len(bundles) == 0 {
+		fail(errors.New("-task none requires at least one -bundle name=path"))
 	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		Decoder:      decoder.Config{PreemptivePruning: true, RescueWidenings: *rescue},
 		DisablePprof: *noPprof,
+		ModelBudget:  *modelBudget,
 		Admission: server.AdmissionConfig{
 			MaxConcurrent:  *maxConcurrent,
 			MaxQueue:       *maxQueue,
@@ -108,18 +150,33 @@ func main() {
 			errCh <- err
 		}
 	}()
-	fmt.Printf("unfold-serve: listening on %s (loading task %s)\n", *addr, spec.Name)
-
-	sys, err := unfold.NewSystem(spec)
-	if err != nil {
-		fail(err)
+	if buildTask {
+		fmt.Printf("unfold-serve: listening on %s (loading task %s)\n", *addr, spec.Name)
+		sys, err := unfold.NewSystem(spec)
+		if err != nil {
+			fail(err)
+		}
+		if err := srv.Load(sys); err != nil {
+			fail(err)
+		}
+		fp := sys.Footprint()
+		fmt.Printf("unfold-serve: ready — task %s, datasets AM %.2f KB + LM %.2f KB, %d test utterances\n",
+			spec.Name, float64(fp.AMBytes)/1024, float64(fp.LMBytes)/1024, len(sys.TestSet()))
+	} else {
+		fmt.Printf("unfold-serve: listening on %s (bundle-only mode)\n", *addr)
 	}
-	if err := srv.Load(sys); err != nil {
-		fail(err)
+	for _, b := range bundles {
+		if err := srv.LoadBundle(b.name, b.path, *verifyBundles); err != nil {
+			fail(fmt.Errorf("bundle %s: %w", b.name, err))
+		}
 	}
-	fp := sys.Footprint()
-	fmt.Printf("unfold-serve: ready — task %s, datasets AM %.2f KB + LM %.2f KB, %d test utterances\n",
-		spec.Name, float64(fp.AMBytes)/1024, float64(fp.LMBytes)/1024, len(sys.TestSet()))
+	for _, m := range srv.Models() {
+		if m.Name == server.DefaultModel && buildTask {
+			continue
+		}
+		fmt.Printf("unfold-serve: model %s ready — %.2f MB resident (mapped=%v), loaded in %.1f ms\n",
+			m.Name, float64(m.ResidentBytes)/(1024*1024), m.Mapped, m.LoadSeconds*1000)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

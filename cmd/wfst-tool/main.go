@@ -1,6 +1,6 @@
 // Command wfst-tool builds, composes, compresses and inspects the WFSTs of
-// a benchmark task, and can save/load them in the binary serialization
-// format.
+// a benchmark task, can save/load them in the binary serialization format,
+// and converts/inspects v3 flat bundles (docs/MODEL_STORE.md).
 //
 // Examples:
 //
@@ -8,6 +8,9 @@
 //	wfst-tool -task voxforge -op compose
 //	wfst-tool -task tedlium -op compress
 //	wfst-tool -task voxforge -op save -dir /tmp/vox && wfst-tool -op load -dir /tmp/vox
+//	wfst-tool -op convert -dir /models/vox-v2 -out /models/vox.ufb3
+//	wfst-tool -op info -bundle /models/vox.ufb3
+//	wfst-tool -op verify -bundle /models/vox.ufb3
 package main
 
 import (
@@ -16,8 +19,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/compress"
+	"repro/internal/flatstore"
 	"repro/internal/task"
 	"repro/internal/wfst"
 
@@ -27,13 +32,38 @@ import (
 func main() {
 	taskName := flag.String("task", "voxforge", "task: tedlium, librispeech, voxforge, eesen")
 	scale := flag.Float64("scale", 1.0, "task scale factor")
-	op := flag.String("op", "stats", "operation: stats, compose, compress, save, load")
-	dir := flag.String("dir", ".", "directory for save/load")
+	op := flag.String("op", "stats", "operation: stats, compose, compress, save, load, convert, info, verify")
+	dir := flag.String("dir", ".", "directory for save/load and convert source")
+	out := flag.String("out", "", "output bundle path for convert (e.g. model.ufb3)")
+	bundle := flag.String("bundle", "", "v3 bundle path for info/verify")
 	flag.Parse()
 
 	switch *op {
 	case "load":
 		if err := load(*dir); err != nil {
+			fail(err)
+		}
+		return
+	case "convert":
+		if *out == "" {
+			fail(fmt.Errorf("convert needs -out <bundle path>"))
+		}
+		if err := unfold.ConvertBundle(*dir, *out); err != nil {
+			fail(err)
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("converted %s -> %s (%s)\n", *dir, *out, wfst.FormatBytes(st.Size()))
+		return
+	case "info":
+		if err := info(*bundle); err != nil {
+			fail(err)
+		}
+		return
+	case "verify":
+		if err := verify(*bundle); err != nil {
 			fail(err)
 		}
 		return
@@ -131,6 +161,56 @@ func load(dir string) error {
 		}
 		fmt.Printf("%s: %s\n", name, wfst.ComputeStats(g))
 	}
+	return nil
+}
+
+// info prints the section table of a v3 bundle plus the metadata a fast
+// (O(1), header-checksum-only) load sees. It never parses the payload
+// sections, so it is safe to point at large models.
+func info(path string) error {
+	if path == "" {
+		return fmt.Errorf("info needs -bundle <path>")
+	}
+	b, err := flatstore.Open(path, flatstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	fmt.Printf("%s: v%d flat bundle, %s, mapped=%v\n",
+		path, flatstore.Version, wfst.FormatBytes(b.SizeBytes()), b.Mapped())
+	for _, kind := range b.Kinds() {
+		fmt.Printf("  %-10s %10s\n", kind, wfst.FormatBytes(b.SectionLen(kind)))
+	}
+	start := time.Now()
+	rec, err := unfold.LoadRecognizerFast(path)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	fmt.Printf("task %s, loaded in %s\n", rec.TaskName, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("AM: %s\n", wfst.ComputeStats(rec.AMGraph))
+	fmt.Printf("LM: %s\n", wfst.ComputeStats(rec.LMGraph))
+	return nil
+}
+
+// verify runs the full-verification load path: every section checksum is
+// recomputed and the graphs are structurally validated, the same checks a
+// server does on `POST /v1/models` with verify=true.
+func verify(path string) error {
+	if path == "" {
+		return fmt.Errorf("verify needs -bundle <path>")
+	}
+	start := time.Now()
+	rec, err := unfold.LoadRecognizer(path)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	fmt.Printf("%s: OK — all section checksums and graph invariants verified in %s\n",
+		path, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("task %s, %s resident, AM %d states, LM %d states\n",
+		rec.TaskName, wfst.FormatBytes(rec.ResidentBytes()),
+		rec.AMGraph.NumStates(), rec.LMGraph.NumStates())
 	return nil
 }
 

@@ -1,0 +1,306 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bitpack"
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Serialization of the packed models — the byte layout of the v3 bundle's
+// am-packed and lm-packed sections (docs/MODEL_STORE.md §4). The bitpack arc
+// stream is stored verbatim; only the state table and quantizer need an
+// explicit encoding, fixed-width little-endian throughout:
+//
+//	AM section: u32 K, K×f32 centroids, i32 start, u32 numStates,
+//	            u64 shortArcs, u64 normalArcs,
+//	            numStates × {u64 bitOff, u32 narcs, f32 final},
+//	            u64 dataBytes, data
+//	LM section: u32 K, K×f32 centroids, u32 V, u32 numStates, u64 nArcs,
+//	            numStates × {u64 bitOff, u32 narcs|backoff<<31, f32 final},
+//	            u64 dataBytes, data
+//
+// The in-memory packed state records use wider fields than the paper's
+// 40-bit layout for simplicity; SizeBytes still reports the paper's figure.
+// On read, the arc stream aliases the input buffer (a mapped bundle
+// section), so the compressed model costs no heap beyond its state table.
+
+// lmBackoffFlag marks hasBackoff in the serialized narcs word. Word-arc
+// counts are bounded by the 18-bit vocabulary, so bit 31 is always free.
+const lmBackoffFlag = uint32(1) << 31
+
+// WriteAM serializes the packed acoustic model.
+func WriteAM(c *AM, w io.Writer) error {
+	bw := &binWriter{w: w}
+	bw.u32(uint32(len(c.Q.Centroids)))
+	for _, cent := range c.Q.Centroids {
+		bw.f32(cent)
+	}
+	bw.u32(uint32(int32(c.start)))
+	bw.u32(uint32(len(c.states)))
+	bw.u64(uint64(c.ShortArcs))
+	bw.u64(uint64(c.NormalArcs))
+	for _, s := range c.states {
+		bw.u64(s.bitOff)
+		bw.u32(s.narcs)
+		bw.f32(float32(s.final))
+	}
+	data := c.data.Bytes()
+	bw.u64(uint64(len(data)))
+	bw.raw(data)
+	return bw.err
+}
+
+// ReadAM deserializes a packed acoustic model from a section payload. The
+// arc stream aliases data, which must stay valid (and unmodified) for the
+// model's lifetime. The state table is validated and the arc stream decoded
+// once to confirm it is well-formed, so a successful ReadAM never panics on
+// later access; the cost is O(arcs), which is why packed sections are
+// parsed on demand rather than on the serving load path.
+func ReadAM(data []byte) (c *AM, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("compress: am-packed decode: %v", r)
+		}
+	}()
+	br := &binReader{buf: data}
+	k := br.u32()
+	if k == 0 || k > NumCentroids {
+		return nil, fmt.Errorf("compress: am-packed has %d centroids, want 1..%d", k, NumCentroids)
+	}
+	q := &Quantizer{Centroids: make([]float32, k)}
+	for i := range q.Centroids {
+		q.Centroids[i] = br.f32()
+	}
+	c = &AM{Q: q, start: wfst.StateID(int32(br.u32()))}
+	nStates := br.u32()
+	shortArcs := br.u64()
+	normalArcs := br.u64()
+	if br.err == nil && uint64(nStates) > uint64(br.remaining())/16 {
+		return nil, fmt.Errorf("compress: am-packed state count %d exceeds payload", nStates)
+	}
+	c.states = make([]amState, nStates)
+	var prevOff uint64
+	var arcTotal uint64
+	for i := range c.states {
+		s := amState{bitOff: br.u64(), narcs: br.u32(), final: semiring.Weight(br.f32())}
+		if br.err == nil && s.bitOff < prevOff {
+			return nil, fmt.Errorf("compress: am-packed state %d bit offset %d precedes previous %d", i, s.bitOff, prevOff)
+		}
+		prevOff = s.bitOff
+		arcTotal += uint64(s.narcs)
+		c.states[i] = s
+	}
+	dataLen := br.u64()
+	stream := br.bytes(dataLen)
+	if br.err != nil {
+		return nil, fmt.Errorf("compress: am-packed truncated: %w", br.err)
+	}
+	if br.remaining() != 0 {
+		return nil, fmt.Errorf("compress: am-packed has %d trailing bytes", br.remaining())
+	}
+	if arcTotal != shortArcs+normalArcs || arcTotal > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("compress: am-packed arc counts disagree (%d state arcs, %d+%d header)", arcTotal, shortArcs, normalArcs)
+	}
+	c.nArcs = int(arcTotal)
+	c.ShortArcs = int(shortArcs)
+	c.NormalArcs = int(normalArcs)
+	c.data = bitpack.NewReader(stream)
+	// Verification decode: walk every state's arcs once. ReadBits panics on
+	// an out-of-range fetch; the deferred recover converts that to an error.
+	var short, normal int
+	for s := wfst.StateID(0); int(s) < len(c.states); s++ {
+		pos := c.states[s].bitOff
+		c.VisitArcs(s, func(_ wfst.Arc, _ uint64, bits uint) bool {
+			if bits == amShortBits {
+				short++
+			} else {
+				normal++
+			}
+			pos += uint64(bits)
+			return true
+		})
+		if pos > c.data.Len() {
+			return nil, fmt.Errorf("compress: am-packed state %d arcs run past the stream", s)
+		}
+	}
+	if short != c.ShortArcs || normal != c.NormalArcs {
+		return nil, fmt.Errorf("compress: am-packed format mix %d/%d, header says %d/%d", short, normal, c.ShortArcs, c.NormalArcs)
+	}
+	return c, nil
+}
+
+// WriteLM serializes the packed language model.
+func WriteLM(c *LM, w io.Writer) error {
+	bw := &binWriter{w: w}
+	bw.u32(uint32(len(c.Q.Centroids)))
+	for _, cent := range c.Q.Centroids {
+		bw.f32(cent)
+	}
+	bw.u32(uint32(c.V))
+	bw.u32(uint32(len(c.states)))
+	bw.u64(uint64(c.nArcs))
+	for _, s := range c.states {
+		nf := s.narcs
+		if s.hasBackoff {
+			nf |= lmBackoffFlag
+		}
+		bw.u64(s.bitOff)
+		bw.u32(nf)
+		bw.f32(float32(s.final))
+	}
+	data := c.data.Bytes()
+	bw.u64(uint64(len(data)))
+	bw.raw(data)
+	return bw.err
+}
+
+// ReadLM deserializes a packed language model from a section payload. The
+// arc stream aliases data. Unlike the AM's variable-width stream, every LM
+// state's extent is computable from its record (narcs×45 + 27 bits), so
+// validation is exact arithmetic in O(states) and no decode pass is needed.
+func ReadLM(data []byte) (*LM, error) {
+	br := &binReader{buf: data}
+	k := br.u32()
+	if k == 0 || k > NumCentroids {
+		return nil, fmt.Errorf("compress: lm-packed has %d centroids, want 1..%d", k, NumCentroids)
+	}
+	q := &Quantizer{Centroids: make([]float32, k)}
+	for i := range q.Centroids {
+		q.Centroids[i] = br.f32()
+	}
+	c := &LM{Q: q, V: int(br.u32())}
+	nStates := br.u32()
+	nArcs := br.u64()
+	if br.err == nil && uint64(nStates) > uint64(br.remaining())/16 {
+		return nil, fmt.Errorf("compress: lm-packed state count %d exceeds payload", nStates)
+	}
+	c.states = make([]lmState, nStates)
+	for i := range c.states {
+		off := br.u64()
+		nf := br.u32()
+		c.states[i] = lmState{
+			bitOff:     off,
+			narcs:      nf &^ lmBackoffFlag,
+			hasBackoff: nf&lmBackoffFlag != 0,
+			final:      semiring.Weight(br.f32()),
+		}
+	}
+	dataLen := br.u64()
+	stream := br.bytes(dataLen)
+	if br.err != nil {
+		return nil, fmt.Errorf("compress: lm-packed truncated: %w", br.err)
+	}
+	if br.remaining() != 0 {
+		return nil, fmt.Errorf("compress: lm-packed has %d trailing bytes", br.remaining())
+	}
+	if nArcs > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("compress: lm-packed arc count %d out of range", nArcs)
+	}
+	c.nArcs = int(nArcs)
+	c.data = bitpack.NewReader(stream)
+	if nStates == 0 {
+		return nil, fmt.Errorf("compress: lm-packed has no states")
+	}
+	if c.V < 0 || uint32(c.V) != c.states[0].narcs {
+		return nil, fmt.Errorf("compress: lm-packed unigram state has %d arcs, vocabulary is %d", c.states[0].narcs, c.V)
+	}
+	// Exact extent check: each state's arcs must lie inside the stream and
+	// start where the previous state's ended.
+	want := uint64(c.V) * lmUnigramBits
+	if c.states[0].bitOff != 0 || c.states[0].hasBackoff {
+		return nil, fmt.Errorf("compress: lm-packed unigram state record malformed")
+	}
+	for i, s := range c.states[1:] {
+		if s.bitOff != want {
+			return nil, fmt.Errorf("compress: lm-packed state %d at bit %d, expected %d", i+1, s.bitOff, want)
+		}
+		want += uint64(s.narcs) * lmNgramBits
+		if s.hasBackoff {
+			want += lmBackoffBits
+		}
+	}
+	if want > c.data.Len() {
+		return nil, fmt.Errorf("compress: lm-packed arcs need %d bits, stream has %d", want, c.data.Len())
+	}
+	return c, nil
+}
+
+// binWriter writes fixed-width little-endian fields, latching the first
+// error so call sites stay linear.
+type binWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *binWriter) raw(p []byte) {
+	if b.err == nil {
+		_, b.err = b.w.Write(p)
+	}
+}
+
+func (b *binWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.raw(buf[:])
+}
+
+func (b *binWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.raw(buf[:])
+}
+
+func (b *binWriter) f32(v float32) { b.u32(math.Float32bits(v)) }
+
+// binReader reads fixed-width little-endian fields from a buffer, latching
+// an error on truncation instead of panicking.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (b *binReader) remaining() int { return len(b.buf) - b.off }
+
+func (b *binReader) take(n int) []byte {
+	if b.err != nil {
+		return nil
+	}
+	if n < 0 || b.remaining() < n {
+		b.err = fmt.Errorf("need %d bytes at offset %d, have %d", n, b.off, b.remaining())
+		return nil
+	}
+	p := b.buf[b.off : b.off+n]
+	b.off += n
+	return p
+}
+
+func (b *binReader) u32() uint32 {
+	if p := b.take(4); p != nil {
+		return binary.LittleEndian.Uint32(p)
+	}
+	return 0
+}
+
+func (b *binReader) u64() uint64 {
+	if p := b.take(8); p != nil {
+		return binary.LittleEndian.Uint64(p)
+	}
+	return 0
+}
+
+func (b *binReader) f32() float32 { return math.Float32frombits(b.u32()) }
+
+// bytes returns the next n bytes, aliasing the input buffer.
+func (b *binReader) bytes(n uint64) []byte {
+	if b.err == nil && n > uint64(b.remaining()) {
+		b.err = fmt.Errorf("need %d bytes at offset %d, have %d", n, b.off, b.remaining())
+		return nil
+	}
+	return b.take(int(n))
+}

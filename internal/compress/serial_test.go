@@ -1,0 +1,172 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wfst"
+)
+
+func encodeTestAM(t *testing.T) *AM {
+	t.Helper()
+	tk := buildTestTask(t, 11)
+	c, err := EncodeAM(tk.AM.G, trainQ(t, tk.AM.G))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func encodeTestLM(t *testing.T) *LM {
+	t.Helper()
+	tk := buildTestTask(t, 11)
+	gr, err := tk.LM.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.G.SortByInput()
+	c, err := EncodeLM(gr, trainQ(t, gr.G))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAMSerialRoundTrip(t *testing.T) {
+	c := encodeTestAM(t)
+	var buf bytes.Buffer
+	if err := WriteAM(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAM(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start() != c.Start() || got.NumStates() != c.NumStates() || got.NumArcs() != c.NumArcs() {
+		t.Fatalf("shape changed: %d/%d/%d vs %d/%d/%d",
+			got.Start(), got.NumStates(), got.NumArcs(), c.Start(), c.NumStates(), c.NumArcs())
+	}
+	if got.ShortArcs != c.ShortArcs || got.NormalArcs != c.NormalArcs {
+		t.Fatal("format mix changed")
+	}
+	if !wfst.Equal(got.Decompress(), c.Decompress()) {
+		t.Fatal("round trip changed the decompressed transducer")
+	}
+	// Re-serialization is byte-identical: the write is a pure function of
+	// the model, which the CI format-compat job relies on.
+	var buf2 bytes.Buffer
+	if err := WriteAM(got, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization differs")
+	}
+}
+
+func TestLMSerialRoundTrip(t *testing.T) {
+	c := encodeTestLM(t)
+	var buf bytes.Buffer
+	if err := WriteLM(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLM(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V != c.V || got.NumStates() != c.NumStates() || got.NumArcs() != c.NumArcs() {
+		t.Fatal("shape changed")
+	}
+	if !wfst.Equal(got.Decompress(), c.Decompress()) {
+		t.Fatal("round trip changed the decompressed transducer")
+	}
+	for s := wfst.StateID(0); int(s) < got.NumStates(); s++ {
+		if got.StateBitOffset(s) != c.StateBitOffset(s) {
+			t.Fatalf("state %d bit offset changed", s)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WriteLM(got, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization differs")
+	}
+}
+
+// TestSerialAliasesInput confirms the read models decode through the caller's
+// buffer rather than a copy — the property that makes packed sections free to
+// keep resident when the bundle is mapped.
+func TestSerialAliasesInput(t *testing.T) {
+	c := encodeTestAM(t)
+	var buf bytes.Buffer
+	if err := WriteAM(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	got, err := ReadAM(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The arc stream is the trailing dataLen bytes of the payload; it must
+	// share backing storage with raw, not be a copy.
+	stream := got.data.Bytes()
+	if len(stream) == 0 || &stream[0] != &raw[len(raw)-len(stream)] {
+		t.Fatal("arc stream does not alias the input buffer")
+	}
+}
+
+// TestSerialRejectsCorruption sweeps truncations and targeted field
+// corruption; every case must fail with an error, never panic.
+func TestSerialRejectsCorruption(t *testing.T) {
+	am := encodeTestAM(t)
+	lmc := encodeTestLM(t)
+	var amBuf, lmBuf bytes.Buffer
+	if err := WriteAM(am, &amBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLM(lmc, &lmBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, run := range map[string]func([]byte) error{
+		"am": func(b []byte) error { _, err := ReadAM(b); return err },
+		"lm": func(b []byte) error { _, err := ReadLM(b); return err },
+	} {
+		raw := amBuf.Bytes()
+		if name == "lm" {
+			raw = lmBuf.Bytes()
+		}
+		for n := 0; n < len(raw); n += 13 {
+			if err := run(raw[:n:n]); err == nil {
+				t.Errorf("%s: truncation to %d bytes accepted", name, n)
+			}
+		}
+		// Trailing garbage.
+		if err := run(append(append([]byte(nil), raw...), 0xAB)); err == nil {
+			t.Errorf("%s: trailing byte accepted", name)
+		}
+		// Absurd centroid count.
+		bad := append([]byte(nil), raw...)
+		bad[0], bad[1] = 0xFF, 0xFF
+		if err := run(bad); err == nil {
+			t.Errorf("%s: oversized centroid count accepted", name)
+		}
+	}
+
+	// AM: corrupt a state bit offset so the verification decode must catch it.
+	raw := append([]byte(nil), amBuf.Bytes()...)
+	stateTable := 4 + 4*len(am.Q.Centroids) + 4 + 4 + 8 + 8
+	last := stateTable + (am.NumStates()-1)*16
+	raw[last+7] = 0xFF // top byte of the final state's bitOff
+	if _, err := ReadAM(raw); err == nil {
+		t.Error("am: corrupt state offset accepted")
+	}
+
+	// LM: corrupt a state offset; the exact-extent check must catch it.
+	raw = append([]byte(nil), lmBuf.Bytes()...)
+	stateTable = 4 + 4*len(lmc.Q.Centroids) + 4 + 4 + 8
+	raw[stateTable+16] ^= 0x01 // state 1 bitOff
+	if _, err := ReadLM(raw); err == nil {
+		t.Error("lm: corrupt state offset accepted")
+	}
+}

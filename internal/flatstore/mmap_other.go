@@ -1,0 +1,15 @@
+//go:build !unix
+
+package flatstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile always fails on platforms without a wired mmap implementation;
+// Open then falls back to reading the file into the heap, which preserves
+// every Bundle semantics except shared page-cache residency.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("flatstore: mmap not supported on this platform")
+}

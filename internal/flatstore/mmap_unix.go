@@ -1,0 +1,24 @@
+//go:build unix
+
+package flatstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and returns the mapping plus its
+// unmap function. Mapping a zero-length file is invalid; such files are
+// shorter than the header and rejected later, so return a descriptive error
+// here instead of calling mmap.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("flatstore: cannot map %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

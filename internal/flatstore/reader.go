@@ -1,0 +1,212 @@
+package flatstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Options controls how a bundle is opened.
+type Options struct {
+	// DisableMmap forces the portable io.ReaderAt path: the file is read
+	// into the heap instead of memory-mapped. Used on platforms without
+	// mmap and by tests that must exercise the fallback.
+	DisableMmap bool
+	// VerifySections additionally checks every section's CRC-32 at open,
+	// making Open O(file size). Without it Open verifies only the header
+	// and table checksum — O(1) — which is the serving default for bundles
+	// the operator trusts.
+	VerifySections bool
+}
+
+// Bundle is an open flat bundle. Section byte slices returned by Section
+// alias the mapping (or the heap copy on the fallback path) and are only
+// valid until Close.
+type Bundle struct {
+	data     []byte
+	sections []section
+	munmap   func() error // nil when data is heap-owned
+	size     int64
+}
+
+// Open maps (or, with Options.DisableMmap or on platforms without mmap,
+// reads) the bundle at path and verifies its header and section table.
+func Open(path string, opts Options) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &Error{Reason: "io", Cause: err}
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, &Error{Reason: "io", Cause: err}
+	}
+	var data []byte
+	var unmap func() error
+	if !opts.DisableMmap {
+		data, unmap, err = mapFile(f, st.Size())
+		if err != nil {
+			// Mapping can fail for legitimate reasons (resource limits,
+			// unusual filesystems); fall back to reading the file.
+			data, unmap = nil, nil
+		}
+	}
+	if data == nil {
+		data = make([]byte, st.Size())
+		if _, err := io.ReadFull(io.NewSectionReader(f, 0, st.Size()), data); err != nil {
+			return nil, &Error{Reason: "io", Cause: err}
+		}
+	}
+	b, err := OpenBytes(data, opts)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	b.munmap = unmap
+	return b, nil
+}
+
+// OpenBytes parses a bundle already resident in memory. The returned
+// Bundle aliases data; the caller must keep it valid and unmodified until
+// Close. This is the entry point fuzzers and the spec-conformance test use.
+func OpenBytes(data []byte, opts Options) (*Bundle, error) {
+	if len(data) < HeaderSize {
+		return nil, errf(0, "header", "file is %d bytes, shorter than the %d-byte header", len(data), HeaderSize)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != Magic {
+		return nil, errf(0, "magic", "bad magic %#08x, want %#08x (%q)", m, Magic, "UFB3")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, errf(0, "version", "format version %d, reader supports %d", v, Version)
+	}
+	count := binary.LittleEndian.Uint32(data[12:16])
+	fileSize := binary.LittleEndian.Uint64(data[16:24])
+	tableOff := binary.LittleEndian.Uint64(data[24:32])
+	if count == 0 || count > maxSections {
+		return nil, errf(0, "header", "section count %d outside [1,%d]", count, maxSections)
+	}
+	if fileSize != uint64(len(data)) {
+		return nil, errf(0, "header", "header says %d bytes, file has %d", fileSize, len(data))
+	}
+	tableLen := uint64(count) * EntrySize
+	if tableOff < HeaderSize || tableOff+tableLen > uint64(len(data)) {
+		return nil, errf(0, "header", "section table [%d,%d) out of bounds", tableOff, tableOff+tableLen)
+	}
+	table := data[tableOff : tableOff+tableLen]
+	h := crc32.New(crcTable)
+	h.Write(data[:HeaderSize-4])
+	h.Write(table)
+	if got, want := h.Sum32(), binary.LittleEndian.Uint32(data[HeaderSize-4:HeaderSize]); got != want {
+		return nil, errf(0, "checksum", "header checksum %#08x, stored %#08x", got, want)
+	}
+	b := &Bundle{data: data, size: int64(len(data)), sections: make([]section, count)}
+	for i := range b.sections {
+		e := table[i*EntrySize:]
+		s := section{
+			kind:   SectionKind(binary.LittleEndian.Uint32(e[0:4])),
+			offset: binary.LittleEndian.Uint64(e[8:16]),
+			length: binary.LittleEndian.Uint64(e[16:24]),
+			crc:    binary.LittleEndian.Uint32(e[24:28]),
+		}
+		if s.offset%Align != 0 {
+			return nil, errf(s.kind, "table", "offset %d not %d-byte aligned", s.offset, Align)
+		}
+		if s.offset > uint64(len(data)) || s.length > uint64(len(data))-s.offset {
+			return nil, errf(s.kind, "bounds", "section [%d,%d) exceeds file size %d", s.offset, s.offset+s.length, len(data))
+		}
+		for _, prev := range b.sections[:i] {
+			if prev.kind == s.kind {
+				return nil, errf(s.kind, "table", "duplicate section")
+			}
+		}
+		b.sections[i] = s
+	}
+	if opts.VerifySections {
+		if err := b.VerifySections(); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Section returns the raw bytes of the section with the given kind and
+// whether it is present. The slice aliases the bundle's mapping: it is
+// read-only and valid only until Close.
+func (b *Bundle) Section(kind SectionKind) ([]byte, bool) {
+	for _, s := range b.sections {
+		if s.kind == kind {
+			return b.data[s.offset : s.offset+s.length : s.offset+s.length], true
+		}
+	}
+	return nil, false
+}
+
+// MustSection is Section for required sections: a typed *Error is returned
+// when the section is absent.
+func (b *Bundle) MustSection(kind SectionKind) ([]byte, error) {
+	p, ok := b.Section(kind)
+	if !ok {
+		return nil, errf(kind, "section", "section missing")
+	}
+	return p, nil
+}
+
+// Kinds lists the section kinds present, in file order.
+func (b *Bundle) Kinds() []SectionKind {
+	out := make([]SectionKind, len(b.sections))
+	for i, s := range b.sections {
+		out[i] = s.kind
+	}
+	return out
+}
+
+// SectionLen returns the payload length of a section, or -1 if absent.
+func (b *Bundle) SectionLen(kind SectionKind) int64 {
+	for _, s := range b.sections {
+		if s.kind == kind {
+			return int64(s.length)
+		}
+	}
+	return -1
+}
+
+// VerifySections checks every section's CRC-32 against the table. This is
+// the O(file) integrity pass; Open without Options.VerifySections defers it.
+func (b *Bundle) VerifySections() error {
+	for _, s := range b.sections {
+		if got := crc32.Checksum(b.data[s.offset:s.offset+s.length], crcTable); got != s.crc {
+			return errf(s.kind, "checksum", "section checksum %#08x, stored %#08x", got, s.crc)
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the bundle file size — with mmap, also the upper bound
+// on resident memory the model can pin.
+func (b *Bundle) SizeBytes() int64 { return b.size }
+
+// Mapped reports whether the bundle reads through a memory mapping (false
+// on the heap-fallback path).
+func (b *Bundle) Mapped() bool { return b.munmap != nil }
+
+// Close releases the mapping or heap copy. Every slice previously returned
+// by Section becomes invalid; with mmap, touching one afterwards faults.
+// Callers that hand sections to a decoder must drain it first (the server
+// registry's drain state exists for exactly this).
+func (b *Bundle) Close() error {
+	if b.munmap != nil {
+		err := b.munmap()
+		b.munmap = nil
+		b.data = nil
+		if err != nil {
+			return &Error{Reason: "io", Cause: fmt.Errorf("munmap: %w", err)}
+		}
+		return nil
+	}
+	b.data = nil
+	return nil
+}

@@ -1,0 +1,214 @@
+package flatstore_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/flatstore"
+	"repro/internal/wfst"
+)
+
+// This file is the spec-conformance test for docs/MODEL_STORE.md: it
+// constructs bundle bytes by hand, straight from the documented layout —
+// no flatstore.Writer involved — and requires the reader to accept them.
+// If the document and the implementation ever disagree, this test is the
+// alarm. Keep the literals in sync with the spec, not with the code.
+
+// specSection is one section to lay out per MODEL_STORE.md §2.
+type specSection struct {
+	kind    uint32
+	payload []byte
+}
+
+// buildSpecBundle assembles a bundle exactly as §2 describes: 48-byte
+// header, 32-byte table entries immediately after it, payloads 16-byte
+// aligned, CRC-32/IEEE section checksums in the table, and a header
+// checksum over header[0:44] plus the whole table. Unlike the reference
+// writer it does NOT reserve a max-size table gap — offsets are explicit,
+// so a minimal layout is equally valid and proves readers honor them.
+func buildSpecBundle(sections []specSection) []byte {
+	const (
+		headerSize = 48
+		entrySize  = 32
+		align      = 16
+	)
+	tableLen := len(sections) * entrySize
+	// Compute payload offsets: first 16-byte boundary after the table.
+	offsets := make([]uint64, len(sections))
+	off := uint64(headerSize + tableLen)
+	for i, s := range sections {
+		if pad := (align - off%align) % align; pad != 0 {
+			off += pad
+		}
+		offsets[i] = off
+		off += uint64(len(s.payload))
+	}
+	fileSize := off
+
+	buf := make([]byte, fileSize)
+	// Header (§2.1).
+	binary.LittleEndian.PutUint32(buf[0:4], 0x33424655) // "UFB3"
+	binary.LittleEndian.PutUint32(buf[4:8], 3)          // version
+	binary.LittleEndian.PutUint32(buf[8:12], 0)         // flags
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(buf[16:24], fileSize)
+	binary.LittleEndian.PutUint64(buf[24:32], headerSize) // table offset
+	// buf[32:44] reserved, zero.
+
+	// Section table (§2.2) and payloads.
+	for i, s := range sections {
+		e := buf[headerSize+i*entrySize:]
+		binary.LittleEndian.PutUint32(e[0:4], s.kind)
+		binary.LittleEndian.PutUint64(e[8:16], offsets[i])
+		binary.LittleEndian.PutUint64(e[16:24], uint64(len(s.payload)))
+		binary.LittleEndian.PutUint32(e[24:28], crc32.ChecksumIEEE(s.payload))
+		copy(buf[offsets[i]:], s.payload)
+	}
+
+	// Header CRC (§2.1): header[0:44] ++ table, one continuous stream.
+	h := crc32.NewIEEE()
+	h.Write(buf[:headerSize-4])
+	h.Write(buf[headerSize : headerSize+tableLen])
+	binary.LittleEndian.PutUint32(buf[headerSize-4:headerSize], h.Sum32())
+	return buf
+}
+
+// flatState emits one §4.2 state record.
+func flatState(arcBegin uint32, final float32) []byte {
+	rec := make([]byte, 8)
+	binary.LittleEndian.PutUint32(rec[0:4], arcBegin)
+	binary.LittleEndian.PutUint32(rec[4:8], math.Float32bits(final))
+	return rec
+}
+
+// flatArc emits one §4.2 arc record.
+func flatArc(in, out int32, w float32, next int32) []byte {
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(in))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(out))
+	binary.LittleEndian.PutUint32(rec[8:12], math.Float32bits(w))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(next))
+	return rec
+}
+
+var inf32 = float32(math.Inf(1))
+
+// TestSpecConformance opens a hand-built bundle with full verification
+// and checks every documented property end to end.
+func TestSpecConformance(t *testing.T) {
+	meta := []byte(`{"format_version":3}`)
+	// A 2-state graph per §4.2: state 0 has one arc to state 1; state 1 is
+	// final with weight 0. The worked-example arc from the spec.
+	states := bytes.Join([][]byte{
+		flatState(0, inf32), // state 0: arcs [0,1), non-final
+		flatState(1, 0),     // state 1: arcs [1,1), final weight 0
+		flatState(1, inf32), // sentinel: arcBegin == arc count
+	}, nil)
+	arcs := flatArc(677, 5438, -2.5, 1)
+
+	data := buildSpecBundle([]specSection{
+		{kind: 1, payload: meta},   // meta
+		{kind: 2, payload: states}, // am-states
+		{kind: 3, payload: arcs},   // am-arcs
+	})
+
+	b, err := flatstore.OpenBytes(data, flatstore.Options{VerifySections: true})
+	if err != nil {
+		t.Fatalf("spec-built bundle rejected: %v", err)
+	}
+	defer b.Close()
+
+	if got, _ := b.Section(flatstore.SectionMeta); !bytes.Equal(got, meta) {
+		t.Errorf("meta section = %q, want %q", got, meta)
+	}
+	kinds := b.Kinds()
+	want := []flatstore.SectionKind{flatstore.SectionMeta, flatstore.SectionAMStates, flatstore.SectionAMArcs}
+	if len(kinds) != len(want) {
+		t.Fatalf("Kinds() = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("Kinds()[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+
+	// The graph sections must decode through the zero-copy constructor and
+	// yield exactly the documented arc.
+	sb, _ := b.Section(flatstore.SectionAMStates)
+	ab, _ := b.Section(flatstore.SectionAMArcs)
+	g, err := wfst.NewFromFlat(0, 2, sb, ab, false)
+	if err != nil {
+		t.Fatalf("spec-built graph rejected: %v", err)
+	}
+	got := g.Arcs(0)
+	if len(got) != 1 {
+		t.Fatalf("state 0 has %d arcs, want 1", len(got))
+	}
+	a := got[0]
+	if a.In != 677 || a.Out != 5438 || float32(a.W) != -2.5 || a.Next != 1 {
+		t.Errorf("decoded arc %+v, want {In:677 Out:5438 W:-2.5 Next:1}", a)
+	}
+	if len(g.Arcs(1)) != 0 {
+		t.Errorf("state 1 should have no arcs")
+	}
+	if math.IsInf(float64(g.Final(0)), 1) == false {
+		t.Errorf("state 0 should be non-final, got %v", g.Final(0))
+	}
+	if g.Final(1) != 0 {
+		t.Errorf("state 1 final = %v, want 0", g.Final(1))
+	}
+}
+
+// TestSpecWorkedExamples pins the literal hex from MODEL_STORE.md §4.2
+// so the document's byte strings cannot rot.
+func TestSpecWorkedExamples(t *testing.T) {
+	wantArc := []byte{
+		0xa5, 0x02, 0x00, 0x00, // in = 677
+		0x3e, 0x15, 0x00, 0x00, // out = 5438
+		0x00, 0x00, 0x20, 0xc0, // w = -2.5f
+		0x62, 0x60, 0x01, 0x00, // next = 90210
+	}
+	if got := flatArc(677, 5438, -2.5, 90210); !bytes.Equal(got, wantArc) {
+		t.Errorf("worked arc example:\n got %x\nspec %x", got, wantArc)
+	}
+	wantState := []byte{0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+	if got := flatState(3, 0); !bytes.Equal(got, wantState) {
+		t.Errorf("worked state example:\n got %x\nspec %x", got, wantState)
+	}
+	wantSentinel := []byte{0x07, 0x01, 0x00, 0x00, 0x00, 0x00, 0x80, 0x7f}
+	if got := flatState(263, inf32); !bytes.Equal(got, wantSentinel) {
+		t.Errorf("worked sentinel example:\n got %x\nspec %x", got, wantSentinel)
+	}
+}
+
+// TestSpecCorruptionRejected flips one payload byte and one header byte
+// of a spec-built bundle and requires the documented failure reasons.
+func TestSpecCorruptionRejected(t *testing.T) {
+	build := func() []byte {
+		return buildSpecBundle([]specSection{
+			{kind: 1, payload: []byte(`{"format_version":3}`)},
+		})
+	}
+
+	data := build()
+	data[len(data)-1] ^= 0xFF // payload corruption
+	if _, err := flatstore.OpenBytes(data, flatstore.Options{VerifySections: true}); err == nil {
+		t.Error("payload corruption passed full verification")
+	} else if fe, ok := err.(*flatstore.Error); !ok || fe.Reason != "checksum" {
+		t.Errorf("payload corruption reason = %v, want checksum", err)
+	}
+	// The O(1) open must NOT notice payload corruption — that is the
+	// documented trust trade-off.
+	if _, err := flatstore.OpenBytes(data, flatstore.Options{}); err != nil {
+		t.Errorf("O(1) open should skip payload checksums, got %v", err)
+	}
+
+	data = build()
+	data[16] ^= 0xFF // header file-size field
+	if _, err := flatstore.OpenBytes(data, flatstore.Options{}); err == nil {
+		t.Error("header corruption passed the O(1) open")
+	}
+}

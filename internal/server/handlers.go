@@ -20,12 +20,15 @@ type utteranceRequest struct {
 	Frames [][]float32 `json:"frames"`
 }
 
-// recognizeRequest is the /v1/recognize body: a batch of utterances, plus
-// an optional decode deadline as a Go duration string ("2s", "750ms");
-// the X-Unfold-Timeout header is the fallback when the field is empty.
+// recognizeRequest is the /v1/recognize body: a batch of utterances, an
+// optional decode deadline as a Go duration string ("2s", "750ms"; the
+// X-Unfold-Timeout header is the fallback when the field is empty), and an
+// optional model name (the ?model= query parameter is the fallback; empty
+// selects the default model).
 type recognizeRequest struct {
 	Utterances []utteranceRequest `json:"utterances"`
 	Timeout    string             `json:"timeout,omitempty"`
+	Model      string             `json:"model,omitempty"`
 }
 
 // compatibleContentType reports whether an explicitly-set Content-Type can
@@ -106,8 +109,7 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	sys, p, _ := s.system()
-	if sys == nil {
+	if s.models.empty() {
 		outcome = "unavailable"
 		s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		return
@@ -125,12 +127,23 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad_json", "bad JSON: "+err.Error())
 		return
 	}
+	if req.Model == "" {
+		req.Model = r.URL.Query().Get("model")
+	}
+	m, releaseModel, ok := s.resolveModel(w, req.Model)
+	if !ok {
+		outcome = "invalid"
+		return
+	}
+	// The reference pins the model's graphs (for a v3 bundle, the memory
+	// mapping) until the batch is done; a drain waits on it.
+	defer releaseModel()
 	if len(req.Utterances) == 0 {
 		outcome = "invalid"
 		s.fail(w, http.StatusBadRequest, "empty_batch", "no utterances")
 		return
 	}
-	dim := sys.Task.Senones.Dim
+	dim := m.dim()
 	for i, u := range req.Utterances {
 		if len(u.Frames) == 0 {
 			outcome = "invalid"
@@ -187,9 +200,9 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 	// admitting it unbounded would defeat the gate.
 	scores := make([][][]float32, len(req.Utterances))
 	for i, u := range req.Utterances {
-		scores[i] = s.score(sys, u.Frames)
+		scores[i] = m.score(u.Frames)
 	}
-	batch, _ := p.DecodePresetContext(ctx, scores, preset)
+	batch, _ := m.pool.DecodePresetContext(ctx, scores, preset)
 	if cerr := ctx.Err(); cerr != nil {
 		if errors.Is(cerr, context.DeadlineExceeded) {
 			outcome = "deadline"
@@ -210,7 +223,7 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		out.Words = res.Words
-		out.Text = text(sys, res.Words)
+		out.Text = m.words(res.Words)
 		out.Cost = float64(res.Cost)
 		out.Frames = res.Stats.Frames
 		out.Rescues = res.Stats.Rescues
@@ -224,9 +237,12 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamChunk is one NDJSON input line on /v1/stream: a chunk of feature
-// frames to append to the utterance.
+// frames to append to the utterance. Model on the first line selects the
+// model for the whole stream (the ?model= query parameter is the
+// fallback); later lines ignore it.
 type streamChunk struct {
 	Frames [][]float32 `json:"frames"`
+	Model  string      `json:"model,omitempty"`
 }
 
 // streamUpdate is the NDJSON reply line emitted after each chunk (and, with
@@ -279,8 +295,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	sys, _, cache := s.system()
-	if sys == nil {
+	if s.models.empty() {
 		outcome = "unavailable"
 		s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		return
@@ -308,10 +323,34 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Peek the first NDJSON line before any response bytes: it may carry
+	// the model selector, and resolving the model up front lets an unknown
+	// name answer a clean 404 instead of failing mid-stream.
+	in := json.NewDecoder(r.Body)
+	var first streamChunk
+	firstErr := in.Decode(&first)
+	if firstErr != nil && !errors.Is(firstErr, io.EOF) {
+		outcome = "invalid"
+		s.fail(w, http.StatusBadRequest, "bad_json", "bad NDJSON first line: "+firstErr.Error())
+		return
+	}
+	name := first.Model
+	if name == "" {
+		name = r.URL.Query().Get("model")
+	}
+	m, releaseModel, ok := s.resolveModel(w, name)
+	if !ok {
+		outcome = "invalid"
+		return
+	}
+	// The reference pins the model's graphs (for a v3 bundle, the memory
+	// mapping) for the stream's whole life; a drain waits on it.
+	defer releaseModel()
+
 	dcfg := s.cfg.Decoder
-	dcfg.OffsetCache = cache
+	dcfg.OffsetCache = m.streamCache
 	dcfg.Telemetry = s.ptel.Decoder
-	dec, err := decoder.NewOnTheFly(sys.Task.AM.G, sys.Task.LMGraph.G, dcfg)
+	dec, err := decoder.NewOnTheFly(m.amGraph(), m.lmGraph(), dcfg)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "internal", err.Error())
 		return
@@ -342,10 +381,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	stream := dec.NewStream()
-	dim := sys.Task.Senones.Dim
+	dim := m.dim()
 	frames := 0
 
-	in := json.NewDecoder(r.Body)
+	// The peeked first line is the first chunk; later iterations read from
+	// the wire (a clean EOF on the peek skips straight to finalization —
+	// json.Decoder keeps returning io.EOF).
+	chunk, haveChunk := first, firstErr == nil
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			if errors.Is(cerr, context.DeadlineExceeded) {
@@ -359,24 +401,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			s.streamsAborted.Inc()
 			return
 		}
-		var chunk streamChunk
-		if err := in.Decode(&chunk); err != nil {
-			if errors.Is(err, io.EOF) {
-				break // client finished sending; finalize below
+		if !haveChunk {
+			chunk = streamChunk{}
+			if err := in.Decode(&chunk); err != nil {
+				if errors.Is(err, io.EOF) {
+					break // client finished sending; finalize below
+				}
+				// Mid-stream read failure: disconnect or canceled request.
+				outcome = "canceled"
+				s.streamsAborted.Inc()
+				return
 			}
-			// Mid-stream read failure: disconnect or canceled request.
-			outcome = "canceled"
-			s.streamsAborted.Inc()
-			return
 		}
+		haveChunk = false
 		if err := checkDims(chunk.Frames, dim); err != nil {
 			outcome = "invalid"
 			enc.Encode(streamUpdate{Final: true, Error: err.Error()})
 			return
 		}
-		// Score the chunk (serialized: scorers are stateful) and push the
-		// rows one frame at a time, exactly as a live frontend would.
-		for _, row := range s.score(sys, chunk.Frames) {
+		// Score the chunk (serialized per model: scorers are stateful) and
+		// push the rows one frame at a time, as a live frontend would.
+		for _, row := range m.score(chunk.Frames) {
 			if err := stream.Push(row); err != nil {
 				enc.Encode(streamUpdate{Final: true, Error: err.Error()})
 				return
@@ -384,7 +429,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			frames++
 		}
 		words := stream.Partial()
-		enc.Encode(streamUpdate{Words: words, Text: text(sys, words), Frames: frames})
+		enc.Encode(streamUpdate{Words: words, Text: m.words(words), Frames: frames})
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -394,7 +439,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	outcome = "ok"
 	enc.Encode(streamUpdate{
 		Words:          res.Words,
-		Text:           text(sys, res.Words),
+		Text:           m.words(res.Words),
 		Frames:         res.Stats.Frames,
 		Final:          true,
 		Cost:           float64(res.Cost),
@@ -415,16 +460,23 @@ type testsetItem struct {
 	Data   [][]float32 `json:"data,omitempty"`
 }
 
-// handleTestset exposes the task's held-out utterances so a client (or the
+// handleTestset exposes a model's held-out utterances so a client (or the
 // runbook's curl examples) has real frames to send: GET /v1/testset lists
-// references, GET /v1/testset?utt=N includes utterance N's frames.
+// references, GET /v1/testset?utt=N includes utterance N's frames, and
+// ?model= selects the model. Bundle-loaded models carry no evaluation
+// data, so they answer 404.
 func (s *Server) handleTestset(w http.ResponseWriter, r *http.Request) {
-	sys, _, _ := s.system()
-	if sys == nil {
-		httpError(w, http.StatusServiceUnavailable, "model not loaded")
+	m, releaseModel, ok := s.resolveModel(w, r.URL.Query().Get("model"))
+	if !ok {
 		return
 	}
-	test := sys.TestSet()
+	defer releaseModel()
+	test := m.testSet()
+	if test == nil {
+		s.fail(w, http.StatusNotFound, "no_testset",
+			fmt.Sprintf("model %q was loaded from a bundle and carries no test set", m.name))
+		return
+	}
 	if q := r.URL.Query().Get("utt"); q != "" {
 		i, err := strconv.Atoi(q)
 		if err != nil || i < 0 || i >= len(test) {
@@ -433,13 +485,13 @@ func (s *Server) handleTestset(w http.ResponseWriter, r *http.Request) {
 		}
 		u := test[i]
 		writeJSON(w, http.StatusOK, testsetItem{
-			Utt: i, Ref: text(sys, u.Words), Frames: len(u.Frames), Data: u.Frames,
+			Utt: i, Ref: m.words(u.Words), Frames: len(u.Frames), Data: u.Frames,
 		})
 		return
 	}
 	items := make([]testsetItem, len(test))
 	for i, u := range test {
-		items[i] = testsetItem{Utt: i, Ref: text(sys, u.Words), Frames: len(u.Frames)}
+		items[i] = testsetItem{Utt: i, Ref: m.words(u.Words), Frames: len(u.Frames)}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(test), "utterances": items})
 }

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// saveBundle writes the shared fixture system as a v3 flat bundle and
+// returns its path.
+func saveBundle(t testing.TB) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.ufb3")
+	if err := getSystem(t).SaveFlat(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// postModel registers a bundle under name via POST /v1/models and returns
+// the response code and decoded body.
+func postModel(t *testing.T, s *Server, name, path string) (int, map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(modelsAddRequest{Name: name, Path: path})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models", bytes.NewReader(body)))
+	var out map[string]any
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec.Code, out
+}
+
+// recognizeOn posts one utterance against the named model and returns the
+// status code and response body bytes.
+func recognizeOn(t *testing.T, s *Server, model string, frames [][]float32) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(recognizeRequest{
+		Utterances: []utteranceRequest{{Frames: frames}},
+		Model:      model,
+	})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+	return rec.Code, rec.Body.Bytes()
+}
+
+// TestModelAddRecognizeDrain walks the registry's whole lifecycle over
+// HTTP: hot-add a v3 bundle, decode against it by name, watch it in
+// /healthz and /v1/models and /metrics, then drain it and check it stops
+// resolving with a structured 404.
+func TestModelAddRecognizeDrain(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 2})
+	sys := getSystem(t)
+	u := sys.TestSet()[0]
+	want, err := sys.Recognize(u.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := postModel(t, s, "alt", saveBundle(t))
+	if code != http.StatusOK {
+		t.Fatalf("add model: %d %v", code, body)
+	}
+	if body["state"] != modelReady {
+		t.Errorf("added model state %v, want ready", body["state"])
+	}
+
+	// The bundle decodes byte-identically to the task it was saved from.
+	code, respBytes := recognizeOn(t, s, "alt", u.Frames)
+	if code != http.StatusOK {
+		t.Fatalf("recognize on alt: %d %s", code, respBytes)
+	}
+	var resp recognizeResponse
+	if err := json.Unmarshal(respBytes, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(resp.Results[0].Words) != fmt.Sprint(want) {
+		t.Errorf("bundle-model words %v != reference %v", resp.Results[0].Words, want)
+	}
+
+	// Query-parameter selection hits the same model.
+	body2, _ := json.Marshal(recognizeRequest{Utterances: []utteranceRequest{{Frames: u.Frames}}})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize?model=alt", bytes.NewReader(body2)))
+	if rec.Code != http.StatusOK {
+		t.Errorf("query-param model selection: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// /v1/models and /healthz list both models with states.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/models", nil))
+	var list struct {
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 2 {
+		t.Fatalf("model list %v, want default+alt", list.Models)
+	}
+	for _, mi := range list.Models {
+		if mi.State != modelReady {
+			t.Errorf("model %s state %s, want ready", mi.Name, mi.State)
+		}
+		if mi.ResidentBytes <= 0 {
+			t.Errorf("model %s resident bytes %d, want > 0", mi.Name, mi.ResidentBytes)
+		}
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Models) != 2 || h.Task != "server-test" {
+		t.Errorf("healthz models %v task %q", h.Models, h.Task)
+	}
+
+	// Per-model telemetry is on /metrics.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, wantMetric := range []string{
+		`unfold_model_resident_bytes{model="alt"}`,
+		`unfold_model_load_seconds{model="alt"}`,
+		`unfold_model_resident_bytes{model="default"}`,
+	} {
+		if !strings.Contains(rec.Body.String(), wantMetric) {
+			t.Errorf("metrics missing %s", wantMetric)
+		}
+	}
+
+	// Drain: the model stops resolving immediately.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/models/alt", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drain: %d %s", rec.Code, rec.Body.String())
+	}
+	code, respBytes = recognizeOn(t, s, "alt", u.Frames)
+	if code != http.StatusNotFound {
+		t.Fatalf("recognize on drained model: %d, want 404", code)
+	}
+	var e errorBody
+	if err := json.Unmarshal(respBytes, &e); err != nil || e.Reason != "unknown_model" || e.Error == "" {
+		t.Errorf("404 body not structured: %s", respBytes)
+	}
+
+	// Draining an unknown model is a structured 404 too.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/models/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("drain unknown: %d, want 404", rec.Code)
+	}
+}
+
+// TestUnknownModel404Shape pins the 404 body shape for an unknown model on
+// both decode routes: a structured errorBody with reason unknown_model.
+func TestUnknownModel404Shape(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	u := getSystem(t).TestSet()[0]
+
+	code, body := recognizeOn(t, s, "missing", u.Frames)
+	if code != http.StatusNotFound {
+		t.Fatalf("recognize unknown model: %d, want 404", code)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("404 body not JSON: %s", body)
+	}
+	if e.Reason != "unknown_model" || !strings.Contains(e.Error, "missing") {
+		t.Errorf("404 body %+v, want reason unknown_model naming the model", e)
+	}
+
+	// Stream: model on the first NDJSON line.
+	line, _ := json.Marshal(streamChunk{Model: "missing", Frames: u.Frames[:1]})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/stream", bytes.NewReader(line)))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("stream unknown model: %d, want 404", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Reason != "unknown_model" {
+		t.Errorf("stream 404 body not structured: %s", rec.Body.String())
+	}
+}
+
+// TestStreamModelSelection streams against a hot-added bundle model, with
+// the selector on the first NDJSON line, and checks the final transcript
+// matches the task path.
+func TestStreamModelSelection(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	sys := getSystem(t)
+	if code, body := postModel(t, s, "alt", saveBundle(t)); code != http.StatusOK {
+		t.Fatalf("add model: %d %v", code, body)
+	}
+	u := sys.TestSet()[0]
+	want, err := sys.Recognize(u.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	half := len(u.Frames) / 2
+	enc.Encode(streamChunk{Model: "alt", Frames: u.Frames[:half]})
+	enc.Encode(streamChunk{Frames: u.Frames[half:]})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/stream", &in))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream: %d %s", rec.Code, rec.Body.String())
+	}
+	var final streamUpdate
+	for _, lineText := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		if err := json.Unmarshal([]byte(lineText), &final); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", lineText, err)
+		}
+	}
+	if !final.Final || final.Error != "" {
+		t.Fatalf("missing clean final line: %+v", final)
+	}
+	if fmt.Sprint(final.Words) != fmt.Sprint(want) {
+		t.Errorf("streamed bundle words %v != reference %v", final.Words, want)
+	}
+}
+
+// TestModelBudget rejects a load that would exceed the configured resident
+// budget with a structured 507, without disturbing the loaded model.
+func TestModelBudget(t *testing.T) {
+	s := New(Config{Workers: 1, ModelBudget: 1024}) // far below any bundle
+	if err := s.Load(getSystem(t)); err == nil {
+		t.Fatal("system load under a 1KB budget should fail")
+	}
+
+	path := saveBundle(t)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for the task model plus one mapped bundle, with slack — but not
+	// for a second bundle.
+	fp := getSystem(t).Footprint()
+	s = New(Config{Workers: 1, ModelBudget: fp.AMBytes + fp.LMBytes + st.Size() + st.Size()/2})
+	if err := s.Load(getSystem(t)); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postModel(t, s, "fits", path); code != http.StatusOK {
+		t.Fatalf("bundle within budget rejected: %d", code)
+	}
+	code, body := postModel(t, s, "overflow", path)
+	if code != http.StatusInsufficientStorage {
+		t.Fatalf("over-budget load: %d %v, want 507", code, body)
+	}
+	if body["reason"] != "model_budget" {
+		t.Errorf("budget rejection reason %v, want model_budget", body["reason"])
+	}
+	// The failed load left no entry behind.
+	for _, mi := range s.Models() {
+		if mi.Name == "overflow" && mi.State != modelFailed {
+			t.Errorf("over-budget model present as %s", mi.State)
+		}
+	}
+}
+
+// TestModelSwapUnderLoad hot-swaps the model a pool of clients is decoding
+// against, then drains it, asserting no request ever sees a 5xx and the
+// old generation's resources are released (the registry converges to the
+// remaining models).
+func TestModelSwapUnderLoad(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 2})
+	sys := getSystem(t)
+	frames := sys.TestSet()[0].Frames
+	if len(frames) > 30 {
+		frames = frames[:30]
+	}
+	pathA, pathB := saveBundle(t), saveBundle(t)
+	if code, body := postModel(t, s, "hot", pathA); code != http.StatusOK {
+		t.Fatalf("initial add: %d %v", code, body)
+	}
+
+	stop := time.Now().Add(1500 * time.Millisecond)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				code, body := recognizeOn(t, s, "hot", frames)
+				switch code {
+				case http.StatusOK, http.StatusNotFound, http.StatusServiceUnavailable,
+					http.StatusTooManyRequests, http.StatusRequestTimeout:
+					// 404/503 are legitimate after the final drain below.
+				default:
+					t.Errorf("swap load saw %d: %s", code, body)
+				}
+			}
+		}()
+	}
+	// Swap generations every ~100ms while the clients hammer the name.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		paths := []string{pathB, pathA}
+		for i := 0; time.Now().Before(stop); i++ {
+			if code, body := postModel(t, s, "hot", paths[i%2]); code != http.StatusOK {
+				t.Errorf("swap %d failed: %d %v", i, code, body)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		// Final act: drain the name entirely.
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/models/hot", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("final drain: %d", rec.Code)
+		}
+	}()
+	wg.Wait()
+
+	// In-flight references have all been released, so the drained
+	// generation must be gone; only the default model remains.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		models := s.Models()
+		if len(models) == 1 && models[0].Name == DefaultModel {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("registry did not converge after drain: %+v", s.Models())
+}
+
+// TestTestsetPerModel checks ?model= on /v1/testset: the default task
+// model serves frames, a bundle model answers a structured 404 (bundles
+// carry no evaluation data).
+func TestTestsetPerModel(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	if code, body := postModel(t, s, "alt", saveBundle(t)); code != http.StatusOK {
+		t.Fatalf("add model: %d %v", code, body)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/testset?model=alt", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("bundle-model testset: %d, want 404", rec.Code)
+	}
+	var e errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Reason != "no_testset" {
+		t.Errorf("testset 404 body not structured: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/testset?model=default", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("default-model testset: %d", rec.Code)
+	}
+}
+
+// TestModelAddRejects pins the admin route's error paths: bad JSON,
+// missing fields, and an unloadable path, each with a structured body.
+func TestModelAddRejects(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"badjson", "{", http.StatusBadRequest},
+		{"missing", `{"name":"x"}`, http.StatusBadRequest},
+		{"nopath", `{"name":"x","path":"/does/not/exist.ufb3"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models", strings.NewReader(tc.body)))
+		if rec.Code != tc.want {
+			t.Errorf("%s: %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+		var e errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not structured: %s", tc.name, rec.Body.String())
+		}
+	}
+	// Wrong method on the collection: the method-aware mux answers 405.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPut, "/v1/models", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/models: %d, want 405", rec.Code)
+	}
+}
+
+// discard drains and closes a response body (keeps httptest servers tidy
+// in the soak's registry churn).
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

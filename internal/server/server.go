@@ -18,12 +18,12 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
-	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +57,10 @@ type Config struct {
 	// The zero value enables load management with the AdmissionConfig
 	// defaults (MaxConcurrent tracks the pool worker count).
 	Admission AdmissionConfig
+	// ModelBudget caps the summed resident bytes of every registered model
+	// (a swap holds both generations until the old one drains, and counts
+	// both). 0 disables the budget.
+	ModelBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,18 +84,13 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
-	// scorerMu serializes acoustic scoring: scorers keep per-utterance
-	// scratch state and are not concurrency-safe. The search itself (the
-	// component the pool scales) runs outside this lock.
-	scorerMu sync.Mutex
+	// models is the named-model registry behind every decode route:
+	// refcounted resolution, hot add/swap/drain, and the memory budget.
+	// Scorer serialization lives per model (scorers keep per-utterance
+	// scratch state and are not concurrency-safe; distinct models score
+	// concurrently).
+	models *modelRegistry
 
-	// mu guards the loaded model state below.
-	mu          sync.RWMutex
-	sys         *unfold.System
-	pool        *pool.DecodePool
-	streamCache *pool.ShardedLRU
-
-	ready    atomic.Bool
 	draining atomic.Bool
 
 	streamsActive atomic.Int64
@@ -128,11 +127,12 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 		admit:  newAdmitter(cfg.Admission),
+		models: newModelRegistry(reg, cfg.ModelBudget),
 	}
 	s.streamsGauge = reg.Gauge("unfold_server_streams_active", "Streaming decodes in flight.")
 	s.streamsAborted = reg.Counter("unfold_server_streams_aborted_total", "Streams ended by cancellation or client disconnect.")
 	s.requestsByPath = map[string]*telemetry.Counter{}
-	for _, route := range []string{"/v1/recognize", "/v1/stream", "/v1/testset", "/healthz", "/metrics"} {
+	for _, route := range []string{"/v1/recognize", "/v1/stream", "/v1/testset", "/v1/models", "/healthz", "/metrics"} {
 		s.requestsByPath[route] = reg.Counter("unfold_server_requests_total", "HTTP requests by route.", telemetry.L("route", route))
 	}
 
@@ -172,26 +172,97 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // Tracer returns the server's span tracer.
 func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
-// Load installs a recognizer system: it builds the batch DecodePool and
-// the shared stream cache, then marks the server ready. Call once at
-// startup (subsequent calls replace the model for the next request).
+// Load installs a recognizer system as the default model: it builds the
+// model's batch DecodePool and stream cache, then marks the server ready.
+// Loading under an existing name hot-swaps: new requests resolve the new
+// generation immediately, the old one drains and closes in the background.
 func (s *Server) Load(sys *unfold.System) error {
+	return s.LoadSystem(DefaultModel, sys)
+}
+
+// LoadSystem registers a task-built system under a model name.
+func (s *Server) LoadSystem(name string, sys *unfold.System) error {
+	fp := sys.Footprint()
+	commit, abort, err := s.models.beginLoad(name, fp.AMBytes+fp.LMBytes)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
 	p, err := sys.NewDecodePool(pool.Config{
 		Workers:   s.cfg.Workers,
 		Decoder:   s.cfg.Decoder,
 		Telemetry: s.ptel,
 	})
 	if err != nil {
+		abort(err)
 		return err
 	}
-	s.mu.Lock()
-	s.sys = sys
-	s.pool = p
-	s.streamCache = pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16)
-	s.mu.Unlock()
-	s.ready.Store(true)
+	commit(&model{
+		name:        name,
+		task:        sys.Task.Spec.Name,
+		sys:         sys,
+		pool:        p,
+		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
+		resident:    fp.AMBytes + fp.LMBytes,
+		loadSeconds: loadSecondsSince(start),
+	})
 	return nil
 }
+
+// LoadBundle registers a model bundle from disk under a name — the hot-add
+// path behind POST /v1/models. verify selects the fully-checked loader
+// (per-section CRCs plus structural validation) over the O(1) mapped fast
+// path; serve untrusted bundles verified. The budget check uses the file
+// size (which IS the resident size for a mapped v3 bundle) before any load
+// work happens.
+func (s *Server) LoadBundle(name, path string, verify bool) error {
+	estimate := int64(0)
+	if st, err := os.Stat(path); err == nil && !st.IsDir() {
+		estimate = st.Size()
+	}
+	commit, abort, err := s.models.beginLoad(name, estimate)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	load := unfold.LoadRecognizerFast
+	if verify {
+		load = unfold.LoadRecognizer
+	}
+	rec, err := load(path)
+	if err != nil {
+		abort(err)
+		return err
+	}
+	p, err := pool.New(rec.AMGraph, rec.LMGraph, pool.Config{
+		Workers:   s.cfg.Workers,
+		Decoder:   s.cfg.Decoder,
+		Telemetry: s.ptel,
+	})
+	if err != nil {
+		rec.Close()
+		abort(err)
+		return err
+	}
+	commit(&model{
+		name:        name,
+		task:        rec.TaskName,
+		rec:         rec,
+		pool:        p,
+		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
+		resident:    rec.ResidentBytes(),
+		loadSeconds: loadSecondsSince(start),
+	})
+	return nil
+}
+
+// DrainModel removes a model from routing; its resources (including a v3
+// bundle's memory mapping) are released when the last in-flight request
+// over it finishes.
+func (s *Server) DrainModel(name string) error { return s.models.drain(name) }
+
+// Models snapshots the registry for tests and embedding callers.
+func (s *Server) Models() []modelInfo { return s.models.list() }
 
 // BeginDrain flips /healthz to 503 so load balancers stop routing new
 // work, while in-flight requests keep running — call on SIGTERM, then
@@ -209,6 +280,9 @@ func (s *Server) routes() {
 	s.mux.Handle("/v1/recognize", s.counted("/v1/recognize", http.HandlerFunc(s.handleRecognize)))
 	s.mux.Handle("/v1/stream", s.counted("/v1/stream", http.HandlerFunc(s.handleStream)))
 	s.mux.Handle("/v1/testset", s.counted("/v1/testset", http.HandlerFunc(s.handleTestset)))
+	s.mux.Handle("GET /v1/models", s.counted("/v1/models", http.HandlerFunc(s.handleModelsList)))
+	s.mux.Handle("POST /v1/models", s.counted("/v1/models", http.HandlerFunc(s.handleModelsAdd)))
+	s.mux.Handle("DELETE /v1/models/{name}", s.counted("/v1/models", http.HandlerFunc(s.handleModelsDrain)))
 	if !s.cfg.DisablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -227,7 +301,9 @@ func (s *Server) counted(route string, h http.Handler) http.Handler {
 	})
 }
 
-// healthResponse is the /healthz JSON body.
+// healthResponse is the /healthz JSON body. Task and the Workers block
+// describe the default model (kept for probe compatibility); Models lists
+// every registered model with its lifecycle state.
 type healthResponse struct {
 	Status        string  `json:"status"`
 	Task          string  `json:"task,omitempty"`
@@ -237,9 +313,10 @@ type healthResponse struct {
 		Total int `json:"total"`
 		Busy  int `json:"busy"`
 	} `json:"workers"`
-	StreamsActive int64  `json:"streams_active"`
-	Decodes       int64  `json:"decodes_total"`
-	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	StreamsActive int64       `json:"streams_active"`
+	Decodes       int64       `json:"decodes_total"`
+	HeapLiveBytes uint64      `json:"heap_live_bytes"`
+	Models        []modelInfo `json:"models,omitempty"`
 	Load          struct {
 		QueueDepth    int   `json:"queue_depth"`
 		QueueCapacity int   `json:"queue_capacity"`
@@ -266,20 +343,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Load.Shed += c.Value()
 	}
 
-	s.mu.RLock()
-	if s.sys != nil {
-		resp.Task = s.sys.Task.Spec.Name
+	resp.Models = s.models.list()
+	for _, mi := range resp.Models {
+		if mi.Name == DefaultModel {
+			resp.Task = mi.Task
+		}
 	}
-	if s.pool != nil {
-		resp.Workers.Total = s.pool.Workers()
+	if m, release, st, _ := s.models.acquire(DefaultModel); st == statusOK {
+		resp.Workers.Total = m.pool.Workers()
+		release()
 	}
-	s.mu.RUnlock()
 	resp.Workers.Busy = int(s.ptel.WorkersBusy.Value())
 	resp.Decodes = s.ptel.Decoder.Decodes.Value() + s.ptel.Decoder.Streams.Value()
 
 	code := http.StatusOK
 	switch {
-	case !s.ready.Load():
+	case !s.models.anyReady():
 		resp.Status = "loading"
 		code = http.StatusServiceUnavailable
 	case resp.Draining:
@@ -291,18 +370,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
-// system returns the loaded model state, or (nil, nil, nil) before Load.
-func (s *Server) system() (*unfold.System, *pool.DecodePool, *pool.ShardedLRU) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sys, s.pool, s.streamCache
-}
-
-// score runs the acoustic scorer under the scorer lock.
-func (s *Server) score(sys *unfold.System, frames [][]float32) [][]float32 {
-	s.scorerMu.Lock()
-	defer s.scorerMu.Unlock()
-	return sys.Task.Scorer.ScoreUtterance(frames)
+// resolveModel acquires the request's model — the explicit name, or the
+// default — and writes the structured error itself when the model is not
+// servable: 404 unknown_model for a named miss, 503 not_loaded /
+// model_not_ready otherwise. Callers must invoke the release exactly once
+// when it is non-nil.
+func (s *Server) resolveModel(w http.ResponseWriter, name string) (*model, func(), bool) {
+	explicit := name != ""
+	if !explicit {
+		name = DefaultModel
+	}
+	m, release, st, detail := s.models.acquire(name)
+	switch st {
+	case statusOK:
+		return m, release, true
+	case statusUnknown:
+		if !explicit {
+			s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
+		} else {
+			s.fail(w, http.StatusNotFound, "unknown_model", detail)
+		}
+	default:
+		s.fail(w, http.StatusServiceUnavailable, "model_not_ready", detail)
+	}
+	return nil, nil, false
 }
 
 // writeJSON writes v as a JSON response with the given status code.
@@ -366,7 +457,60 @@ func (s *Server) observeLatency(route, outcome string, start time.Time) {
 		Observe(time.Since(start).Seconds())
 }
 
-// text renders word IDs as a space-joined surface string.
-func text(sys *unfold.System, ids []int32) string {
-	return strings.Join(sys.Words(ids), " ")
+// modelsAddRequest is the POST /v1/models body: register (or hot-swap) a
+// bundle from disk under a name. Verify selects the fully-checked loader
+// over the O(1) mapped fast path.
+type modelsAddRequest struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Verify bool   `json:"verify,omitempty"`
+}
+
+// handleModelsList answers GET /v1/models with every registered model.
+func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.models.list()})
+}
+
+// handleModelsAdd hot-adds (or hot-swaps) a bundle: the new generation
+// serves the next request; a replaced one drains and closes in the
+// background. Budget rejections answer 507 so a deploy tool can tell
+// "would not fit" from "bundle is broken" (400).
+func (s *Server) handleModelsAdd(w http.ResponseWriter, r *http.Request) {
+	var req modelsAddRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_json", "bad JSON: "+err.Error())
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		s.fail(w, http.StatusBadRequest, "missing_field", "name and path are required")
+		return
+	}
+	if err := s.LoadBundle(req.Name, req.Path, req.Verify); err != nil {
+		var be *budgetError
+		if errors.As(err, &be) {
+			s.fail(w, http.StatusInsufficientStorage, "model_budget", err.Error())
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "load_failed", err.Error())
+		return
+	}
+	for _, mi := range s.models.list() {
+		if mi.Name == req.Name {
+			writeJSON(w, http.StatusOK, mi)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": req.Name, "state": modelReady})
+}
+
+// handleModelsDrain answers DELETE /v1/models/{name}: the model stops
+// resolving immediately and its resources are released once the last
+// in-flight request over it finishes.
+func (s *Server) handleModelsDrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.models.drain(name); err != nil {
+		s.fail(w, http.StatusNotFound, "unknown_model", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "state": modelDraining})
 }

@@ -179,6 +179,52 @@ func TestSoakMixedLoadWithDrain(t *testing.T) {
 		}()
 	}
 
+	// Registry churn: one client hot-adds, decodes against, swaps, and
+	// drains a side model the whole time, so the soak exercises add/swap/
+	// drain racing the decode routes (and, under -race, the refcounted
+	// close against in-flight readers).
+	bundle := saveBundle(t)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postBody, _ := json.Marshal(modelsAddRequest{Name: "soak-side", Path: bundle})
+		sideReq, _ := json.Marshal(recognizeRequest{
+			Utterances: []utteranceRequest{{Frames: frames}},
+			Timeout:    "2s",
+			Model:      "soak-side",
+		})
+		for time.Now().Before(stop) {
+			resp, err := client.Post(base+"/v1/models", "application/json", bytes.NewReader(postBody))
+			if err != nil {
+				if !drained.Load() {
+					t.Errorf("model add transport error before drain: %v", err)
+				}
+				return
+			}
+			if resp.StatusCode != http.StatusOK && !drained.Load() {
+				t.Errorf("model add failed under soak: %d", resp.StatusCode)
+			}
+			discard(resp)
+			if resp, err = client.Post(base+"/v1/recognize", "application/json", bytes.NewReader(sideReq)); err != nil {
+				if !drained.Load() {
+					t.Errorf("side-model decode transport error before drain: %v", err)
+				}
+				return
+			}
+			// Any structured status is fine here (the side model may be
+			// mid-swap); the batch clients assert the strict invariants.
+			discard(resp)
+			dreq, _ := http.NewRequest(http.MethodDelete, base+"/v1/models/soak-side", nil)
+			if resp, err = client.Do(dreq); err != nil {
+				if !drained.Load() {
+					t.Errorf("model drain transport error before drain: %v", err)
+				}
+				return
+			}
+			discard(resp)
+		}
+	}()
+
 	// Mid-flight, take the SIGTERM path.
 	shutdownDone := make(chan error, 1)
 	wg.Add(1)

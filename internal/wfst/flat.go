@@ -1,0 +1,190 @@
+package wfst
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"repro/internal/semiring"
+)
+
+// Flat CSR layout — the zero-copy serialization of a WFST used by the v3
+// model store (docs/MODEL_STORE.md). Unlike the record-oriented Write/Read
+// format, the flat layout mirrors the in-memory compressed-sparse-row arrays
+// byte for byte, so on a little-endian host a memory-mapped bundle section
+// IS the state/arc table: no unmarshal step, no per-arc allocation, load
+// time independent of arc count.
+//
+// State record (8 bytes, little-endian):
+//
+//	+0 arcBegin uint32  index of the state's first arc in the arc table
+//	+4 final    float32 final weight bits (+Inf = non-final)
+//
+// The state table has NumStates()+1 records; the last is the sentinel whose
+// arcBegin equals the arc count (and whose final is +Inf). Arc record
+// (16 bytes, little-endian — the paper's 128-bit arc):
+//
+//	+0  in     int32   input label (senone, or word for an LM)
+//	+4  out    int32   output label (word, or Epsilon)
+//	+8  weight float32 arc weight bits
+//	+12 next   int32   destination state
+//
+// Field order matches the Go Arc struct so the cast is layout-exact.
+const (
+	// FlatStateBytes is the flat per-state record width.
+	FlatStateBytes = StateBytes // 8
+	// FlatArcBytes is the flat per-arc record width.
+	FlatArcBytes = ArcBytes // 16
+)
+
+// hostLittleEndian reports whether this machine stores multi-byte integers
+// least-significant byte first — the precondition for aliasing flat bytes
+// as record slices instead of decoding them.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// layoutMatchesFlat reports whether the in-memory record layouts equal the
+// on-disk flat layout, which the zero-copy cast requires. True on every
+// platform Go currently supports (the structs have no padding), but checked
+// at runtime so an exotic ABI degrades to the copying path instead of
+// corrupting reads.
+func layoutMatchesFlat() bool {
+	return unsafe.Sizeof(Arc{}) == FlatArcBytes &&
+		unsafe.Offsetof(Arc{}.In) == 0 &&
+		unsafe.Offsetof(Arc{}.Out) == 4 &&
+		unsafe.Offsetof(Arc{}.W) == 8 &&
+		unsafe.Offsetof(Arc{}.Next) == 12 &&
+		unsafe.Sizeof(stateRec{}) == FlatStateBytes &&
+		unsafe.Offsetof(stateRec{}.arcBegin) == 0 &&
+		unsafe.Offsetof(stateRec{}.final) == 4
+}
+
+// FlatStatesSize returns the byte length of f's flat state table
+// (including the sentinel record).
+func FlatStatesSize(f *WFST) int { return (f.NumStates() + 1) * FlatStateBytes }
+
+// FlatArcsSize returns the byte length of f's flat arc table.
+func FlatArcsSize(f *WFST) int { return f.NumArcs() * FlatArcBytes }
+
+// WriteFlatStates writes f's state table in the flat layout. The encode is
+// explicit little-endian, so bundles written on any host read identically.
+func WriteFlatStates(f *WFST, w io.Writer) error {
+	var rec [FlatStateBytes]byte
+	for _, s := range f.states {
+		binary.LittleEndian.PutUint32(rec[0:4], s.arcBegin)
+		binary.LittleEndian.PutUint32(rec[4:8], math.Float32bits(float32(s.final)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFlatArcs writes f's arc table in the flat layout.
+func WriteFlatArcs(f *WFST, w io.Writer) error {
+	// On a little-endian host the in-memory arc array already has the
+	// on-disk representation; write it in one call instead of 16 bytes at
+	// a time. (Large graphs make this the dominant cost of Save.)
+	if hostLittleEndian && layoutMatchesFlat() && len(f.arcs) > 0 {
+		buf := unsafe.Slice((*byte)(unsafe.Pointer(&f.arcs[0])), len(f.arcs)*FlatArcBytes)
+		_, err := w.Write(buf)
+		return err
+	}
+	var rec [FlatArcBytes]byte
+	for _, a := range f.arcs {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(a.In))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(a.Out))
+		binary.LittleEndian.PutUint32(rec[8:12], math.Float32bits(float32(a.W)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(a.Next))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aligned4 reports whether p's backing array starts on a 4-byte boundary
+// (the alignment of Arc and stateRec). Bundle sections are 16-byte aligned
+// and mmap regions page-aligned, so this only fails for odd caller-built
+// buffers, which then take the copying path.
+func aligned4(p []byte) bool {
+	return len(p) == 0 || uintptr(unsafe.Pointer(&p[0]))%4 == 0
+}
+
+// NewFromFlat constructs a WFST over flat state/arc tables. On a
+// little-endian host with 4-byte-aligned input the returned transducer
+// aliases the provided buffers directly — zero copies, zero per-arc work —
+// so the buffers must stay valid and unmodified for the WFST's lifetime
+// (a mapped bundle section satisfies both). Other hosts decode a private
+// copy.
+//
+// Construction validates what slicing safety requires and nothing more:
+// record sizes, a monotone arcBegin sequence ending exactly at the arc
+// count, and the start state range. That is O(states), never O(arcs), which
+// is what keeps bundle load time independent of model size. It does NOT
+// check arc destinations; run (*WFST).Validate for full structural
+// verification of untrusted input.
+func NewFromFlat(start StateID, nStates int, states, arcs []byte, inSorted bool) (*WFST, error) {
+	if nStates < 0 {
+		return nil, fmt.Errorf("wfst: flat state count %d negative", nStates)
+	}
+	if want := (nStates + 1) * FlatStateBytes; len(states) != want {
+		return nil, fmt.Errorf("wfst: flat state table is %d bytes, want %d for %d states", len(states), want, nStates)
+	}
+	if len(arcs)%FlatArcBytes != 0 {
+		return nil, fmt.Errorf("wfst: flat arc table length %d not a multiple of %d", len(arcs), FlatArcBytes)
+	}
+	nArcs := len(arcs) / FlatArcBytes
+	f := &WFST{start: start, inSorted: inSorted}
+	if hostLittleEndian && layoutMatchesFlat() && aligned4(states) && aligned4(arcs) {
+		f.states = unsafe.Slice((*stateRec)(unsafe.Pointer(&states[0])), nStates+1)
+		if nArcs > 0 {
+			f.arcs = unsafe.Slice((*Arc)(unsafe.Pointer(&arcs[0])), nArcs)
+		}
+		f.external = true
+	} else {
+		f.states = make([]stateRec, nStates+1)
+		for i := range f.states {
+			off := i * FlatStateBytes
+			f.states[i] = stateRec{
+				arcBegin: binary.LittleEndian.Uint32(states[off : off+4]),
+				final:    semiring.Weight(math.Float32frombits(binary.LittleEndian.Uint32(states[off+4 : off+8]))),
+			}
+		}
+		f.arcs = make([]Arc, nArcs)
+		for i := range f.arcs {
+			off := i * FlatArcBytes
+			f.arcs[i] = Arc{
+				In:   int32(binary.LittleEndian.Uint32(arcs[off : off+4])),
+				Out:  int32(binary.LittleEndian.Uint32(arcs[off+4 : off+8])),
+				W:    semiring.Weight(math.Float32frombits(binary.LittleEndian.Uint32(arcs[off+8 : off+12]))),
+				Next: StateID(int32(binary.LittleEndian.Uint32(arcs[off+12 : off+16]))),
+			}
+		}
+	}
+	// The O(states) safety pass: every Arcs(s) slice the decoder takes must
+	// be in bounds, which holds iff arcBegin is monotone and the sentinel
+	// lands exactly on the arc count.
+	var prev uint32
+	for i, s := range f.states {
+		if s.arcBegin < prev {
+			return nil, fmt.Errorf("wfst: flat state %d arc offset %d precedes previous %d", i, s.arcBegin, prev)
+		}
+		prev = s.arcBegin
+	}
+	if int(prev) != nArcs {
+		return nil, fmt.Errorf("wfst: flat sentinel offset %d, want arc count %d", prev, nArcs)
+	}
+	if nStates == 0 {
+		if start != NoState {
+			return nil, fmt.Errorf("wfst: flat empty transducer with start %d", start)
+		}
+	} else if start < 0 || int(start) >= nStates {
+		return nil, fmt.Errorf("wfst: flat start state %d out of range [0,%d)", start, nStates)
+	}
+	return f, nil
+}

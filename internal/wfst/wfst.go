@@ -49,6 +49,10 @@ type WFST struct {
 	// inSorted records that every state's arcs are sorted by input label,
 	// which FindArc relies on.
 	inSorted bool
+	// external marks a transducer whose states/arcs slices alias memory the
+	// WFST does not own (a mapped model-store section, see NewFromFlat).
+	// Such memory may be read-only, so mutating operations must copy first.
+	external bool
 }
 
 // Start returns the initial state, or NoState for an empty transducer.
@@ -82,6 +86,13 @@ func (f *WFST) InSorted() bool { return f.inSorted }
 // then destination). Epsilon (0) sorts first. Binary-search lookup and the
 // packed LM encoding both require this ordering.
 func (f *WFST) SortByInput() {
+	if f.external {
+		// Aliased (possibly read-only mapped) storage: writing through it
+		// would fault or corrupt the shared bundle. Sort a private copy.
+		f.states = append([]stateRec(nil), f.states...)
+		f.arcs = append([]Arc(nil), f.arcs...)
+		f.external = false
+	}
 	for s := StateID(0); int(s) < f.NumStates(); s++ {
 		arcs := f.arcs[f.states[s].arcBegin:f.states[s+1].arcBegin]
 		sort.Slice(arcs, func(i, j int) bool {

@@ -36,6 +36,11 @@ import (
 // that LoadRecognizer would partially accept. LoadRecognizer verifies the
 // checksums and runs structural validation before constructing a decoder;
 // any failure is reported as a typed *BundleError, never a panic.
+//
+// The serving-oriented v3 flat bundle (a single zero-copy file; SaveFlat,
+// LoadRecognizerFast, ConvertBundle) lives in persist_v3.go; LoadRecognizer
+// dispatches between the two formats by whether the path is a directory.
+// Byte-level format spec for both: docs/MODEL_STORE.md.
 const (
 	metaFile    = "meta.json"
 	lexiconFile = "lexicon.txt"
@@ -87,8 +92,14 @@ type bundleMeta struct {
 	NumSenones     int             `json:"num_senones"`
 	FeatDim        int             `json:"feat_dim"`
 	// Checksums maps each data file name to the hex SHA-256 of its
-	// contents. Written by Save, verified by LoadRecognizer.
-	Checksums map[string]string `json:"checksums"`
+	// contents. Written by Save, verified by LoadRecognizer. v3 bundles
+	// omit it: integrity moves to the container's CRC-32s.
+	Checksums map[string]string `json:"checksums,omitempty"`
+
+	// AM and LM describe the flat graph sections of a v3 bundle (start
+	// state, state count, sorted flag); nil in v2 metadata.
+	AM *flatGraphMeta `json:"am_graph,omitempty"`
+	LM *flatGraphMeta `json:"lm_graph,omitempty"`
 }
 
 // Save writes the system's models into dir (created if needed). DNN/RNN
@@ -164,8 +175,15 @@ func writeFileAtomic(dir, name string, write func(io.Writer) error) (string, err
 }
 
 // Recognizer is a loaded model bundle: everything needed to decode, without
-// the synthetic task scaffolding (no corpus, no test set).
+// the synthetic task scaffolding (no corpus, no test set). A v3 (flat
+// bundle) load reads its graphs through the bundle mapping; release it with
+// Close when done. Model is only populated by v2 loads — v3 bundles decode
+// from the flat LM graph directly and keep the ARPA text as an unparsed
+// section.
 type Recognizer struct {
+	// TaskName is the bundle's originating task, from its metadata.
+	TaskName string
+
 	Lex     *am.Lexicon
 	AMGraph *wfst.WFST
 	LMGraph *wfst.WFST
@@ -173,15 +191,32 @@ type Recognizer struct {
 	Senones *acoustic.SenoneModel
 	Scorer  acoustic.Scorer
 	dec     *decoder.OnTheFly
+
+	recognizerFlatState
 }
 
-// LoadRecognizer restores a model bundle written by Save. It never trusts
-// the bytes on disk: every data file's SHA-256 is verified against
-// meta.json before parsing, the parsed components are cross-validated
-// (WFST arc/state bounds against the senone and vocabulary ranges,
-// lexicon/vocab agreement, ARPA order), and any failure — including a
-// panic in a parser — surfaces as a typed *BundleError.
-func LoadRecognizer(dir string) (rec *Recognizer, err error) {
+// LoadRecognizer restores a model bundle written by Save (a v2 directory)
+// or SaveFlat (a v3 flat file); the two are distinguished by whether path
+// is a directory. It never trusts the bytes on disk: v2 verifies every data
+// file's SHA-256 against meta.json before parsing, v3 verifies the
+// container's CRC-32s (header, table, and every section), both
+// cross-validate the parsed components (WFST arc/state bounds against the
+// senone and vocabulary ranges, lexicon/vocab agreement), and any failure —
+// including a panic in a parser — surfaces as a typed *BundleError. For the
+// O(1) trusted v3 load path see LoadRecognizerFast.
+func LoadRecognizer(path string) (*Recognizer, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, &BundleError{Reason: "io", Cause: err}
+	}
+	if !st.IsDir() {
+		return loadFlat(path, true)
+	}
+	return loadV2(path)
+}
+
+// loadV2 restores a v2 directory bundle.
+func loadV2(dir string) (rec *Recognizer, err error) {
 	defer func() {
 		// Belt and braces for untrusted bytes: a panic escaping a parser
 		// becomes a typed error instead of killing the process.
@@ -234,7 +269,7 @@ func LoadRecognizer(dir string) (rec *Recognizer, err error) {
 		return nil
 	}
 
-	r := &Recognizer{}
+	r := &Recognizer{TaskName: meta.TaskName}
 	if err := readVerified(lexiconFile, func(b []byte) error {
 		var e error
 		r.Lex, e = am.ReadLexicon(bytes.NewReader(b))
@@ -326,9 +361,13 @@ func validateBundle(meta bundleMeta, r *Recognizer) error {
 		return &BundleError{File: senonesFile, Reason: "structure",
 			Cause: fmt.Errorf("non-positive model sigma %v", r.Senones.Sigma)}
 	}
-	if got := r.Model.Order; got != meta.LMOrder {
-		return &BundleError{File: lmFile, Reason: "structure",
-			Cause: fmt.Errorf("ARPA order %d, header says %d", got, meta.LMOrder)}
+	// Model is only materialized by v2 loads; v3 keeps the ARPA text as an
+	// unparsed section and decodes from the flat LM graph.
+	if r.Model != nil {
+		if got := r.Model.Order; got != meta.LMOrder {
+			return &BundleError{File: lmFile, Reason: "structure",
+				Cause: fmt.Errorf("ARPA order %d, header says %d", got, meta.LMOrder)}
+		}
 	}
 	// AM arc labels must stay inside the senone and vocabulary ranges the
 	// decoder will index with them (wfst.Read already bounds destinations).

@@ -1,0 +1,158 @@
+package unfold
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+// -update-golden regenerates testdata/golden-v2 and its companion input/
+// transcript files. Run it after an intentional format or model change:
+//
+//	go test -run TestGoldenFormatCompat -update-golden .
+var updateGolden = flag.Bool("update-golden", false, "regenerate the golden v2 bundle and transcript")
+
+// goldenSpec pins the checked-in golden bundle. Everything downstream —
+// the v2 directory, its SHA-256 manifest, the input frames, the expected
+// transcript — is a pure function of this spec, so the bundle regenerates
+// reproducibly.
+var goldenSpec = task.Spec{
+	Name:           "golden",
+	Vocab:          24,
+	Phones:         12,
+	TrainSentences: 200,
+	TestUtterances: 3,
+	LMMinCount:     2,
+	Seed:           7,
+}
+
+const (
+	goldenV2Dir      = "testdata/golden-v2"
+	goldenInputFile  = "testdata/golden-input.json"
+	goldenTranscript = "testdata/golden-transcript.txt"
+)
+
+func regenerateGolden(t *testing.T) {
+	t.Helper()
+	sys, err := NewSystem(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(goldenV2Dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(goldenV2Dir); err != nil {
+		t.Fatal(err)
+	}
+	var frames [][][]float32
+	var lines []string
+	for _, u := range sys.TestSet() {
+		frames = append(frames, u.Frames)
+		words, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, strings.Join(sys.Words(words), " "))
+	}
+	data, err := json.MarshalIndent(frames, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenInputFile, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenTranscript, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s, %s, %s", goldenV2Dir, goldenInputFile, goldenTranscript)
+}
+
+// decodeGolden runs the golden input through a loaded recognizer and
+// renders one transcript line per utterance.
+func decodeGolden(t *testing.T, rec *Recognizer, frames [][][]float32) []string {
+	t.Helper()
+	var lines []string
+	for i, f := range frames {
+		words, err := rec.Recognize(f)
+		if err != nil {
+			t.Fatalf("utterance %d: %v", i, err)
+		}
+		lines = append(lines, strings.Join(rec.Words(words), " "))
+	}
+	return lines
+}
+
+// TestGoldenFormatCompat is the cross-version compatibility gate: the
+// checked-in v2 directory bundle must keep loading, converting it to a v3
+// flat bundle must keep working, and all three load paths (v2 parse, v3
+// verified, v3 fast) must produce byte-identical recognition output that
+// matches the checked-in transcript. A failure here means an on-disk
+// format change broke bundles that are already deployed — see
+// docs/MODEL_STORE.md for the forward-compatibility rules before touching
+// the writer.
+func TestGoldenFormatCompat(t *testing.T) {
+	if *updateGolden {
+		regenerateGolden(t)
+	}
+
+	raw, err := os.ReadFile(goldenInputFile)
+	if err != nil {
+		t.Fatalf("reading golden input (regenerate with -update-golden): %v", err)
+	}
+	var frames [][][]float32
+	if err := json.Unmarshal(raw, &frames); err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := os.ReadFile(goldenTranscript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Split(strings.TrimRight(string(wantRaw), "\n"), "\n")
+
+	// Path 1: the golden v2 directory, full verification.
+	recV2, err := LoadRecognizer(goldenV2Dir)
+	if err != nil {
+		t.Fatalf("golden v2 bundle no longer loads: %v", err)
+	}
+	gotV2 := decodeGolden(t, recV2, frames)
+
+	// Path 2: v2 -> v3 conversion, then the verified flat load.
+	v3path := filepath.Join(t.TempDir(), "golden.ufb3")
+	if err := ConvertBundle(goldenV2Dir, v3path); err != nil {
+		t.Fatalf("golden v2 bundle no longer converts: %v", err)
+	}
+	recV3, err := LoadRecognizer(v3path)
+	if err != nil {
+		t.Fatalf("converted v3 bundle does not load: %v", err)
+	}
+	defer recV3.Close()
+	gotV3 := decodeGolden(t, recV3, frames)
+
+	// Path 3: the O(1) fast load of the same v3 bundle.
+	recFast, err := LoadRecognizerFast(v3path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recFast.Close()
+	gotFast := decodeGolden(t, recFast, frames)
+
+	for i := range want {
+		if gotV2[i] != want[i] {
+			t.Errorf("utt %d: v2 decode drifted from golden transcript:\n got %q\nwant %q", i, gotV2[i], want[i])
+		}
+		if gotV3[i] != gotV2[i] {
+			t.Errorf("utt %d: v3 decode differs from v2:\n v3 %q\n v2 %q", i, gotV3[i], gotV2[i])
+		}
+		if gotFast[i] != gotV2[i] {
+			t.Errorf("utt %d: v3 fast-load decode differs from v2:\n fast %q\n   v2 %q", i, gotFast[i], gotV2[i])
+		}
+	}
+	if len(gotV2) != len(want) {
+		t.Fatalf("decoded %d utterances, golden transcript has %d", len(gotV2), len(want))
+	}
+}

@@ -2,9 +2,13 @@ package unfold
 
 import (
 	"errors"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/flatstore"
 )
 
 // FuzzLoadBundle replaces one bundle file with fuzzer-chosen bytes and
@@ -57,6 +61,60 @@ func FuzzLoadBundle(f *testing.F) {
 		}
 		if rec == nil {
 			t.Fatalf("nil recognizer with nil error (%s)", name)
+		}
+	})
+}
+
+// FuzzLoadBundleV3 feeds fuzzer-chosen bytes to the flat-bundle loader and
+// asserts the same contract as FuzzLoadBundle: LoadRecognizer (full verify)
+// and LoadRecognizerFast (O(1) trusted path) either load or return a typed
+// *BundleError — never panic, never return an untyped error. Seeds cover a
+// pristine v3 bundle plus systematic truncations and faultinject mutations
+// of it, so the fuzzer starts from structurally interesting corpora rather
+// than random noise.
+func FuzzLoadBundleV3(f *testing.F) {
+	fx := getBundle(f)
+	path := filepath.Join(f.TempDir(), "seed.ufb3")
+	if err := fx.sys.SaveFlat(path); err != nil {
+		f.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pristine)
+	// Truncations at the format's boundaries: inside the header, inside the
+	// section table, at a section edge, and mid-payload.
+	for _, n := range []int{0, flatstore.HeaderSize / 2, flatstore.HeaderSize,
+		flatstore.HeaderSize + flatstore.EntrySize/2, len(pristine) / 2, len(pristine) - 1} {
+		if n <= len(pristine) {
+			f.Add(pristine[:n:n])
+		}
+	}
+	// Bit flips and structured mutations (zero runs, appends) via the fault
+	// injector, at several seeds so different regions get hit.
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(faultinject.MutateBytes(rand.New(rand.NewSource(seed)), pristine))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.ufb3")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, load := range []func(string) (*Recognizer, error){LoadRecognizer, LoadRecognizerFast} {
+			rec, err := load(p)
+			if err != nil {
+				var be *BundleError
+				if !errors.As(err, &be) {
+					t.Fatalf("untyped error from v3 loader: %v", err)
+				}
+				continue
+			}
+			if rec == nil {
+				t.Fatal("nil recognizer with nil error")
+			}
+			rec.Close()
 		}
 	})
 }
