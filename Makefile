@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet lint race race-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat
+.PHONY: all build test vet lint race race-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
 
 all: build test
 
@@ -117,6 +117,42 @@ loadgen-smoke:
 	/tmp/unfold-smoke-loadgen -target http://127.0.0.1:18090 \
 		-task voxforge -scale 0.25 -duration 10s -multiplier 4 \
 		-utt-frames 40 -max-p99 8s || exit 1; \
+	trap - EXIT; \
+	kill -TERM $$SERVE_PID; \
+	wait $$SERVE_PID
+
+# The deterministic chaos suite (docs/ROBUSTNESS.md): seeded fault-injection
+# tests covering quarantine and backoff reloads, cross-model isolation while
+# one model is corrupted on disk, stream watchdogs against stalled clients,
+# and the fault-injection primitives themselves. Everything runs under the
+# race detector; the same seeds replay the same faults.
+chaos:
+	go test -race -count=1 -run 'TestChaos|TestStream|TestDecodeFailure|TestQuarantine' ./internal/server/
+	go test -race -count=1 ./internal/faultinject/
+	go test -race -count=1 -run 'TestCheckHeader|TestRecheck' ./internal/flatstore/
+
+# Live chaos drill (docs/ROBUSTNESS.md): a 2-model server (task "default" +
+# a packed "victim" bundle) takes steady load while unfold-loadgen -chaos
+# corrupts the victim's bundle in place, parks stalled streaming clients,
+# and then heals the file. The loadgen exits nonzero unless the victim was
+# quarantined, only structured errors were answered while it was sick, the
+# healthy model saw zero 5xx, and the victim returned to ready; the final
+# `wait` fails if the server crashed or did not drain on SIGTERM.
+chaos-smoke:
+	go build -o /tmp/unfold-chaos-serve ./cmd/unfold-serve
+	go build -o /tmp/unfold-chaos-loadgen ./cmd/unfold-loadgen
+	go build -o /tmp/unfold-chaos-wfst ./cmd/wfst-tool
+	/tmp/unfold-chaos-wfst -task voxforge -scale 0.25 -op pack -out /tmp/unfold-chaos-victim.ufb3
+	@/tmp/unfold-chaos-serve -task voxforge -scale 0.25 -workers 2 \
+		-addr 127.0.0.1:18091 -bundle victim=/tmp/unfold-chaos-victim.ufb3 \
+		-health-interval 300ms -reload-backoff 100ms \
+		-stream-watchdog 2s -stream-write-timeout 2s & \
+	SERVE_PID=$$!; \
+	trap "kill $$SERVE_PID 2>/dev/null" EXIT; \
+	/tmp/unfold-chaos-loadgen -target http://127.0.0.1:18091 \
+		-task voxforge -scale 0.25 -rps 5 -duration 10s -utt-frames 40 \
+		-chaos -chaos-bundle /tmp/unfold-chaos-victim.ufb3 -chaos-model victim \
+		-wait-ready 30s || exit 1; \
 	trap - EXIT; \
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID

@@ -15,10 +15,21 @@
 // counts. Exit status is the CI contract: nonzero when any 5xx or
 // transport failure occurred, or when accepted p99 exceeds -max-p99.
 //
+// -chaos turns the run into a fault drill (docs/ROBUSTNESS.md): while the
+// normal load keeps hammering the default model, the generator corrupts
+// the bundle behind -chaos-model in place on disk (it must share a
+// filesystem with the server), parks stalled streaming clients on the
+// server, and probes the victim model throughout. Past the heal point it
+// restores the bundle and waits for the supervisor to reload the victim.
+// The chaos contract extends the exit status: the victim must be seen
+// quarantined (the server needs -health-interval set low enough), must
+// return to ready after the heal, and neither model may answer 5xx.
+//
 // Examples:
 //
 //	unfold-loadgen -target http://localhost:8080 -rps 20 -duration 30s
 //	unfold-loadgen -multiplier 4 -duration 10s -max-p99 8s   # 4x capacity
+//	unfold-loadgen -rps 10 -duration 12s -chaos -chaos-bundle /models/vox.ufb3 -chaos-model vox
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -37,6 +49,7 @@ import (
 	"time"
 
 	unfold "repro"
+	"repro/internal/faultinject"
 	"repro/internal/task"
 )
 
@@ -54,6 +67,11 @@ type options struct {
 	maxInflight int
 	waitReady   time.Duration
 	maxP99      time.Duration
+	chaos       bool
+	chaosBundle string
+	chaosModel  string
+	chaosSeed   int64
+	chaosStalls int
 }
 
 // report is the JSON document the run prints.
@@ -66,7 +84,21 @@ type report struct {
 	Degraded      int64          `json:"degraded"`
 	LatencyMs     latencyReport  `json:"accepted_latency_ms"`
 	CapacityRPS   float64        `json:"calibrated_capacity_rps,omitempty"`
+	Chaos         *chaosReport   `json:"chaos,omitempty"`
 	FailureReason string         `json:"failure_reason,omitempty"`
+}
+
+// chaosReport is the -chaos section of the run report: what was injected,
+// what the victim model answered, and whether the supervisor healed it.
+type chaosReport struct {
+	Model          string         `json:"model"`
+	StalledStreams int            `json:"stalled_streams"`
+	CorruptAtMs    float64        `json:"corrupt_at_ms"`
+	HealAtMs       float64        `json:"heal_at_ms"`
+	VictimOutcomes map[string]int `json:"victim_outcomes"`
+	SawQuarantine  bool           `json:"saw_quarantine"`
+	Recovered      bool           `json:"recovered"`
+	RecoveryMs     float64        `json:"recovery_ms,omitempty"`
 }
 
 type latencyReport struct {
@@ -91,6 +123,11 @@ func main() {
 	flag.IntVar(&o.maxInflight, "max-inflight", 256, "client-side concurrency cap; launches past it count as client_overrun")
 	flag.DurationVar(&o.waitReady, "wait-ready", 30*time.Second, "max wait for /healthz to report ready (0 = don't wait)")
 	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail when accepted p99 exceeds this (0 = no bound)")
+	flag.BoolVar(&o.chaos, "chaos", false, "inject faults during the run and assert the server self-heals")
+	flag.StringVar(&o.chaosBundle, "chaos-bundle", "", "bundle file to corrupt in place (must be the file the server serves -chaos-model from)")
+	flag.StringVar(&o.chaosModel, "chaos-model", "victim", "model name the server loaded -chaos-bundle under")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 42, "seed for the corruption site")
+	flag.IntVar(&o.chaosStalls, "chaos-stalls", 2, "stalled streaming clients to park on the server")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -285,6 +322,112 @@ func oneStream(client *http.Client, o options, tl *tally, frames [][]float32) {
 	}
 }
 
+// modelState fetches one model's lifecycle state from /v1/models.
+func modelState(client *http.Client, target, name string) (string, error) {
+	resp, err := client.Get(target + "/v1/models")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Models []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return "", err
+	}
+	for _, m := range list.Models {
+		if m.Name == name {
+			return m.State, nil
+		}
+	}
+	return "", fmt.Errorf("model %q not in /v1/models", name)
+}
+
+// chaosRun is the fault director for -chaos: at one fifth of the run it
+// parks stalled streaming clients on the server and corrupts the victim
+// bundle in place; until three fifths it probes the sick model (structured
+// 503s are the contract, 5xx and dropped connections are failures); then it
+// heals the bundle and waits for the supervisor's backoff reload to bring
+// the victim back to ready. The injected faults are deterministic in
+// -chaos-seed so a failing drill replays exactly.
+func chaosRun(o options, start time.Time, probeBody, stallLine []byte) (*chaosReport, error) {
+	cr := &chaosReport{Model: o.chaosModel, VictimOutcomes: map[string]int{}}
+	client := &http.Client{Timeout: o.timeout + 5*time.Second}
+	corruptAt := o.duration / 5
+	healAt := 3 * o.duration / 5
+	time.Sleep(time.Until(start.Add(corruptAt)))
+
+	// Stalled clients promise a megabyte of frames and go silent: the
+	// server's stream watchdog — not this process — must free those slots.
+	var stalls []*faultinject.StalledStream
+	defer func() {
+		for _, st := range stalls {
+			st.Close()
+		}
+	}()
+	for i := 0; i < o.chaosStalls; i++ {
+		st, err := faultinject.StallStream(o.target, "/v1/stream", stallLine)
+		if err != nil {
+			return cr, fmt.Errorf("stall %d: %w", i, err)
+		}
+		stalls = append(stalls, st)
+	}
+	cr.StalledStreams = len(stalls)
+
+	sab := &faultinject.Saboteur{Path: o.chaosBundle}
+	if err := sab.Corrupt(o.chaosSeed); err != nil {
+		return cr, fmt.Errorf("corrupt %s: %w", o.chaosBundle, err)
+	}
+	cr.CorruptAtMs = float64(time.Since(start)) / float64(time.Millisecond)
+	defer sab.Heal() // never leave the bundle damaged, even on error paths
+
+	for time.Now().Before(start.Add(healAt)) {
+		if state, err := modelState(client, o.target, o.chaosModel); err == nil && state == "quarantined" {
+			cr.SawQuarantine = true
+		}
+		resp, err := client.Post(o.target+"/v1/recognize?model="+url.QueryEscape(o.chaosModel),
+			"application/json", bytes.NewReader(probeBody))
+		if err != nil {
+			cr.VictimOutcomes["transport_error"]++
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cr.VictimOutcomes[classify(resp.StatusCode)]++
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if err := sab.Heal(); err != nil {
+		return cr, fmt.Errorf("heal %s: %w", o.chaosBundle, err)
+	}
+	healTime := time.Now()
+	cr.HealAtMs = float64(healTime.Sub(start)) / float64(time.Millisecond)
+	for _, st := range stalls {
+		st.Close()
+	}
+	stalls = nil
+
+	// Recovery is the server's job now: the next backoff attempt reloads the
+	// healed bundle. -wait-ready bounds how long that may take.
+	wait := o.waitReady
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	deadline := start.Add(o.duration).Add(wait)
+	for time.Now().Before(deadline) {
+		if state, err := modelState(client, o.target, o.chaosModel); err == nil && state == "ready" {
+			cr.Recovered = true
+			cr.RecoveryMs = float64(time.Since(healTime)) / float64(time.Millisecond)
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return cr, nil
+}
+
 // calibrate measures sequential decode latency and estimates the server's
 // aggregate capacity as workers / median-latency.
 func calibrate(client *http.Client, o options, body []byte, workers int) (float64, error) {
@@ -324,6 +467,9 @@ func percentileMs(d []time.Duration, p float64) float64 {
 }
 
 func run(o options) error {
+	if o.chaos && o.chaosBundle == "" {
+		return fmt.Errorf("-chaos requires -chaos-bundle (the file to corrupt)")
+	}
 	utts, err := utterances(o)
 	if err != nil {
 		return err
@@ -378,6 +524,25 @@ func run(o options) error {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, o.maxInflight)
 	start := time.Now()
+
+	// The chaos director runs beside the load and outlives it: after the
+	// heal it keeps polling until the victim recovers (or -wait-ready runs
+	// out), so the report always has a verdict.
+	var chaosDone chan struct{}
+	var chaosErr error
+	if o.chaos {
+		head := len(utts[0])
+		if head > 2 {
+			head = 2
+		}
+		stallLine, _ := json.Marshal(map[string][][]float32{"frames": utts[0][:head]})
+		stallLine = append(stallLine, '\n')
+		chaosDone = make(chan struct{})
+		go func() {
+			defer close(chaosDone)
+			rep.Chaos, chaosErr = chaosRun(o, start, bodies[0], stallLine)
+		}()
+	}
 	for i := 0; ; i++ {
 		next := start.Add(time.Duration(float64(i) * float64(interval)))
 		now := time.Now()
@@ -406,6 +571,9 @@ func run(o options) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if chaosDone != nil {
+		<-chaosDone
+	}
 
 	tl.mu.Lock()
 	rep.Outcomes = tl.outcomes
@@ -425,7 +593,19 @@ func run(o options) error {
 
 	// The CI contract: 5xx, transport failures and unbounded p99 are run
 	// failures, structured rejections (shed/deadline/unavailable) are not.
+	// Under -chaos the victim has its own contract: it must be quarantined
+	// (else the drill proved nothing), answer only structured errors while
+	// sick, and come back ready after the heal.
 	switch {
+	case chaosErr != nil:
+		rep.FailureReason = fmt.Sprintf("chaos injection failed: %v", chaosErr)
+	case o.chaos && rep.Chaos.VictimOutcomes["5xx"]+rep.Chaos.VictimOutcomes["transport_error"] > 0:
+		rep.FailureReason = fmt.Sprintf("victim model answered %d 5xx and %d transport errors",
+			rep.Chaos.VictimOutcomes["5xx"], rep.Chaos.VictimOutcomes["transport_error"])
+	case o.chaos && !rep.Chaos.SawQuarantine:
+		rep.FailureReason = "victim was never quarantined — chaos had no effect (is the server running with a short -health-interval?)"
+	case o.chaos && !rep.Chaos.Recovered:
+		rep.FailureReason = "victim did not return to ready after the bundle healed"
 	case rep.Outcomes["5xx"] > 0:
 		rep.FailureReason = fmt.Sprintf("%d 5xx responses", rep.Outcomes["5xx"])
 	case rep.Outcomes["transport_error"] > 0:

@@ -21,6 +21,14 @@
 // they use the model named "default" (the -task system, or a -bundle
 // loaded under that name when running with -task none).
 //
+// Serving is supervised (docs/ROBUSTNESS.md): a model that keeps failing
+// decodes (-quarantine-threshold) or fails its periodic integrity check
+// (-health-interval) is quarantined — its traffic answers structured 503s
+// while every other model keeps serving — and reloaded from disk under
+// jittered exponential backoff (-reload-backoff). Streams carry watchdogs:
+// a client that stops sending frames (-stream-watchdog) or stops reading
+// results (-stream-write-timeout) has its decode canceled and slot freed.
+//
 // Examples:
 //
 //	unfold-serve -task voxforge -addr :8080
@@ -108,6 +116,11 @@ func main() {
 	degradeLow := flag.Int("degrade-low", 0, "queue depth where search degradation starts (0 = max-queue/4)")
 	degradeHigh := flag.Int("degrade-high", 0, "queue depth of deepest degradation (0 = 3*max-queue/4)")
 	degradeLevels := flag.Int("degrade-levels", 0, "degradation ladder depth (0 = default 2, negative disables)")
+	quarantineThreshold := flag.Int("quarantine-threshold", 3, "consecutive decode failures before a model is quarantined (negative disables)")
+	reloadBackoff := flag.Duration("reload-backoff", 500*time.Millisecond, "base delay between quarantine reload attempts (doubles, jittered)")
+	healthInterval := flag.Duration("health-interval", 10*time.Second, "period of the resident-model integrity re-check (0 disables)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 10*time.Second, "per-write deadline on stream results; a client that stops reading is cut (0 disables)")
+	streamWatchdog := flag.Duration("stream-watchdog", 60*time.Second, "max wait for the next stream chunk before the decode is canceled (0 disables)")
 	flag.Parse()
 
 	buildTask := !strings.EqualFold(*taskName, "none")
@@ -137,6 +150,15 @@ func main() {
 			DegradeLow:     *degradeLow,
 			DegradeHigh:    *degradeHigh,
 			DegradeLevels:  *degradeLevels,
+		},
+		Supervisor: server.SupervisorConfig{
+			QuarantineThreshold: *quarantineThreshold,
+			ReloadBackoff:       *reloadBackoff,
+			HealthInterval:      *healthInterval,
+		},
+		Stream: server.StreamConfig{
+			WriteTimeout: *streamWriteTimeout,
+			Watchdog:     *streamWatchdog,
 		},
 	})
 

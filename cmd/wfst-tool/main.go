@@ -8,6 +8,7 @@
 //	wfst-tool -task voxforge -op compose
 //	wfst-tool -task tedlium -op compress
 //	wfst-tool -task voxforge -op save -dir /tmp/vox && wfst-tool -op load -dir /tmp/vox
+//	wfst-tool -task voxforge -op pack -out /models/vox.ufb3
 //	wfst-tool -op convert -dir /models/vox-v2 -out /models/vox.ufb3
 //	wfst-tool -op info -bundle /models/vox.ufb3
 //	wfst-tool -op verify -bundle /models/vox.ufb3
@@ -32,9 +33,9 @@ import (
 func main() {
 	taskName := flag.String("task", "voxforge", "task: tedlium, librispeech, voxforge, eesen")
 	scale := flag.Float64("scale", 1.0, "task scale factor")
-	op := flag.String("op", "stats", "operation: stats, compose, compress, save, load, convert, info, verify")
+	op := flag.String("op", "stats", "operation: stats, compose, compress, save, load, pack, convert, info, verify")
 	dir := flag.String("dir", ".", "directory for save/load and convert source")
-	out := flag.String("out", "", "output bundle path for convert (e.g. model.ufb3)")
+	out := flag.String("out", "", "output bundle path for pack/convert (e.g. model.ufb3)")
 	bundle := flag.String("bundle", "", "v3 bundle path for info/verify")
 	flag.Parse()
 
@@ -66,6 +67,30 @@ func main() {
 		if err := verify(*bundle); err != nil {
 			fail(err)
 		}
+		return
+	case "pack":
+		// Build the full system for a task and write it straight to a v3
+		// flat bundle — the one-command way to produce a serveable model
+		// file (the chaos smoke in CI packs its victim this way).
+		if *out == "" {
+			fail(fmt.Errorf("pack needs -out <bundle path>"))
+		}
+		spec, err := specFor(*taskName, *scale)
+		if err != nil {
+			fail(err)
+		}
+		sys, err := unfold.NewSystem(spec)
+		if err != nil {
+			fail(err)
+		}
+		if err := sys.SaveFlat(*out); err != nil {
+			fail(err)
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("packed task %s -> %s (%s)\n", spec.Name, *out, wfst.FormatBytes(st.Size()))
 		return
 	}
 

@@ -1,0 +1,222 @@
+// Disk-level and transport-level injectors for the self-healing serving
+// harness (docs/ROBUSTNESS.md): in-place bundle corruption that heals, read
+// faults on an io.ReaderAt seam, scheduled reload failures, and a stalled
+// streaming client. Like everything in this package they are deterministic
+// functions of their seed and never read global randomness.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/url"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Post-load bundle corruption (in place, reversible)
+
+// Saboteur corrupts a file in place and can restore it — the "bundle rots
+// on disk after load" fault. Because the serving mapping is MAP_SHARED, an
+// in-place write is visible both to a fresh open (the reload path) and
+// through the existing mapping (the resident re-verify path).
+//
+// Corrupt targets the container's header region (the first Window bytes):
+// that deterministically fails the O(1) header CRC re-check without
+// touching section payloads, so in-flight decodes over the mapping stay
+// well-defined while the health check trips. Heal restores the exact
+// original bytes, after which both re-verify and reload succeed again.
+type Saboteur struct {
+	// Path is the file to damage.
+	Path string
+	// Window bounds corruption to the first Window bytes (default 44 — the
+	// v3 header up to, but excluding, its CRC field, so the stored checksum
+	// stays intact and the mismatch is unambiguous).
+	Window int
+
+	mu       sync.Mutex
+	original []byte // the bytes Corrupt overwrote, nil when healthy
+	offset   int64
+}
+
+// Corrupt flips seed-chosen bits inside the window and remembers the
+// originals. Corrupting an already-corrupt file is an error — Heal first.
+func (s *Saboteur) Corrupt(seed int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.original != nil {
+		return fmt.Errorf("faultinject: %s is already corrupted", s.Path)
+	}
+	window := s.Window
+	if window <= 0 {
+		window = 44
+	}
+	f, err := os.OpenFile(s.Path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < int64(window) {
+		window = int(st.Size())
+	}
+	if window == 0 {
+		return fmt.Errorf("faultinject: %s is empty", s.Path)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	off := int64(rng.Intn(window))
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return err
+	}
+	s.original = []byte{buf[0]}
+	s.offset = off
+	buf[0] ^= byte(1 << uint(rng.Intn(8)))
+	if _, err := f.WriteAt(buf, off); err != nil {
+		s.original = nil
+		return err
+	}
+	return f.Sync()
+}
+
+// Heal restores the bytes Corrupt overwrote. Healing a healthy file is a
+// no-op.
+func (s *Saboteur) Heal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.original == nil {
+		return nil
+	}
+	f, err := os.OpenFile(s.Path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(s.original, s.offset); err != nil {
+		return err
+	}
+	s.original = nil
+	return f.Sync()
+}
+
+// Corrupted reports whether the file currently carries an unhealed fault.
+func (s *Saboteur) Corrupted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.original != nil
+}
+
+// ---------------------------------------------------------------------------
+// Read-path faults (io.ReaderAt seam)
+
+// FlakyReaderAt wraps an io.ReaderAt and fails the FailAt-th read — the
+// transient I/O error a health check over a dying disk sees. Counters are
+// atomic so one wrapper may be shared.
+type FlakyReaderAt struct {
+	Inner io.ReaderAt
+	// FailAt, if positive, makes exactly the FailAt-th ReadAt fail.
+	FailAt int64
+	// Err is the error returned (default a generic injected-fault error).
+	Err error
+
+	reads atomic.Int64
+}
+
+// ReadAt implements io.ReaderAt with the scheduled failure.
+func (f *FlakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if n := f.reads.Add(1); f.FailAt > 0 && n == f.FailAt {
+		if f.Err != nil {
+			return 0, f.Err
+		}
+		return 0, fmt.Errorf("faultinject: injected read fault at read %d (off %d)", n, off)
+	}
+	return f.Inner.ReadAt(p, off)
+}
+
+// Reads reports how many ReadAt calls have been observed.
+func (f *FlakyReaderAt) Reads() int64 { return f.reads.Load() }
+
+// SlowReaderAt wraps an io.ReaderAt with a fixed per-read delay — the
+// "disk is dragging" fault used to prove health checks stay off the decode
+// hot path.
+type SlowReaderAt struct {
+	Inner io.ReaderAt
+	Delay time.Duration
+}
+
+// ReadAt implements io.ReaderAt with the configured stall.
+func (s *SlowReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	d := s.Delay
+	if d == 0 {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+	return s.Inner.ReadAt(p, off)
+}
+
+// ---------------------------------------------------------------------------
+// Reload failures (supervisor seam)
+
+// FailReloads returns a hook for server.SupervisorConfig.ReloadHook that
+// fails the first n reload attempts per model and then lets them through —
+// the "replacement bundle is also broken for a while" fault that exercises
+// backoff and the retry budget.
+func FailReloads(n int) func(model string, attempt int) error {
+	var mu sync.Mutex
+	failed := map[string]int{}
+	return func(model string, attempt int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed[model] < n {
+			failed[model]++
+			return fmt.Errorf("faultinject: injected reload failure %d/%d for %s", failed[model], n, model)
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stalled streaming client
+
+// StalledStream is an open connection to a /v1/stream endpoint whose client
+// has gone silent: it sent one NDJSON chunk, promised more (Content-Length
+// overshoots what was written), and will neither send nor read again. The
+// server side sits blocked reading the request body and, once its partial
+// updates fill the kernel buffers, blocked writing — exactly the client
+// that pins a decoder forever on a server without watchdogs.
+type StalledStream struct {
+	conn net.Conn
+}
+
+// StallStream dials target (an http:// base URL), starts a streaming
+// request on path carrying firstLine as its only body bytes, and returns
+// the half-dead connection. Close tears it down.
+func StallStream(target, path string, firstLine []byte) (*StalledStream, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		return nil, err
+	}
+	// Promise more body than is sent: the server's next chunk read blocks
+	// until its read deadline (the stream watchdog) fires.
+	req := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/x-ndjson\r\nContent-Length: %d\r\n\r\n",
+		path, u.Host, len(firstLine)+1<<20)
+	if _, err := conn.Write(append([]byte(req), firstLine...)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &StalledStream{conn: conn}, nil
+}
+
+// Close ends the stall, releasing the server-side connection.
+func (s *StalledStream) Close() error { return s.conn.Close() }

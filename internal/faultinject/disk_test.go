@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSaboteurCorruptHeal proves the corrupt/heal cycle is exact: the same
+// seed damages the same byte, the damage is confined to the window, and
+// Heal restores the original file bit-for-bit.
+func TestSaboteurCorruptHeal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bundle")
+	orig := bytes.Repeat([]byte{0xAB}, 256)
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sab := &Saboteur{Path: path, Window: 44}
+
+	if sab.Corrupted() {
+		t.Fatal("fresh saboteur reports corrupted")
+	}
+	if err := sab.Corrupt(7); err != nil {
+		t.Fatal(err)
+	}
+	if !sab.Corrupted() {
+		t.Fatal("Corrupt did not mark the file corrupted")
+	}
+	damaged, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := range orig {
+		if damaged[i] != orig[i] {
+			diffs++
+			if i >= 44 {
+				t.Errorf("corruption at offset %d, outside the 44-byte window", i)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diffs)
+	}
+
+	// Double-corrupt is refused; the original bytes must not be lost.
+	if err := sab.Corrupt(8); err == nil {
+		t.Error("second Corrupt without Heal succeeded")
+	}
+
+	if err := sab.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, orig) {
+		t.Error("Heal did not restore the original bytes")
+	}
+	if sab.Corrupted() {
+		t.Error("healed saboteur still reports corrupted")
+	}
+	// Healing a healthy file is a no-op.
+	if err := sab.Heal(); err != nil {
+		t.Error(err)
+	}
+
+	// Determinism: the same seed flips the same byte again.
+	if err := sab.Corrupt(7); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := os.ReadFile(path)
+	if !bytes.Equal(again, damaged) {
+		t.Error("same seed produced different corruption")
+	}
+}
+
+// TestFlakyAndSlowReaders exercises the io.ReaderAt wrappers: the scheduled
+// failure fires exactly once at the configured read, and the slow wrapper
+// still returns correct bytes.
+func TestFlakyAndSlowReaders(t *testing.T) {
+	base := bytes.NewReader([]byte("0123456789"))
+	custom := errors.New("disk on fire")
+	fr := &FlakyReaderAt{Inner: base, FailAt: 2, Err: custom}
+
+	buf := make([]byte, 4)
+	if _, err := fr.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := fr.ReadAt(buf, 0); !errors.Is(err, custom) {
+		t.Fatalf("read 2: %v, want the injected error", err)
+	}
+	if _, err := fr.ReadAt(buf, 2); err != nil || string(buf) != "2345" {
+		t.Fatalf("read 3: %q %v", buf, err)
+	}
+	if fr.Reads() != 3 {
+		t.Errorf("reads %d, want 3", fr.Reads())
+	}
+
+	sr := &SlowReaderAt{Inner: base, Delay: 5 * time.Millisecond}
+	start := time.Now()
+	if _, err := sr.ReadAt(buf, 6); err != nil || string(buf) != "6789" {
+		t.Fatalf("slow read: %q %v", buf, err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("slow read returned before its delay")
+	}
+}
+
+// TestFailReloads checks the reload-hook factory fails exactly the first n
+// attempts per model, independently across models.
+func TestFailReloads(t *testing.T) {
+	hook := FailReloads(2)
+	for attempt := 1; attempt <= 2; attempt++ {
+		if err := hook("a", attempt); err == nil {
+			t.Errorf("a attempt %d should fail", attempt)
+		}
+	}
+	if err := hook("a", 3); err != nil {
+		t.Errorf("a attempt 3: %v", err)
+	}
+	// A different model has its own budget.
+	if err := hook("b", 1); err == nil {
+		t.Error("b attempt 1 should fail")
+	}
+}

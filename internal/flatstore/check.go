@@ -1,0 +1,120 @@
+package flatstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"runtime/debug"
+)
+
+// This file is the post-load integrity surface: cheap O(1) re-verification
+// of a bundle that has already passed Open, used by the serving layer's
+// periodic model health checks (docs/ROBUSTNESS.md). Two failure classes
+// are contained here:
+//
+//   - bit rot / in-place mutation of the file after load (the mapping is
+//     MAP_SHARED, so on-disk damage is visible through it), caught by
+//     re-running the header+table CRC against the value remembered at Open;
+//   - read faults on the mapping itself (the backing file truncated or the
+//     device gone), converted from a fatal signal into a typed *Error via
+//     runtime/debug.SetPanicOnFault.
+//
+// Both surface as *Error and never crash the process: one sick mapping must
+// not take down a server hosting other models.
+
+// CheckHeader re-verifies the header and section table of the bundle at
+// path with O(1) disk reads — no section payloads are touched. It is the
+// disk-side half of a model health check: where (*Bundle).Recheck sees the
+// pages already mapped, CheckHeader reads the file as a fresh open would,
+// so it also catches damage to a bundle that is about to be reloaded.
+func CheckHeader(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return &Error{Reason: "io", Cause: err}
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return &Error{Reason: "io", Cause: err}
+	}
+	return CheckHeaderReader(f, st.Size())
+}
+
+// CheckHeaderReader is CheckHeader over an arbitrary io.ReaderAt — the seam
+// the fault-injection harness wraps with flaky and slow readers. Read
+// errors surface as *Error{Reason:"io"}; corruption as the same taxonomy
+// OpenBytes uses ("header", "checksum", ...).
+func CheckHeaderReader(r io.ReaderAt, size int64) error {
+	hdr := make([]byte, HeaderSize)
+	if size < HeaderSize {
+		return errf(0, "header", "file is %d bytes, shorter than the %d-byte header", size, HeaderSize)
+	}
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return &Error{Reason: "io", Cause: err}
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != Magic {
+		return errf(0, "magic", "bad magic %#08x, want %#08x (%q)", m, Magic, "UFB3")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return errf(0, "version", "format version %d, reader supports %d", v, Version)
+	}
+	count := binary.LittleEndian.Uint32(hdr[12:16])
+	fileSize := binary.LittleEndian.Uint64(hdr[16:24])
+	tableOff := binary.LittleEndian.Uint64(hdr[24:32])
+	if count == 0 || count > maxSections {
+		return errf(0, "header", "section count %d outside [1,%d]", count, maxSections)
+	}
+	if fileSize != uint64(size) {
+		return errf(0, "header", "header says %d bytes, file has %d", fileSize, size)
+	}
+	tableLen := uint64(count) * EntrySize
+	if tableOff < HeaderSize || tableOff+tableLen > uint64(size) {
+		return errf(0, "header", "section table [%d,%d) out of bounds", tableOff, tableOff+tableLen)
+	}
+	table := make([]byte, tableLen)
+	if _, err := r.ReadAt(table, int64(tableOff)); err != nil {
+		return &Error{Reason: "io", Cause: err}
+	}
+	h := crc32.New(crcTable)
+	h.Write(hdr[:HeaderSize-4])
+	h.Write(table)
+	if got, want := h.Sum32(), binary.LittleEndian.Uint32(hdr[HeaderSize-4:HeaderSize]); got != want {
+		return errf(0, "checksum", "header checksum %#08x, stored %#08x", got, want)
+	}
+	return nil
+}
+
+// Recheck re-verifies an open bundle in place. The cheap pass (full=false)
+// recomputes the header and section-table CRC over the mapping and compares
+// it to the checksum remembered at Open — O(1) work that detects any
+// mutation of the header region, including of the stored CRC itself. With
+// full=true every section payload CRC is re-verified as well (O(file),
+// reads every mapped page).
+//
+// A read fault while touching the mapping (file truncated under the map,
+// device failure) is converted into *Error{Reason:"fault"} instead of
+// killing the process.
+func (b *Bundle) Recheck(full bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errf(0, "fault", "read fault during re-verify: %v", r)
+		}
+	}()
+	old := debug.SetPanicOnFault(true)
+	defer debug.SetPanicOnFault(old)
+
+	if b.data == nil {
+		return errf(0, "io", "bundle is closed")
+	}
+	h := crc32.New(crcTable)
+	h.Write(b.data[:HeaderSize-4])
+	h.Write(b.data[b.tableOff : b.tableOff+uint64(len(b.sections))*EntrySize])
+	if got := h.Sum32(); got != b.headerCRC {
+		return errf(0, "checksum", "header checksum %#08x, was %#08x at open", got, b.headerCRC)
+	}
+	if full {
+		return b.VerifySections()
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package flatstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestCheckHeaderDisk re-verifies a healthy bundle on disk, then damages it
+// in place and checks the failure taxonomy: header-region corruption trips
+// the CRC, truncation trips the size check.
+func TestCheckHeaderDisk(t *testing.T) {
+	path, _ := writeTestBundle(t)
+	if err := CheckHeader(path); err != nil {
+		t.Fatalf("healthy bundle: %v", err)
+	}
+
+	// Flip one byte inside the covered header region.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := append([]byte(nil), raw...)
+	damaged[9] ^= 0x40
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = CheckHeader(path)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Reason != "checksum" {
+		t.Fatalf("corrupted header: %v, want *Error{checksum}", err)
+	}
+
+	// Truncation is caught by the size cross-check before any CRC work.
+	if err := os.WriteFile(path, raw[:len(raw)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHeader(path); err == nil {
+		t.Fatal("truncated bundle passed CheckHeader")
+	}
+
+	if err := CheckHeader(path + ".missing"); !errors.As(err, &fe) || fe.Reason != "io" {
+		t.Fatalf("missing file: %v, want *Error{io}", err)
+	}
+}
+
+// failAfterReader fails every ReadAt past the first n calls — a stand-in
+// for the fault-injection wrappers that live outside this package.
+type failAfterReader struct {
+	raw   []byte
+	ok    int
+	reads int
+}
+
+func (f *failAfterReader) ReadAt(p []byte, off int64) (int, error) {
+	f.reads++
+	if f.reads > f.ok {
+		return 0, fmt.Errorf("injected read fault at read %d", f.reads)
+	}
+	copy(p, f.raw[off:])
+	return len(p), nil
+}
+
+// TestCheckHeaderReaderFaults drives the io.ReaderAt seam: read failures on
+// the header and on the table surface as *Error{io}, not panics.
+func TestCheckHeaderReaderFaults(t *testing.T) {
+	path, _ := writeTestBundle(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for okReads := 0; okReads <= 1; okReads++ {
+		err := CheckHeaderReader(&failAfterReader{raw: raw, ok: okReads}, int64(len(raw)))
+		var fe *Error
+		if !errors.As(err, &fe) || fe.Reason != "io" {
+			t.Errorf("with %d good reads: %v, want *Error{io}", okReads, err)
+		}
+	}
+	// Both reads succeeding re-verifies clean.
+	if err := CheckHeaderReader(&failAfterReader{raw: raw, ok: 2}, int64(len(raw))); err != nil {
+		t.Errorf("healthy reader: %v", err)
+	}
+}
+
+// TestRecheckDetectsInPlaceMutation opens a bundle over a heap buffer,
+// mutates the buffer under it — the serving analogue is MAP_SHARED making
+// on-disk damage visible through the mapping — and checks the cheap pass
+// catches header damage and the full pass catches payload damage.
+func TestRecheckDetectsInPlaceMutation(t *testing.T) {
+	path, _ := writeTestBundle(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenBytes(raw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Recheck(false); err != nil {
+		t.Fatalf("healthy recheck: %v", err)
+	}
+	if err := b.Recheck(true); err != nil {
+		t.Fatalf("healthy full recheck: %v", err)
+	}
+
+	// Mutate a payload byte: the cheap pass stays clean (it only covers the
+	// header and table), the full pass trips the section CRC.
+	var secOff int
+	for _, s := range b.sections {
+		if s.kind == SectionLexicon {
+			secOff = int(s.offset)
+		}
+	}
+	raw[secOff] ^= 0x01
+	if err := b.Recheck(false); err != nil {
+		t.Errorf("cheap recheck should not read payloads: %v", err)
+	}
+	var fe *Error
+	if err := b.Recheck(true); !errors.As(err, &fe) || fe.Reason != "checksum" {
+		t.Errorf("full recheck after payload mutation: %v, want *Error{checksum}", err)
+	}
+	raw[secOff] ^= 0x01
+
+	// Mutate a header byte: the cheap pass trips, and the error names the
+	// checksum remembered at open.
+	raw[9] ^= 0x40
+	if err := b.Recheck(false); !errors.As(err, &fe) || fe.Reason != "checksum" {
+		t.Errorf("cheap recheck after header mutation: %v, want *Error{checksum}", err)
+	}
+	raw[9] ^= 0x40
+
+	// Damage to the stored CRC field is outside the hashed range, so the
+	// in-place pass (which compares against the value remembered at open)
+	// stays clean — but a fresh open, the reload path, rejects it.
+	raw[HeaderSize-1] ^= 0xFF
+	if _, err := OpenBytes(raw, Options{}); err == nil {
+		t.Error("OpenBytes accepted a bundle with a damaged stored CRC")
+	}
+	raw[HeaderSize-1] ^= 0xFF
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Recheck(false); err == nil {
+		t.Error("recheck on a closed bundle should fail")
+	}
+}

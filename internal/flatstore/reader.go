@@ -29,6 +29,11 @@ type Bundle struct {
 	sections []section
 	munmap   func() error // nil when data is heap-owned
 	size     int64
+
+	// Remembered at open for Recheck: where the table sits and what the
+	// header+table CRC was when the bundle was verified good.
+	tableOff  uint64
+	headerCRC uint32
 }
 
 // Open maps (or, with Options.DisableMmap or on platforms without mmap,
@@ -103,7 +108,8 @@ func OpenBytes(data []byte, opts Options) (*Bundle, error) {
 	if got, want := h.Sum32(), binary.LittleEndian.Uint32(data[HeaderSize-4:HeaderSize]); got != want {
 		return nil, errf(0, "checksum", "header checksum %#08x, stored %#08x", got, want)
 	}
-	b := &Bundle{data: data, size: int64(len(data)), sections: make([]section, count)}
+	b := &Bundle{data: data, size: int64(len(data)), sections: make([]section, count),
+		tableOff: tableOff, headerCRC: binary.LittleEndian.Uint32(data[HeaderSize-4 : HeaderSize])}
 	for i := range b.sections {
 		e := table[i*EntrySize:]
 		s := section{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -353,7 +354,17 @@ func (p *DecodePool) DecodePresetContext(ctx context.Context, scores [][][]float
 // DecodeError instead of tearing down the batch. The worker's decoder holds
 // no cross-utterance mutable state beyond the offset cache, whose contents
 // never affect results, so the worker safely continues with the next job.
+//
+// SetPanicOnFault extends the isolation to memory faults: a decode walking
+// a memory-mapped v3 bundle whose backing file was truncated or whose
+// device failed raises SIGBUS/SIGSEGV, which would otherwise kill the whole
+// process. With the flag set for this goroutine the fault becomes a runtime
+// panic, the recover below turns it into a StageSearch DecodeError, and the
+// serving registry can quarantine the sick model while every other model
+// keeps decoding.
 func decodeOne(ctx context.Context, dec *decoder.OnTheFly, i int, scores [][]float32) (res *decoder.Result, derr *DecodeError) {
+	old := debug.SetPanicOnFault(true)
+	defer debug.SetPanicOnFault(old)
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil

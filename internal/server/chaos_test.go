@@ -1,0 +1,449 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pool"
+)
+
+// The chaos suite: deterministic, seeded fault injection against a
+// multi-model server, asserting the blast-radius invariants from
+// docs/ROBUSTNESS.md — one sick model (or one misbehaving client) never
+// affects another model's requests, every transition is observable, and a
+// healed model comes back on its own.
+
+// chaosSupervisor is the fast-recovery tuning the suite runs under: real
+// backoff shape, millisecond scale, fixed seed.
+func chaosSupervisor() SupervisorConfig {
+	return SupervisorConfig{
+		ReloadBackoff:    5 * time.Millisecond,
+		ReloadBackoffMax: 25 * time.Millisecond,
+		ReloadBudget:     200,
+		Seed:             7,
+	}
+}
+
+// findModel snapshots one model's registry row.
+func findModel(s *Server, name string) (modelInfo, bool) {
+	for _, mi := range s.Models() {
+		if mi.Name == name {
+			return mi, true
+		}
+	}
+	return modelInfo{}, false
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChaosIsolationAndHeal is the headline invariant: corrupt model A's
+// bundle on disk after load AND park a stalled client on model B's stream
+// route, then prove (1) concurrent requests against B never see a 5xx,
+// (2) A is quarantined with a retryable 503, (3) after the disk heals, A
+// recovers by itself, and (4) every transition shows up in /v1/models and
+// /metrics, with the watchdog reaping the stalled client.
+func TestChaosIsolationAndHeal(t *testing.T) {
+	s := newLoadedServer(t, Config{
+		Workers:    2,
+		Supervisor: chaosSupervisor(),
+		Stream:     StreamConfig{Watchdog: 200 * time.Millisecond, WriteTimeout: 200 * time.Millisecond},
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path := saveBundle(t)
+	if code, body := postModel(t, s, "victim", path); code != http.StatusOK {
+		t.Fatalf("add victim: %d %v", code, body)
+	}
+	frames := getSystem(t).TestSet()[0].Frames
+	if len(frames) > 30 {
+		frames = frames[:30]
+	}
+
+	recognizeHTTP := func(model string) (*http.Response, errorBody) {
+		body, _ := json.Marshal(recognizeRequest{
+			Utterances: []utteranceRequest{{Frames: frames}}, Model: model,
+		})
+		resp, err := http.Post(ts.URL+"/v1/recognize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("recognize %s: %v", model, err)
+		}
+		var e errorBody
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		return resp, e
+	}
+
+	// Park a stalled client on the default model's stream route: one valid
+	// chunk, then silence, with more body promised.
+	line, _ := json.Marshal(streamChunk{Frames: frames[:2]})
+	line = append(line, '\n')
+	stall, err := faultinject.StallStream(ts.URL, "/v1/stream", line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+
+	// Corrupt the victim's bundle in place. The mapping is MAP_SHARED, so
+	// the resident health check sees the damage too.
+	sab := &faultinject.Saboteur{Path: path}
+	if err := sab.Corrupt(42); err != nil {
+		t.Fatal(err)
+	}
+	sick := s.CheckModels()
+	if len(sick) != 1 || sick[0] != "victim" {
+		t.Fatalf("CheckModels quarantined %v, want [victim]", sick)
+	}
+	if mi, _ := findModel(s, "victim"); mi.State != modelQuarantined || mi.Quarantines != 1 {
+		t.Fatalf("victim after check: %+v", mi)
+	}
+	// A second pass is a no-op: already quarantined models are skipped.
+	if again := s.CheckModels(); len(again) != 0 {
+		t.Errorf("second CheckModels pass quarantined %v", again)
+	}
+
+	// Blast radius: the default model keeps serving 200s while the victim
+	// is quarantined and a stalled stream client squats on a connection.
+	for i := 0; i < 10; i++ {
+		if resp, e := recognizeHTTP(""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy model request %d: %d %+v", i, resp.StatusCode, e)
+		}
+	}
+	// The sick model answers a retryable structured 503, not a 5xx crash.
+	resp, e := recognizeHTTP("victim")
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Reason != "model_not_ready" {
+		t.Fatalf("quarantined model: %d %+v, want 503 model_not_ready", resp.StatusCode, e)
+	}
+	if resp.Header.Get("Retry-After") == "" || e.RetryAfterSeconds <= 0 {
+		t.Errorf("quarantined 503 carries no backoff hint: %+v", e)
+	}
+
+	// Reload attempts run against the still-corrupt file and fail at the
+	// disk pre-flight; the attempt counter proves the loop is alive.
+	waitFor(t, 5*time.Second, "a failed reload attempt", func() bool {
+		mi, _ := findModel(s, "victim")
+		return mi.ReloadAttempts >= 1 && mi.State == modelQuarantined
+	})
+
+	// Heal the disk: the next attempt passes pre-flight, rebuilds, and
+	// swaps a fresh generation in with no operator involvement.
+	if err := sab.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "victim to recover", func() bool {
+		mi, _ := findModel(s, "victim")
+		return mi.State == modelReady
+	})
+	if resp, e := recognizeHTTP("victim"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed model: %d %+v", resp.StatusCode, e)
+	}
+	if mi, _ := findModel(s, "victim"); mi.Quarantines != 1 || mi.ReloadAttempts < 1 {
+		t.Errorf("healed model lost its history: %+v", mi)
+	}
+
+	// The watchdog reaps the stalled stream client.
+	waitFor(t, 5*time.Second, "the stall watchdog", func() bool {
+		return s.streamsStalled.Value() >= 1 && s.streamsActive.Load() == 0
+	})
+
+	// Every transition is on /metrics.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, want := range []string{
+		`unfold_model_quarantines_total{model="victim"} 1`,
+		`unfold_model_reload_attempts_total{model="victim"}`,
+		`unfold_model_consecutive_failures{model="victim"}`,
+		`unfold_server_stream_stalls_total 1`,
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestChaosReloadBudgetExhausted never heals the disk: the reload loop must
+// burn its budget and park the model in the terminal failed state — entry
+// visible with the reason, resources released, delete still working.
+func TestChaosReloadBudgetExhausted(t *testing.T) {
+	sup := chaosSupervisor()
+	sup.ReloadBudget = 3
+	s := newLoadedServer(t, Config{Workers: 1, Supervisor: sup})
+	defer s.Close()
+
+	path := saveBundle(t)
+	if code, body := postModel(t, s, "victim", path); code != http.StatusOK {
+		t.Fatalf("add victim: %d %v", code, body)
+	}
+	sab := &faultinject.Saboteur{Path: path}
+	if err := sab.Corrupt(13); err != nil {
+		t.Fatal(err)
+	}
+	if sick := s.CheckModels(); len(sick) != 1 {
+		t.Fatalf("CheckModels quarantined %v", sick)
+	}
+
+	waitFor(t, 10*time.Second, "budget exhaustion", func() bool {
+		mi, _ := findModel(s, "victim")
+		return mi.State == modelFailed
+	})
+	mi, _ := findModel(s, "victim")
+	if !strings.Contains(mi.Error, "budget") || mi.ReloadAttempts != 3 {
+		t.Errorf("failed model: %+v, want budget-exhaustion error after 3 attempts", mi)
+	}
+	if mi.ResidentBytes != 0 {
+		t.Errorf("failed model still reports %d resident bytes", mi.ResidentBytes)
+	}
+	// Requests against it are structured 503s; the default model is fine.
+	code, body := recognizeOn(t, s, "victim", getSystem(t).TestSet()[0].Frames)
+	var e errorBody
+	if code != http.StatusServiceUnavailable || json.Unmarshal(body, &e) != nil || e.Reason != "model_not_ready" {
+		t.Errorf("failed-model request: %d %s", code, body)
+	}
+	if code, _ := recognizeOn(t, s, "", getSystem(t).TestSet()[0].Frames); code != http.StatusOK {
+		t.Errorf("default model collateral damage: %d", code)
+	}
+
+	// DELETE clears the carcass; a second DELETE is a clean 404.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/models/victim", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete failed model: %d %s", rec.Code, rec.Body.String())
+	}
+	if _, ok := findModel(s, "victim"); ok {
+		t.Error("failed model still listed after delete")
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/models/victim", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("double delete: %d, want 404", rec.Code)
+	}
+}
+
+// TestChaosScriptedReloadFailures drives the ReloadHook seam: the first two
+// reload attempts are scripted to fail, the third succeeds, and the
+// attempt counter records all three.
+func TestChaosScriptedReloadFailures(t *testing.T) {
+	sup := chaosSupervisor()
+	sup.ReloadHook = faultinject.FailReloads(2)
+	s := newLoadedServer(t, Config{Workers: 1, Supervisor: sup})
+	defer s.Close()
+	if code, body := postModel(t, s, "flappy", saveBundle(t)); code != http.StatusOK {
+		t.Fatalf("add: %d %v", code, body)
+	}
+
+	// Quarantine by hand (the disk is healthy; the scripted failures are in
+	// the hook).
+	m, release, st, _ := s.models.acquire("flappy")
+	if st != statusOK {
+		t.Fatal("flappy not servable")
+	}
+	release()
+	s.models.quarantine(m, "scripted chaos")
+
+	waitFor(t, 10*time.Second, "recovery through scripted failures", func() bool {
+		mi, _ := findModel(s, "flappy")
+		return mi.State == modelReady
+	})
+	if mi, _ := findModel(s, "flappy"); mi.ReloadAttempts != 3 {
+		t.Errorf("reload attempts %d, want 3 (two scripted failures + one success)", mi.ReloadAttempts)
+	}
+}
+
+// TestDecodeFailureScoring pins the supervisor's failure arithmetic:
+// search failures count, cancellations are neutral, any success resets,
+// and the threshold quarantines — after which the model heals itself (a
+// task model's rebuild always succeeds).
+func TestDecodeFailureScoring(t *testing.T) {
+	sup := chaosSupervisor()
+	sup.QuarantineThreshold = 3
+	s := newLoadedServer(t, Config{Workers: 1, Supervisor: sup})
+	defer s.Close()
+	m, release, st, _ := s.models.acquire(DefaultModel)
+	if st != statusOK {
+		t.Fatal("default not servable")
+	}
+	release()
+
+	searchFail := []*pool.DecodeError{{Utterance: 0, Stage: pool.StageSearch, Cause: errors.New("beam collapsed")}}
+	canceled := []*pool.DecodeError{{Utterance: 0, Stage: pool.StageCanceled, Cause: context.Canceled}}
+	partial := []*pool.DecodeError{nil, {Utterance: 1, Stage: pool.StageSearch, Cause: errors.New("one bad")}}
+
+	s.models.noteBatch(m, searchFail)
+	s.models.noteBatch(m, searchFail)
+	if mi, _ := findModel(s, DefaultModel); mi.ConsecutiveFailures != 2 {
+		t.Fatalf("score after two failures: %+v", mi)
+	}
+	// An all-canceled batch is neutral: neither counts nor resets.
+	s.models.noteBatch(m, canceled)
+	if mi, _ := findModel(s, DefaultModel); mi.ConsecutiveFailures != 2 {
+		t.Fatalf("score after canceled batch: %+v", mi)
+	}
+	// A batch with any decoded utterance resets the score.
+	s.models.noteBatch(m, partial)
+	if mi, _ := findModel(s, DefaultModel); mi.ConsecutiveFailures != 0 {
+		t.Fatalf("score after partial success: %+v", mi)
+	}
+
+	// Three consecutive failures trip the threshold; /healthz flips while
+	// the only model is quarantined, then recovers.
+	s.models.noteBatch(m, searchFail)
+	s.models.noteBatch(m, searchFail)
+	s.models.noteBatch(m, searchFail)
+	if s.models.anyReady() {
+		// The millisecond-scale reload may already have healed it; that is
+		// success too, checked below.
+		t.Log("model already healed by the time we looked")
+	}
+	waitFor(t, 10*time.Second, "self-heal after quarantine", func() bool {
+		mi, _ := findModel(s, DefaultModel)
+		return mi.State == modelReady && mi.Quarantines == 1
+	})
+	if mi, _ := findModel(s, DefaultModel); mi.ConsecutiveFailures != 0 {
+		t.Errorf("healed model keeps a failure score: %+v", mi)
+	}
+}
+
+// TestQuarantineDisabled: a negative threshold turns failure-score
+// quarantines off — the score still ticks for observability, but the model
+// stays ready.
+func TestQuarantineDisabled(t *testing.T) {
+	sup := chaosSupervisor()
+	sup.QuarantineThreshold = -1
+	s := newLoadedServer(t, Config{Workers: 1, Supervisor: sup})
+	defer s.Close()
+	m, release, st, _ := s.models.acquire(DefaultModel)
+	if st != statusOK {
+		t.Fatal("default not servable")
+	}
+	release()
+	searchFail := []*pool.DecodeError{{Utterance: 0, Stage: pool.StageSearch, Cause: errors.New("boom")}}
+	for i := 0; i < 10; i++ {
+		s.models.noteBatch(m, searchFail)
+	}
+	if mi, _ := findModel(s, DefaultModel); mi.State != modelReady {
+		t.Errorf("threshold -1 still quarantined: %+v", mi)
+	}
+}
+
+// TestChaosBackoffDeterminism pins the jitter schedule: two supervisors
+// with the same seed produce identical backoff sequences, a different seed
+// a different one, and the sequence respects base, doubling, and cap.
+func TestChaosBackoffDeterminism(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		sv := newSupervisor(SupervisorConfig{
+			ReloadBackoff: 100 * time.Millisecond, ReloadBackoffMax: time.Second, Seed: seed,
+		})
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = sv.backoff(i + 1)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(seq(8)) {
+		t.Errorf("different seeds produced the same schedule")
+	}
+	for i, d := range a {
+		base := 100 * time.Millisecond << uint(i)
+		if base > time.Second {
+			base = time.Second
+		}
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if d < lo || d > hi {
+			t.Errorf("attempt %d backoff %v outside [%v,%v]", i+1, d, lo, hi)
+		}
+	}
+}
+
+// TestStreamPartialDropNeverDropsFinal floods a stream with chunks against
+// a tiny send buffer via an in-memory recorder (which never blocks, so this
+// pins the bookkeeping rather than timing): the final record must always
+// arrive intact, whatever happened to intermediate partials.
+func TestStreamSlowClientKeepsFinal(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1, Stream: StreamConfig{SendBuffer: 1}})
+	defer s.Close()
+	u := getSystem(t).TestSet()[0]
+
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	// Many tiny chunks: each produces a partial update.
+	for i := 0; i+2 <= len(u.Frames); i += 2 {
+		enc.Encode(streamChunk{Frames: u.Frames[i : i+2]})
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/stream", &in))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream: %d %s", rec.Code, rec.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	var final streamUpdate
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Final || final.Error != "" {
+		t.Fatalf("last line is not a clean final record: %+v", final)
+	}
+}
+
+// TestStreamWatchdogStall runs the stalled-client injector against a live
+// server and checks the structured mid-stream error record: the server
+// cancels the decode, answers with reason "stall" on the wire, and frees
+// the stream slot.
+func TestStreamWatchdogStall(t *testing.T) {
+	s := newLoadedServer(t, Config{
+		Workers: 1,
+		Stream:  StreamConfig{Watchdog: 150 * time.Millisecond, WriteTimeout: 150 * time.Millisecond},
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u := getSystem(t).TestSet()[0]
+	line, _ := json.Marshal(streamChunk{Frames: u.Frames[:2]})
+	line = append(line, '\n')
+	stall, err := faultinject.StallStream(ts.URL, "/v1/stream", line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+
+	waitFor(t, 5*time.Second, "watchdog to reap the stall", func() bool {
+		return s.streamsStalled.Value() >= 1
+	})
+	waitFor(t, 5*time.Second, "stream slot release", func() bool {
+		return s.streamsActive.Load() == 0
+	})
+	// The model reference was released: a drain of the default model
+	// converges instead of waiting on the dead stream.
+	if err := s.DrainModel(DefaultModel); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "drain convergence", func() bool {
+		return len(s.Models()) == 0
+	})
+}

@@ -8,8 +8,10 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/decoder"
@@ -106,12 +108,12 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		outcome = "unavailable"
-		s.fail(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		s.failRetry(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	if s.models.empty() {
 		outcome = "unavailable"
-		s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
+		s.failRetry(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Admission.MaxBodyBytes)
@@ -212,6 +214,9 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// Feed the supervisor: enough consecutive whole-batch search failures
+	// quarantine the model (see supervisor.go); any success resets.
+	s.models.noteBatch(m, batch.Errors)
 	outcome = "ok"
 	resp := recognizeResponse{Results: make([]recognizeResult, len(batch.Results)), Degraded: level}
 	for i, res := range batch.Results {
@@ -258,6 +263,107 @@ type streamUpdate struct {
 	SearchFailures int64   `json:"search_failures,omitempty"`
 	Degraded       int     `json:"degraded,omitempty"`
 	Error          string  `json:"error,omitempty"`
+	// Reason is the machine-matchable token on mid-stream error records
+	// ("stall", "bad_dims", "deadline", "search"), mirroring errorBody's
+	// Reason for errors that happen after the 200 header is committed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// streamSender owns all response writes for one /v1/stream connection: a
+// dedicated writer goroutine drains a bounded buffer so a client that stops
+// reading cannot block the decode loop. Partial updates are latest-wins —
+// when the buffer fills, the oldest queued partial is dropped (counted
+// under unfold_server_stream_partials_dropped_total) — and final records
+// are enqueued blocking, so they are never lost to the policy. With
+// Config.Stream.WriteTimeout set, each write carries a deadline; a write
+// that misses it (or fails outright — the client is gone) cancels the
+// stream's context so the decode stops doing work nobody will read.
+type streamSender struct {
+	srv     *Server
+	enc     *json.Encoder
+	flusher http.Flusher
+	rc      *http.ResponseController
+	timeout time.Duration
+	cancel  context.CancelFunc
+
+	ch   chan streamUpdate
+	done chan struct{}
+	once sync.Once
+	err  error // first write error; written by run, read only after done
+}
+
+func (s *Server) newStreamSender(w http.ResponseWriter, cancel context.CancelFunc) *streamSender {
+	flusher, _ := w.(http.Flusher)
+	sn := &streamSender{
+		srv:     s,
+		enc:     json.NewEncoder(w),
+		flusher: flusher,
+		rc:      http.NewResponseController(w),
+		timeout: s.cfg.Stream.WriteTimeout,
+		cancel:  cancel,
+		ch:      make(chan streamUpdate, s.cfg.Stream.SendBuffer),
+		done:    make(chan struct{}),
+	}
+	go sn.run()
+	return sn
+}
+
+func (sn *streamSender) run() {
+	defer close(sn.done)
+	for u := range sn.ch {
+		if sn.err != nil {
+			continue // drain: the connection is dead, the decode canceled
+		}
+		if sn.timeout > 0 {
+			// ErrNotSupported (test recorders) deliberately ignored.
+			sn.rc.SetWriteDeadline(time.Now().Add(sn.timeout))
+		}
+		if err := sn.enc.Encode(u); err != nil {
+			sn.err = err
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				sn.srv.streamsStalled.Inc()
+			}
+			sn.cancel()
+			continue
+		}
+		if sn.flusher != nil {
+			sn.flusher.Flush()
+		}
+	}
+}
+
+// partial enqueues a partial update, dropping the oldest queued one when
+// the client has let the buffer fill.
+func (sn *streamSender) partial(u streamUpdate) {
+	for {
+		select {
+		case sn.ch <- u:
+			return
+		default:
+		}
+		select {
+		case <-sn.ch:
+			sn.srv.partialsDropped.Inc()
+		default:
+		}
+	}
+}
+
+// final enqueues a terminal record (blocking — never dropped), stops the
+// writer, and reports the first write error, if any.
+func (sn *streamSender) final(u streamUpdate) error {
+	sn.ch <- u
+	sn.stop()
+	return sn.err
+}
+
+// stop ends the writer goroutine after the queue drains. Idempotent; safe
+// to defer alongside an explicit final.
+func (sn *streamSender) stop() {
+	sn.once.Do(func() {
+		close(sn.ch)
+		<-sn.done
+	})
 }
 
 // handleStream runs an incremental decode over a chunked NDJSON exchange:
@@ -292,12 +398,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		outcome = "unavailable"
-		s.fail(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		s.failRetry(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	if s.models.empty() {
 		outcome = "unavailable"
-		s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
+		s.failRetry(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		return
 	}
 	timeout, err := s.admit.parseTimeout(r, "")
@@ -316,20 +422,37 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseStream()
 
-	ctx := r.Context()
+	// The stream context is always cancelable: the sender cancels it when
+	// the client stops reading, the watchdog when it stops sending.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
 	if timeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
+	rc := http.NewResponseController(w)
+	watchdog := s.cfg.Stream.Watchdog
+
 	// Peek the first NDJSON line before any response bytes: it may carry
 	// the model selector, and resolving the model up front lets an unknown
-	// name answer a clean 404 instead of failing mid-stream.
+	// name answer a clean 404 instead of failing mid-stream. The watchdog
+	// covers the peek too — a client that sends headers and then nothing
+	// gets a 408, not a parked goroutine. (SetReadDeadline errors are
+	// ignored: test recorders don't support deadlines and don't need them.)
+	if watchdog > 0 {
+		rc.SetReadDeadline(time.Now().Add(watchdog))
+	}
 	in := json.NewDecoder(r.Body)
 	var first streamChunk
 	firstErr := in.Decode(&first)
 	if firstErr != nil && !errors.Is(firstErr, io.EOF) {
+		if errors.Is(firstErr, os.ErrDeadlineExceeded) {
+			outcome = "stalled"
+			s.streamsStalled.Inc()
+			s.fail(w, http.StatusRequestTimeout, "stall", fmt.Sprintf("no frames within %s", watchdog))
+			return
+		}
 		outcome = "invalid"
 		s.fail(w, http.StatusBadRequest, "bad_json", "bad NDJSON first line: "+firstErr.Error())
 		return
@@ -377,9 +500,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// or the two sides deadlock, each waiting for the other. The error is
 	// ignored deliberately: transports that don't support the switch
 	// (HTTP/2, test recorders) are already full-duplex or in-memory.
-	http.NewResponseController(w).EnableFullDuplex()
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	rc.EnableFullDuplex()
+	// Every response write goes through the sender: bounded latest-wins
+	// buffer, per-write deadlines, cancel-on-dead-client. It is stopped
+	// exactly once — by a final record on each normal exit, or by the
+	// deferred stop on early returns.
+	sn := s.newStreamSender(w, cancel)
+	defer sn.stop()
 	stream := dec.NewStream()
 	dim := m.dim()
 	frames := 0
@@ -394,7 +521,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				// The stream outlived its decode deadline: tell the client
 				// on the wire it is already reading, then stop.
 				outcome = "deadline"
-				enc.Encode(streamUpdate{Final: true, Degraded: level, Error: "stream exceeded its decode deadline"})
+				sn.final(streamUpdate{Final: true, Degraded: level, Reason: "deadline", Error: "stream exceeded its decode deadline"})
 			} else {
 				outcome = "canceled"
 			}
@@ -402,10 +529,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if !haveChunk {
+			if watchdog > 0 {
+				rc.SetReadDeadline(time.Now().Add(watchdog))
+			}
 			chunk = streamChunk{}
 			if err := in.Decode(&chunk); err != nil {
 				if errors.Is(err, io.EOF) {
 					break // client finished sending; finalize below
+				}
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					// The frame clock stalled: the client holds the
+					// connection open but stopped sending. Cancel the decode
+					// and say why in a structured final record on the wire
+					// the client is (nominally) still reading.
+					outcome = "stalled"
+					s.streamsStalled.Inc()
+					s.streamsAborted.Inc()
+					sn.final(streamUpdate{Final: true, Reason: "stall",
+						Error: fmt.Sprintf("no frames within %s: frame clock stalled, decode canceled", watchdog)})
+					return
 				}
 				// Mid-stream read failure: disconnect or canceled request.
 				outcome = "canceled"
@@ -416,28 +558,29 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		haveChunk = false
 		if err := checkDims(chunk.Frames, dim); err != nil {
 			outcome = "invalid"
-			enc.Encode(streamUpdate{Final: true, Error: err.Error()})
+			sn.final(streamUpdate{Final: true, Reason: "bad_dims", Error: err.Error()})
 			return
 		}
 		// Score the chunk (serialized per model: scorers are stateful) and
 		// push the rows one frame at a time, as a live frontend would.
 		for _, row := range m.score(chunk.Frames) {
 			if err := stream.Push(row); err != nil {
-				enc.Encode(streamUpdate{Final: true, Error: err.Error()})
+				// A search failure mid-stream is model-sickness evidence,
+				// same as a whole-batch failure on /v1/recognize.
+				s.models.noteDecodeFailure(m)
+				sn.final(streamUpdate{Final: true, Reason: "search", Error: err.Error()})
 				return
 			}
 			frames++
 		}
 		words := stream.Partial()
-		enc.Encode(streamUpdate{Words: words, Text: m.words(words), Frames: frames})
-		if flusher != nil {
-			flusher.Flush()
-		}
+		sn.partial(streamUpdate{Words: words, Text: m.words(words), Frames: frames})
 	}
 
 	res := stream.Finish()
+	s.models.noteDecodeSuccess(m)
 	outcome = "ok"
-	enc.Encode(streamUpdate{
+	if sn.final(streamUpdate{
 		Words:          res.Words,
 		Text:           m.words(res.Words),
 		Frames:         res.Stats.Frames,
@@ -446,9 +589,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Rescues:        res.Stats.Rescues,
 		SearchFailures: res.Stats.SearchFailures,
 		Degraded:       level,
-	})
-	if flusher != nil {
-		flusher.Flush()
+	}) != nil {
+		outcome = "canceled"
+		s.streamsAborted.Inc()
 	}
 }
 
@@ -480,7 +623,7 @@ func (s *Server) handleTestset(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("utt"); q != "" {
 		i, err := strconv.Atoi(q)
 		if err != nil || i < 0 || i >= len(test) {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("utt must be in [0,%d)", len(test)))
+			s.fail(w, http.StatusBadRequest, "bad_utt", fmt.Sprintf("utt must be in [0,%d)", len(test)))
 			return
 		}
 		u := test[i]

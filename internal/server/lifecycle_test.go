@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Registry failure-path tests: the less-traveled lifecycle edges the chaos
+// suite doesn't exercise end-to-end.
+
+// TestLoadFailureVisibleInHealthz: a load that fails leaves a diagnosable
+// failed entry — /healthz stays 200 (the default model is fine) but lists
+// the carcass with its error — and the name can be reclaimed by a
+// successful load afterwards.
+func TestLoadFailureVisibleInHealthz(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	defer s.Close()
+
+	// A real file that is not a bundle: the loader fails after the
+	// placeholder is installed, so the failure is recorded, not vanished.
+	bad := filepath.Join(t.TempDir(), "junk.ufb3")
+	if err := os.WriteFile(bad, []byte("not a bundle at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, body := postModel(t, s, "broken", bad)
+	if code != http.StatusBadRequest || body["reason"] != "load_failed" {
+		t.Fatalf("bad bundle load: %d %v, want 400 load_failed", code, body)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz with one failed and one ready model: %d", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	var foundFailed bool
+	for _, mi := range h.Models {
+		if mi.Name == "broken" {
+			foundFailed = mi.State == modelFailed && mi.Error != ""
+		}
+	}
+	if !foundFailed {
+		t.Fatalf("healthz does not show the failed load: %+v", h.Models)
+	}
+
+	// Decoding against the carcass is a retryable structured 503.
+	code, respBytes := recognizeOn(t, s, "broken", getSystem(t).TestSet()[0].Frames)
+	var e errorBody
+	if code != http.StatusServiceUnavailable || json.Unmarshal(respBytes, &e) != nil || e.Reason != "model_not_ready" {
+		t.Errorf("failed-model decode: %d %s", code, respBytes)
+	}
+
+	// The name is reclaimable: a good load replaces the carcass.
+	if code, body := postModel(t, s, "broken", saveBundle(t)); code != http.StatusOK {
+		t.Fatalf("reclaim failed name: %d %v", code, body)
+	}
+	if mi, ok := findModel(s, "broken"); !ok || mi.State != modelReady {
+		t.Errorf("reclaimed model: %+v", mi)
+	}
+}
+
+// TestSwapWhileDraining: a model can be re-added under a name that is
+// mid-drain with requests still pinning the old generation; the new
+// generation serves immediately and the old one closes when released.
+func TestSwapWhileDraining(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1})
+	defer s.Close()
+	if code, body := postModel(t, s, "hot", saveBundle(t)); code != http.StatusOK {
+		t.Fatalf("add: %d %v", code, body)
+	}
+
+	// Pin the current generation as an in-flight request would.
+	old, release, st, _ := s.models.acquire("hot")
+	if st != statusOK {
+		t.Fatal("hot not servable")
+	}
+	if err := s.DrainModel("hot"); err != nil {
+		t.Fatal(err)
+	}
+	// Draining with a live reference: not closed yet, and not servable.
+	if _, _, st, _ := s.models.acquire("hot"); st != statusNotReady {
+		t.Fatalf("draining model acquire status %v, want not-ready", st)
+	}
+
+	// Re-add under the same name while the old generation still drains.
+	if code, body := postModel(t, s, "hot", saveBundle(t)); code != http.StatusOK {
+		t.Fatalf("re-add while draining: %d %v", code, body)
+	}
+	if code, _ := recognizeOn(t, s, "hot", getSystem(t).TestSet()[0].Frames); code != http.StatusOK {
+		t.Errorf("new generation not serving: %d", code)
+	}
+
+	// The old generation closes only when its last reference goes.
+	old.mu.Lock()
+	closedEarly := old.closed
+	old.mu.Unlock()
+	if closedEarly {
+		t.Error("draining generation closed while referenced")
+	}
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		old.mu.Lock()
+		closed := old.closed
+		old.mu.Unlock()
+		if closed {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("old generation never closed after release")
+}
+
+// TestBudget507Shape pins the over-budget response contract: 507, reason
+// model_budget, a Retry-After header (draining frees budget), and the hint
+// mirrored in the body.
+func TestBudget507Shape(t *testing.T) {
+	path := saveBundle(t)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := getSystem(t).Footprint()
+	s := New(Config{Workers: 1, ModelBudget: fp.AMBytes + fp.LMBytes + st.Size()/2})
+	defer s.Close()
+	if err := s.Load(getSystem(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(modelsAddRequest{Name: "big", Path: path})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models", strings.NewReader(string(body))))
+	if rec.Code != http.StatusInsufficientStorage {
+		t.Fatalf("over-budget: %d %s, want 507", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("507 carries no Retry-After header")
+	}
+	var e errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reason != "model_budget" || e.RetryAfterSeconds <= 0 || e.Error == "" {
+		t.Errorf("507 body %+v, want model_budget with a backoff hint", e)
+	}
+}
+
+// TestRetryAfterOnNotLoaded: the empty-server 503 is retryable too.
+func TestRetryAfterOnNotLoaded(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", strings.NewReader(`{}`)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty server: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("not_loaded 503 carries no Retry-After header")
+	}
+	var e errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Reason != "not_loaded" || e.RetryAfterSeconds <= 0 {
+		t.Errorf("not_loaded body %s", rec.Body.String())
+	}
+}

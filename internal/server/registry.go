@@ -19,10 +19,17 @@ const DefaultModel = "default"
 
 // Model lifecycle states as reported by /healthz and /v1/models.
 const (
-	modelLoading  = "loading"
-	modelReady    = "ready"
-	modelDraining = "draining"
-	modelFailed   = "failed"
+	modelLoading = "loading"
+	modelReady   = "ready"
+	// modelQuarantined drains traffic from a sick model (failed re-verify or
+	// too many consecutive decode failures) while its reload loop tries to
+	// bring a fresh generation up; other models keep serving.
+	modelQuarantined = "quarantined"
+	modelDraining    = "draining"
+	// modelFailed is terminal: the reload budget is exhausted (or a load
+	// never succeeded). The entry stays visible so /healthz can say why, but
+	// its resources are released.
+	modelFailed = "failed"
 )
 
 // model is one servable entry: a task-built System or a bundle-loaded
@@ -48,13 +55,26 @@ type model struct {
 	resident    int64
 	loadSeconds float64
 
+	// Reload provenance: where the bundle came from and how to build a
+	// replacement generation, used by the supervisor's reload loop. rebuild
+	// returns a fresh, uninstalled model (never touches the registry).
+	srcPath   string
+	srcVerify bool
+	rebuild   func() (*model, error)
+
 	// mu guards the lifecycle below. refs counts in-flight requests
 	// reading through the model's graphs; a draining model is closed (and
 	// its bundle mapping released) only when the last one finishes.
-	mu    sync.Mutex
-	state string
-	refs  int
-	err   string
+	mu     sync.Mutex
+	state  string
+	refs   int
+	closed bool // resources released (guards double-close; orthogonal to state for failed models)
+	err    string
+
+	// Supervision score-keeping (see supervisor.go).
+	consecFails    int
+	reloadAttempts int
+	quarantines    int
 }
 
 func (m *model) amGraph() *wfst.WFST {
@@ -107,9 +127,16 @@ func (m *model) testSet() []unfold.Utterance {
 }
 
 // closeLocked releases the model's resources. Called with m.mu held, with
-// refs == 0, exactly once (state guards re-entry).
+// refs == 0; the closed flag guards re-entry. Failed models keep their
+// state (the entry stays diagnosable); everything else becomes "closed".
 func (m *model) closeLocked() {
-	m.state = "closed"
+	if m.closed {
+		return
+	}
+	m.closed = true
+	if m.state != modelFailed {
+		m.state = "closed"
+	}
 	if m.rec != nil {
 		m.rec.Close()
 	}
@@ -137,13 +164,14 @@ const (
 type modelRegistry struct {
 	reg    *telemetry.Registry
 	budget int64 // resident-bytes budget across all models; 0 = unlimited
+	sup    *supervisor
 
 	mu     sync.Mutex
 	models map[string]*model
 }
 
-func newModelRegistry(reg *telemetry.Registry, budget int64) *modelRegistry {
-	return &modelRegistry{reg: reg, budget: budget, models: make(map[string]*model)}
+func newModelRegistry(reg *telemetry.Registry, budget int64, sup *supervisor) *modelRegistry {
+	return &modelRegistry{reg: reg, budget: budget, sup: sup, models: make(map[string]*model)}
 }
 
 // acquire resolves name to a ready model and takes a reference on it; the
@@ -172,16 +200,20 @@ func (g *modelRegistry) acquire(name string) (*model, func(), modelStatus, strin
 }
 
 // release drops one reference; the last release on a draining model closes
-// it and removes it from the table (unless a swap already replaced it).
+// it and removes it from the table (unless a swap already replaced it), and
+// the last release on a failed model releases its resources while keeping
+// the entry visible.
 func (g *modelRegistry) release(m *model) {
 	m.mu.Lock()
 	m.refs--
-	shouldClose := m.state == modelDraining && m.refs == 0
+	shouldClose := m.refs == 0 && !m.closed && (m.state == modelDraining || m.state == modelFailed)
+	remove := false
 	if shouldClose {
+		remove = m.state == modelDraining
 		m.closeLocked()
 	}
 	m.mu.Unlock()
-	if shouldClose {
+	if remove {
 		g.remove(m)
 	}
 }
@@ -275,6 +307,14 @@ func (g *modelRegistry) drainModel(m *model) {
 		m.mu.Unlock()
 		return
 	}
+	if m.closed {
+		// A failed model whose resources are already gone: draining it just
+		// drops the entry from the table.
+		m.state = modelDraining
+		m.mu.Unlock()
+		g.remove(m)
+		return
+	}
 	m.state = modelDraining
 	idle := m.refs == 0
 	if idle {
@@ -318,6 +358,12 @@ type modelInfo struct {
 	LoadSeconds   float64 `json:"load_seconds,omitempty"`
 	Mapped        bool    `json:"mapped,omitempty"`
 	Error         string  `json:"error,omitempty"`
+	// Supervision counters: how often this entry has been quarantined, how
+	// many reload attempts its loops have made, and the live consecutive
+	// decode-failure score.
+	Quarantines         int `json:"quarantines,omitempty"`
+	ReloadAttempts      int `json:"reload_attempts,omitempty"`
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
 }
 
 // list snapshots every model sorted by name.
@@ -333,13 +379,16 @@ func (g *modelRegistry) list() []modelInfo {
 	for i, m := range models {
 		m.mu.Lock()
 		out[i] = modelInfo{
-			Name:          m.name,
-			State:         m.state,
-			Task:          m.task,
-			ResidentBytes: m.resident,
-			LoadSeconds:   m.loadSeconds,
-			Mapped:        m.rec != nil && m.rec.Mapped(),
-			Error:         m.err,
+			Name:                m.name,
+			State:               m.state,
+			Task:                m.task,
+			ResidentBytes:       m.resident,
+			LoadSeconds:         m.loadSeconds,
+			Mapped:              m.rec != nil && !m.closed && m.rec.Mapped(),
+			Error:               m.err,
+			Quarantines:         m.quarantines,
+			ReloadAttempts:      m.reloadAttempts,
+			ConsecutiveFailures: m.consecFails,
 		}
 		m.mu.Unlock()
 	}

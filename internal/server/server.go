@@ -61,6 +61,32 @@ type Config struct {
 	// (a swap holds both generations until the old one drains, and counts
 	// both). 0 disables the budget.
 	ModelBudget int64
+	// Supervisor tunes the self-healing model lifecycle: quarantine
+	// thresholds, reload backoff and budget, and the periodic bundle
+	// re-verify. The zero value supervises with defaults (no periodic
+	// ticker; CheckModels still works on demand).
+	Supervisor SupervisorConfig
+	// Stream tunes per-connection resilience on /v1/stream: write deadlines
+	// for stalled readers, a chunk-gap watchdog, and the bounded
+	// latest-wins partial-update buffer.
+	Stream StreamConfig
+}
+
+// StreamConfig bounds how long a single /v1/stream connection can hold
+// server resources while its client misbehaves.
+type StreamConfig struct {
+	// WriteTimeout bounds each response write; a client that stops reading
+	// for longer aborts the stream (its decode is canceled). 0 disables.
+	WriteTimeout time.Duration
+	// Watchdog bounds the gap between request chunks — the stream's frame
+	// clock. A client that stalls longer gets a structured mid-stream error
+	// record and its decode is canceled. 0 disables (the library default;
+	// unfold-serve defaults to 60s).
+	Watchdog time.Duration
+	// SendBuffer bounds the queue of pending partial updates per
+	// connection. When a slow client lets it fill, older partials are
+	// dropped (latest wins) — final updates are never dropped. Default 4.
+	SendBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpanCapacity <= 0 {
 		c.SpanCapacity = 128
+	}
+	if c.Stream.SendBuffer <= 0 {
+		c.Stream.SendBuffer = 4
 	}
 	return c
 }
@@ -91,6 +120,10 @@ type Server struct {
 	// concurrently).
 	models *modelRegistry
 
+	// sup owns the self-healing lifecycle: quarantine, backoff reloads, the
+	// periodic bundle re-verify. Closed (with its goroutines) by Close.
+	sup *supervisor
+
 	draining atomic.Bool
 
 	streamsActive atomic.Int64
@@ -99,11 +132,13 @@ type Server struct {
 	admit *admitter
 
 	// Server-level instruments.
-	requestsByPath map[string]*telemetry.Counter
-	streamsGauge   *telemetry.Gauge
-	streamsAborted *telemetry.Counter
-	shedTotal      map[string]*telemetry.Counter
-	degradedTotal  *telemetry.Counter
+	requestsByPath  map[string]*telemetry.Counter
+	streamsGauge    *telemetry.Gauge
+	streamsAborted  *telemetry.Counter
+	streamsStalled  *telemetry.Counter
+	partialsDropped *telemetry.Counter
+	shedTotal       map[string]*telemetry.Counter
+	degradedTotal   *telemetry.Counter
 }
 
 // New builds an unloaded server: every route is installed and /healthz
@@ -119,6 +154,7 @@ func New(cfg Config) *Server {
 	cfg.Admission = cfg.Admission.withDefaults(workers)
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(cfg.SpanCapacity)
+	sup := newSupervisor(cfg.Supervisor)
 	s := &Server{
 		cfg:    cfg,
 		reg:    reg,
@@ -127,10 +163,13 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 		admit:  newAdmitter(cfg.Admission),
-		models: newModelRegistry(reg, cfg.ModelBudget),
+		sup:    sup,
+		models: newModelRegistry(reg, cfg.ModelBudget, sup),
 	}
 	s.streamsGauge = reg.Gauge("unfold_server_streams_active", "Streaming decodes in flight.")
 	s.streamsAborted = reg.Counter("unfold_server_streams_aborted_total", "Streams ended by cancellation or client disconnect.")
+	s.streamsStalled = reg.Counter("unfold_server_stream_stalls_total", "Streams aborted by the frame-clock watchdog or a write timeout.")
+	s.partialsDropped = reg.Counter("unfold_server_stream_partials_dropped_total", "Partial updates dropped because a slow client let the send buffer fill.")
 	s.requestsByPath = map[string]*telemetry.Counter{}
 	for _, route := range []string{"/v1/recognize", "/v1/stream", "/v1/testset", "/v1/models", "/healthz", "/metrics"} {
 		s.requestsByPath[route] = reg.Counter("unfold_server_requests_total", "HTTP requests by route.", telemetry.L("route", route))
@@ -162,9 +201,42 @@ func New(cfg Config) *Server {
 	reg.GaugeFunc("unfold_process_goroutines", "Live goroutines.",
 		func() float64 { return float64(metrics.ReadMemoryFootprint().Goroutines) })
 
+	// Periodic model health pass: a cheap O(1) re-verify of every resident
+	// bundle, quarantining the sick ones. Off by default in the library
+	// (tests drive CheckModels synchronously); unfold-serve turns it on.
+	if iv := sup.cfg.HealthInterval; iv > 0 {
+		sup.wg.Add(1)
+		go func() {
+			defer sup.wg.Done()
+			t := time.NewTicker(iv)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.models.checkAll()
+				case <-sup.stop:
+					return
+				}
+			}
+		}()
+	}
+
 	s.routes()
 	return s
 }
+
+// CheckModels runs one synchronous health pass: every ready bundle-backed
+// model is cheaply re-verified in place, and failures are quarantined (the
+// reload loop starts immediately). Returns the names quarantined by this
+// pass. The chaos suite drives this directly for determinism; production
+// runs it on Config.Supervisor.HealthInterval.
+func (s *Server) CheckModels() []string { return s.models.checkAll() }
+
+// Close stops the supervisor — the periodic health pass and every model's
+// reload loop — and waits for them. The HTTP handler stays functional
+// (models keep serving); Close is about goroutine hygiene on shutdown and
+// in tests.
+func (s *Server) Close() { s.sup.close() }
 
 // Registry returns the server's telemetry registry.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
@@ -187,6 +259,20 @@ func (s *Server) LoadSystem(name string, sys *unfold.System) error {
 	if err != nil {
 		return err
 	}
+	m, err := s.buildSystemModel(name, sys)
+	if err != nil {
+		abort(err)
+		return err
+	}
+	commit(m)
+	return nil
+}
+
+// buildSystemModel constructs (but does not install) a servable model from
+// an in-memory system. It is also the rebuild path the supervisor uses to
+// recover a quarantined task model: the graphs live on the heap and cannot
+// rot, but a fresh decode pool sheds whatever state drove the failures.
+func (s *Server) buildSystemModel(name string, sys *unfold.System) (*model, error) {
 	start := time.Now()
 	p, err := sys.NewDecodePool(pool.Config{
 		Workers:   s.cfg.Workers,
@@ -194,10 +280,10 @@ func (s *Server) LoadSystem(name string, sys *unfold.System) error {
 		Telemetry: s.ptel,
 	})
 	if err != nil {
-		abort(err)
-		return err
+		return nil, err
 	}
-	commit(&model{
+	fp := sys.Footprint()
+	return &model{
 		name:        name,
 		task:        sys.Task.Spec.Name,
 		sys:         sys,
@@ -205,8 +291,8 @@ func (s *Server) LoadSystem(name string, sys *unfold.System) error {
 		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
 		resident:    fp.AMBytes + fp.LMBytes,
 		loadSeconds: loadSecondsSince(start),
-	})
-	return nil
+		rebuild:     func() (*model, error) { return s.buildSystemModel(name, sys) },
+	}, nil
 }
 
 // LoadBundle registers a model bundle from disk under a name — the hot-add
@@ -224,6 +310,20 @@ func (s *Server) LoadBundle(name, path string, verify bool) error {
 	if err != nil {
 		return err
 	}
+	m, err := s.buildBundleModel(name, path, verify)
+	if err != nil {
+		abort(err)
+		return err
+	}
+	commit(m)
+	return nil
+}
+
+// buildBundleModel constructs (but does not install) a servable model from
+// a bundle on disk. The supervisor's reload loop calls it again — with the
+// remembered path and verify mode — to build the replacement generation for
+// a quarantined model.
+func (s *Server) buildBundleModel(name, path string, verify bool) (*model, error) {
 	start := time.Now()
 	load := unfold.LoadRecognizerFast
 	if verify {
@@ -231,8 +331,7 @@ func (s *Server) LoadBundle(name, path string, verify bool) error {
 	}
 	rec, err := load(path)
 	if err != nil {
-		abort(err)
-		return err
+		return nil, err
 	}
 	p, err := pool.New(rec.AMGraph, rec.LMGraph, pool.Config{
 		Workers:   s.cfg.Workers,
@@ -241,10 +340,9 @@ func (s *Server) LoadBundle(name, path string, verify bool) error {
 	})
 	if err != nil {
 		rec.Close()
-		abort(err)
-		return err
+		return nil, err
 	}
-	commit(&model{
+	return &model{
 		name:        name,
 		task:        rec.TaskName,
 		rec:         rec,
@@ -252,8 +350,10 @@ func (s *Server) LoadBundle(name, path string, verify bool) error {
 		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
 		resident:    rec.ResidentBytes(),
 		loadSeconds: loadSecondsSince(start),
-	})
-	return nil
+		srcPath:     path,
+		srcVerify:   verify,
+		rebuild:     func() (*model, error) { return s.buildBundleModel(name, path, verify) },
+	}, nil
 }
 
 // DrainModel removes a model from routing; its resources (including a v3
@@ -386,12 +486,12 @@ func (s *Server) resolveModel(w http.ResponseWriter, name string) (*model, func(
 		return m, release, true
 	case statusUnknown:
 		if !explicit {
-			s.fail(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
+			s.failRetry(w, http.StatusServiceUnavailable, "not_loaded", "model not loaded")
 		} else {
 			s.fail(w, http.StatusNotFound, "unknown_model", detail)
 		}
 	default:
-		s.fail(w, http.StatusServiceUnavailable, "model_not_ready", detail)
+		s.failRetry(w, http.StatusServiceUnavailable, "model_not_ready", detail)
 	}
 	return nil, nil, false
 }
@@ -401,12 +501,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
-}
-
-// httpError writes a JSON error body — clients of a JSON API should never
-// have to parse a text/plain error page.
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }
 
 // errorBody is the structured error reply on the decode routes: a
@@ -423,6 +517,21 @@ type errorBody struct {
 func (s *Server) fail(w http.ResponseWriter, code int, reason, msg string) {
 	s.reg.Counter("unfold_server_errors_total", "Requests rejected, by reason.", telemetry.L("reason", reason)).Inc()
 	writeJSON(w, code, errorBody{Error: msg, Reason: reason})
+}
+
+// failRetry is fail for retryable conditions (503 not-ready/draining, 507
+// budget): the response carries a Retry-After header and mirrors the hint
+// in the body, so clients and load balancers back off instead of
+// hammering a model that is mid-reload.
+func (s *Server) failRetry(w http.ResponseWriter, code int, reason, msg string) {
+	retry := s.cfg.Admission.RetryAfter
+	secs := int(retry.Seconds() + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.reg.Counter("unfold_server_errors_total", "Requests rejected, by reason.", telemetry.L("reason", reason)).Inc()
+	writeJSON(w, code, errorBody{Error: msg, Reason: reason, RetryAfterSeconds: retry.Seconds()})
 }
 
 // shed answers an over-capacity request: 429 with a Retry-After header and
@@ -488,7 +597,9 @@ func (s *Server) handleModelsAdd(w http.ResponseWriter, r *http.Request) {
 	if err := s.LoadBundle(req.Name, req.Path, req.Verify); err != nil {
 		var be *budgetError
 		if errors.As(err, &be) {
-			s.fail(w, http.StatusInsufficientStorage, "model_budget", err.Error())
+			// Retryable: draining a model (or waiting for a swapped-out
+			// generation to finish draining) frees budget.
+			s.failRetry(w, http.StatusInsufficientStorage, "model_budget", err.Error())
 			return
 		}
 		s.fail(w, http.StatusBadRequest, "load_failed", err.Error())

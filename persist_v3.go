@@ -262,6 +262,8 @@ func flatErr(err error) error {
 	switch fe.Reason {
 	case "io":
 		reason = "io"
+	case "fault":
+		reason = "panic"
 	case "checksum":
 		reason = "checksum"
 	case "magic", "version":
@@ -340,6 +342,24 @@ func (r *Recognizer) Close() error {
 	b := r.bundle
 	r.bundle = nil
 	return b.Close()
+}
+
+// Recheck re-verifies the bundle mapping backing a v3-loaded recognizer:
+// the cheap pass recomputes the header and section-table CRC over the
+// mapped bytes against the value remembered at load; full additionally
+// re-verifies every section payload. Damage (in-place file mutation, a read
+// fault on the mapping) surfaces as a typed *BundleError — never a crash —
+// which is what lets the serving layer quarantine a sick model while the
+// process keeps serving the others. A v2 (directory) load has no mapping to
+// re-verify and always passes.
+func (r *Recognizer) Recheck(full bool) error {
+	if r.bundle == nil {
+		return nil
+	}
+	if err := r.bundle.Recheck(full); err != nil {
+		return flatErr(err)
+	}
+	return nil
 }
 
 // ResidentBytes reports the memory the recognizer's model data can pin:
