@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet lint race race-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
+.PHONY: all build test vet lint race race-soak lanes-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
 
 all: build test
 
@@ -36,6 +36,14 @@ race:
 # target is the pre-release deep pass (docs/LOAD.md).
 race-soak:
 	go test -race -run TestSoakMixedLoadWithDrain -soak 20s -count=1 -v ./internal/server/
+
+# Lane scheduler endurance pass: 20 seconds of mixed batch + stream churn
+# through a narrow lane group under the race detector, with every completed
+# decode checked against its solo reference. `make race` runs the same test
+# at its 2s default; this target is the deep pass for changes touching the
+# lane group, the batched scorers or the scheduler (docs/DECODING.md).
+lanes-soak:
+	go test -race -run TestSoakLaneChurn -lanes-soak 20s -count=1 -v ./internal/pool/
 
 # Randomized corruption passes over the model-bundle loaders — the v2
 # directory format and the v3 flat container (docs/ROBUSTNESS.md,
@@ -73,11 +81,13 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Re-measures the decode hot path (tokenstore vs map-reference frontier,
-# streaming, worker pool) and rewrites BENCH_PR3.json; the history lives in
+# streaming, worker pool, batched lanes) and rewrites BENCH_PR3.json plus
+# the lane-width sweep in BENCH_PR8.json; the history lives in
 # docs/BENCHMARKS.md.
 bench-report:
 	go test -run '^$$' -bench 'FrontierDecode|StreamPush|ParallelDecode' -benchmem .
 	go run ./cmd/unfold-bench -out BENCH_PR3.json
+	go run ./cmd/unfold-bench -lanes -out BENCH_PR8.json
 
 # Benchmark-regression smoke: re-measures the hot path and fails if any
 # row's allocs/frame exceeds the committed BENCH_PR3.json baseline.

@@ -12,6 +12,7 @@
 //	unfold-bench [-out BENCH_PR3.json] [-workers 4]
 //	unfold-bench -out /tmp/bench.json -check BENCH_PR3.json
 //	unfold-bench -coldstart
+//	unfold-bench -lanes
 //
 // With -check, the freshly measured report is compared row-by-row against
 // the committed baseline and the process exits nonzero if any row's
@@ -26,6 +27,15 @@
 // source for the docs/BENCHMARKS.md model-store table. The report goes to
 // BENCH_COLDSTART.json unless -out overrides it; cold-start rows are never
 // gated by -check (wall-clock load times are machine-dependent).
+//
+// With -lanes, the decode benchmarks are replaced by the batched-lane sweep:
+// for the DNN and RNN scorer configurations (where dense scoring dominates
+// the frame budget), the test set is decoded through frame-synchronous lane
+// groups of width 1, 4 and 8, measuring scorer calls/frame, ns/frame and the
+// real-time factor against the width-1 solo baseline. The report goes to
+// BENCH_PR8.json unless -out overrides it; like cold-start rows, lane sweep
+// rows are not gated by -check (the main report's lanes row carries the
+// allocation gate).
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -270,6 +281,154 @@ func runColdstart(out string, iters int) {
 	}
 }
 
+// laneRow is one measurement of the -lanes sweep: a scorer configuration
+// decoded through a lane group of the given width. Scoring happens inside
+// the group (raw frames in), so ns/frame covers the whole pipeline — dense
+// scoring plus search — and the RTF is an end-to-end figure.
+type laneRow struct {
+	Scorer string `json:"scorer"`
+	Lanes  int    `json:"lanes"`
+	// ScorerCallsPerFrame is the dense-amortization headline: 1.0 means one
+	// scorer invocation per lane-frame (solo shape), 1/width is the ideal
+	// where every step scores the full group in one call.
+	ScorerCallsPerFrame float64 `json:"scorer_calls_per_frame"`
+	NsPerFrame          float64 `json:"ns_per_frame"`
+	RTF                 float64 `json:"rtf"`
+	// SpeedupVsSolo is this row's frame rate over the same scorer's lanes=1
+	// row (1.0 for the solo rows themselves).
+	SpeedupVsSolo float64 `json:"speedup_vs_solo"`
+}
+
+// laneReport is the BENCH_PR8.json schema.
+type laneReport struct {
+	Task       string    `json:"task"`
+	Frames     int       `json:"frames_per_op"`
+	Utterances int       `json:"utterances_per_op"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Rows       []laneRow `json:"rows"`
+}
+
+// runLaneWave decodes every utterance through the group with continuous
+// batching: each drained lane is finished and immediately refilled with the
+// next waiting utterance, so the group stays as full as the remaining work
+// allows — the same scheduling shape pool.LaneScheduler runs concurrently.
+func runLaneWave(g *decoder.LaneGroup, decs []*decoder.OnTheFly, utts [][][]float32) {
+	next := 0
+	var act []*decoder.Lane
+	var actDec []int
+	freeDecs := make([]int, len(decs))
+	for i := range freeDecs {
+		freeDecs[i] = i
+	}
+	join := func() {
+		for next < len(utts) && len(freeDecs) > 0 {
+			di := freeDecs[len(freeDecs)-1]
+			freeDecs = freeDecs[:len(freeDecs)-1]
+			l, err := g.Join(decs[di])
+			if err != nil {
+				log.Fatal(err)
+			}
+			l.Push(utts[next])
+			next++
+			act = append(act, l)
+			actDec = append(actDec, di)
+		}
+	}
+	join()
+	for len(act) > 0 {
+		g.Step()
+		for i := 0; i < len(act); {
+			if act[i].Pending() > 0 {
+				i++
+				continue
+			}
+			act[i].Finish()
+			freeDecs = append(freeDecs, actDec[i])
+			act[i] = act[len(act)-1]
+			act = act[:len(act)-1]
+			actDec[i] = actDec[len(actDec)-1]
+			actDec = actDec[:len(actDec)-1]
+		}
+		join()
+	}
+}
+
+// runLanes measures the batched-lane sweep: DNN and RNN scorer tasks decoded
+// at lane widths 1, 4 and 8. The solo (width 1) row is the baseline the
+// speedup column normalizes against.
+func runLanes(out string) {
+	widths := []int{1, 4, 8}
+	rep := laneReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, kind := range []task.ScorerKind{task.ScorerDNN, task.ScorerRNN} {
+		spec := benchSpec
+		spec.Name = "bench-" + string(kind)
+		spec.Scorer = kind
+		spec.TestUtterances = 16 // enough to keep a width-8 group full
+		tk, err := task.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		utts := make([][][]float32, len(tk.Test))
+		frames := 0
+		for i, u := range tk.Test {
+			utts[i] = u.Frames
+			frames += len(u.Frames)
+		}
+		rep.Task = benchSpec.Name
+		rep.Frames = frames
+		rep.Utterances = len(utts)
+
+		var solo float64
+		for _, w := range widths {
+			g, err := decoder.NewLaneGroup(tk.Scorer, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			decs := make([]*decoder.OnTheFly, w)
+			for i := range decs {
+				decs[i], err = decoder.NewOnTheFly(tk.AM.G, tk.LMGraph.G, decoder.Config{PreemptivePruning: true})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runLaneWave(g, decs, utts)
+				}
+			})
+			st := g.Stats()
+			r := laneRow{
+				Scorer:              string(kind),
+				Lanes:               w,
+				ScorerCallsPerFrame: st.ScorerCallsPerFrame(),
+				NsPerFrame:          float64(res.T.Nanoseconds()) / (float64(res.N) * float64(frames)),
+			}
+			r.RTF = float64(metrics.FrameDuration.Nanoseconds()) / r.NsPerFrame
+			if w == 1 {
+				solo = r.NsPerFrame
+			}
+			if solo > 0 {
+				r.SpeedupVsSolo = solo / r.NsPerFrame
+			}
+			rep.Rows = append(rep.Rows, r)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, r := range rep.Rows {
+		fmt.Printf("  %-4s lanes=%d %6.3f scorer calls/frame %8.0f ns/frame %6.1fx RT %5.2fx vs solo\n",
+			r.Scorer, r.Lanes, r.ScorerCallsPerFrame, r.NsPerFrame, r.RTF, r.SpeedupVsSolo)
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "report path")
 	workers := flag.Int("workers", 4, "DecodePool worker count for the parallel row")
@@ -277,7 +436,20 @@ func main() {
 	tolerance := flag.Float64("tolerance", 1.25, "multiplicative allocs/frame headroom for -check")
 	coldstart := flag.Bool("coldstart", false, "measure model cold-start load paths instead of decode throughput")
 	coldIters := flag.Int("coldstart-iters", 5, "load repetitions per cold-start row (best time wins)")
+	laneSweep := flag.Bool("lanes", false, "measure the batched-lane width sweep (BENCH_PR8.json) instead of decode throughput")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the measured benchmarks")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *coldstart {
 		coldOut := *out
@@ -285,6 +457,14 @@ func main() {
 			coldOut = "BENCH_COLDSTART.json"
 		}
 		runColdstart(coldOut, *coldIters)
+		return
+	}
+	if *laneSweep {
+		laneOut := *out
+		if laneOut == "BENCH_PR3.json" {
+			laneOut = "BENCH_PR8.json"
+		}
+		runLanes(laneOut)
 		return
 	}
 
@@ -384,6 +564,32 @@ func main() {
 		par.UttPerSec = lastBatch.Throughput.UtterancesPerSec()
 	}
 	rep.Rows = append(rep.Rows, par)
+
+	// Batched lane decode: the test set in frame-synchronous lockstep (raw
+	// frames in — scoring happens inside the group, one batched call per
+	// step). Steady-state lane stepping allocates nothing; the per-op bill
+	// is the Result constructions at Finish, which is what the -check gate
+	// holds alongside the other frontier rows.
+	var laneUtts [][][]float32
+	laneFrames := 0
+	for _, u := range sys.TestSet() {
+		laneUtts = append(laneUtts, u.Frames)
+		laneFrames += len(u.Frames)
+	}
+	lg, err := decoder.NewLaneGroup(sys.Task.Scorer, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	laneDecs := make([]*decoder.OnTheFly, 4)
+	for i := range laneDecs {
+		laneDecs[i] = newDecoder()
+	}
+	rep.Rows = append(rep.Rows, perFrame("lanes/width=4", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runLaneWave(lg, laneDecs, laneUtts)
+		}
+	}), laneFrames))
 
 	// Per-op (whole test set) object counts: the store path's fixed
 	// per-utterance bill (Result construction) keeps this finite even though

@@ -101,6 +101,55 @@ func TestAllocsDecodePerFrame(t *testing.T) {
 	}
 }
 
+// TestAllocsLaneStep gates the batched lane path end to end: a warm
+// join/push/step-to-drain/leave cycle over a full lane group — batched
+// scoring included — must allocate NOTHING. This is strictly stronger than
+// "0 allocs per frame": the whole continuous-batching cycle (slot recycling,
+// stream reset, scorer-state reset, feature queueing) is on the measured
+// path, so a per-join allocation fails the gate just like a per-frame one.
+// unfold-bench's lanes row re-measures the same loop for `-check`.
+func TestAllocsLaneStep(t *testing.T) {
+	f := getFixture(t, 42)
+	const width = 4
+	g, err := NewLaneGroup(f.tk.Scorer, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := make([]*OnTheFly, width)
+	for i := range decs {
+		if decs[i], err = NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lanes := make([]*Lane, width)
+	frames := 0
+	run := func() {
+		for i := 0; i < width; i++ {
+			l, err := g.Join(decs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Push(f.tk.Test[i].Frames)
+			lanes[i] = l
+		}
+		for g.Step() > 0 {
+		}
+		for _, l := range lanes {
+			l.Leave() // Leave, not Finish: Result construction is off the steady path
+		}
+	}
+	run() // warm every buffer, stream scratch and scorer lane state
+	for i := 0; i < width; i++ {
+		frames += len(f.tk.Test[i].Frames)
+	}
+
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 0 {
+		t.Errorf("steady-state lane cycle allocates %.1f objects per %d-frame group cycle, want 0",
+			allocs, frames)
+	}
+}
+
 // TestAllocsStreamPush gates the incremental path: a full stream lifecycle
 // (NewStream, one Push per frame, Finish) must stay under two objects per
 // frame even though each stream takes a fresh scratch from the pool.

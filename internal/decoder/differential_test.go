@@ -157,6 +157,121 @@ func TestDifferentialStreamVsReference(t *testing.T) {
 	}
 }
 
+// TestDifferentialLanesVsSolo is the lane-vs-solo oracle: across seeded
+// tasks, every non-rescue search configuration, and several lane widths,
+// utterances decoded through a batched lane group (features scored by the
+// lockstep ScoreStep, frontiers stepped per lane) must match solo decodes
+// byte-for-byte — hypotheses, word end frames, cost bits, finality, search
+// statistics including lattice-entry counts, and the entire per-frame token
+// frontier (keys, costs, lattice indices, iteration order) captured through
+// the frameHook seam. Utterances outnumber lanes, so slot recycling and
+// mid-flight admission are on the oracle's path, not just first joins.
+func TestDifferentialLanesVsSolo(t *testing.T) {
+	seeds := []int64{211, 212}
+	widths := []int{1, 2, 4}
+	total := 0
+	for _, seed := range seeds {
+		tk, err := task.Build(task.Spec{
+			Name:           fmt.Sprintf("lane-diff-%d", seed),
+			Vocab:          24,
+			Phones:         10,
+			TrainSentences: 160,
+			TestUtterances: 5,
+			LMMinCount:     2,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range diffConfigs {
+			if tc.cfg.RescueWidenings > 0 {
+				continue // lanes ride the stream path, which has no rescue snapshots
+			}
+			for _, width := range widths {
+				total++
+				t.Run(fmt.Sprintf("seed%d/%s/width%d", seed, tc.name, width), func(t *testing.T) {
+					// Solo baseline: a fresh decoder per utterance (memo cold),
+					// frontiers captured per frame.
+					type soloRun struct {
+						res   *Result
+						snaps *[]frameSnap
+					}
+					solo := make([]soloRun, len(tk.Test))
+					for i, u := range tk.Test {
+						d, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						snaps := captureFrames(d)
+						solo[i] = soloRun{res: d.Decode(tk.Scorer.ScoreUtterance(u.Frames)), snaps: snaps}
+					}
+
+					// Lane run: continuous admission through one group; each
+					// utterance gets its own fresh decoder (same memo story as
+					// the baseline) with its own frontier capture.
+					g, err := NewLaneGroup(tk.Scorer, width)
+					if err != nil {
+						t.Fatal(err)
+					}
+					laneSnaps := make([]*[]frameSnap, len(tk.Test))
+					laneRes := make([]*Result, len(tk.Test))
+					lanes := map[*Lane]int{}
+					next := 0
+					for next < len(tk.Test) || len(lanes) > 0 {
+						for next < len(tk.Test) && g.Active() < g.Width() {
+							d, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							laneSnaps[next] = captureFrames(d)
+							l, err := g.Join(d)
+							if err != nil {
+								t.Fatal(err)
+							}
+							l.Push(tk.Test[next].Frames)
+							lanes[l] = next
+							next++
+						}
+						g.Step()
+						for l, utt := range lanes {
+							if l.Pending() == 0 {
+								laneRes[utt] = l.Finish()
+								delete(lanes, l)
+							}
+						}
+					}
+
+					for i := range tk.Test {
+						got, want := laneRes[i], solo[i].res
+						if got == nil {
+							t.Fatalf("utt %d: no lane result", i)
+						}
+						if got.Cost != want.Cost {
+							t.Errorf("utt %d cost: lane %v, solo %v", i, got.Cost, want.Cost)
+						}
+						if got.ReachedFinal != want.ReachedFinal {
+							t.Errorf("utt %d finality: lane %v, solo %v", i, got.ReachedFinal, want.ReachedFinal)
+						}
+						if !equalInt32s(got.Words, want.Words) {
+							t.Errorf("utt %d words: lane %v, solo %v", i, got.Words, want.Words)
+						}
+						if !equalInt32s(got.WordEnds, want.WordEnds) {
+							t.Errorf("utt %d word ends: lane %v, solo %v", i, got.WordEnds, want.WordEnds)
+						}
+						if gs, ws := got.Stats.Search(), want.Stats.Search(); gs != ws {
+							t.Errorf("utt %d stats: lane %+v, solo %+v", i, gs, ws)
+						}
+						compareSnaps(t, *laneSnaps[i], *solo[i].snaps)
+					}
+				})
+			}
+		}
+	}
+	if total < 30 {
+		t.Fatalf("lane differential sweep shrank to %d cases; keep it at 30+", total)
+	}
+}
+
 func compareSnaps(t *testing.T, got, want []frameSnap) {
 	t.Helper()
 	if len(got) != len(want) {

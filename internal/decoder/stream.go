@@ -20,14 +20,15 @@ import (
 // so a steady-state Push performs no per-frame heap allocation beyond the
 // amortized growth of the word lattice.
 type Stream struct {
-	d      *OnTheFly
-	sc     *scratch
-	cur    *tokenStore
-	next   *tokenStore
-	st     Stats
-	a0     metrics.AllocCounters
-	dead   bool
-	frozen *tokenStore // last non-empty frontier if the search dies
+	d       *OnTheFly
+	sc      *scratch
+	sampler *metrics.AllocSampler
+	cur     *tokenStore
+	next    *tokenStore
+	st      Stats
+	a0      metrics.AllocCounters
+	dead    bool
+	frozen  *tokenStore // last non-empty frontier if the search dies
 
 	// Telemetry state: counters are published incrementally (every Push
 	// adds the frame's Stats delta) so a /metrics scrape mid-utterance sees
@@ -40,15 +41,32 @@ type Stream struct {
 
 // NewStream starts an incremental decode on d.
 func (d *OnTheFly) NewStream() *Stream {
-	sc := getScratch()
+	s := &Stream{sc: getScratch(), sampler: metrics.NewAllocSampler()}
+	s.reset(d)
+	return s
+}
+
+// reset re-arms the stream for a fresh utterance on decoder d, reusing its
+// scratch set (token stores, lattice arena, worklist) in place. This is how
+// a lane slot recycles its stream across utterances without per-join heap
+// work: after reset the stream is indistinguishable from a NewStream on d.
+// The previous utterance must be finished or abandoned first.
+func (s *Stream) reset(d *OnTheFly) {
 	tel := d.cfg.Telemetry
-	s := &Stream{d: d, sc: sc, cur: sc.cur, next: sc.next,
-		a0: metrics.ReadAllocCounters(), start: tel.now(), span: tel.startSpan("stream")}
+	s.d = d
+	s.cur, s.next = s.sc.cur, s.sc.next
+	s.st = Stats{}
+	s.published = Stats{}
+	s.dead = false
+	s.frozen = nil
+	s.a0 = s.sampler.Read()
+	s.start = tel.now()
+	s.span = tel.startSpan("stream")
 	s.sc.lat.reset()
 	s.cur.reset()
 	s.cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
-	d.epsClosure(s.cur, &s.sc.lat, &s.st, semiring.Zero, -1, sc)
-	return s
+	d.epsClosure(s.cur, &s.sc.lat, &s.st, semiring.Zero, -1, s.sc)
+	d.hook(-1, s.cur)
 }
 
 // Push consumes one frame of acoustic scores (1-based senone indexing).
@@ -71,6 +89,7 @@ func (s *Stream) Push(frame []float32) error {
 		return nil
 	}
 	s.cur, s.next = s.next, s.cur
+	s.d.hook(f, s.cur)
 	s.publish()
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/decoder"
+	"repro/internal/pool"
 	"repro/internal/task"
 )
 
@@ -103,6 +104,73 @@ func TestGoldenDecodes(t *testing.T) {
 					}
 					return
 				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing fixture (run `go test ./internal/experiments -run Golden -update`): %v", err)
+				}
+				var want goldenFile
+				if err := json.Unmarshal(data, &want); err != nil {
+					t.Fatal(err)
+				}
+				compareGolden(t, got, want.Utterances)
+			})
+		}
+	}
+}
+
+// decodeGoldenLanes decodes the task's test set through a lane scheduler
+// narrower than the batch, so utterances join and leave the running group
+// mid-flight — the continuous-batching shape the server uses.
+func decodeGoldenLanes(t *testing.T, tk *task.Task, cfg decoder.Config) []goldenUtt {
+	t.Helper()
+	s, err := pool.NewLaneScheduler(tk.AM.G, tk.LMGraph.G, tk.Scorer, pool.LaneConfig{Lanes: 3, Decoder: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := make([][][]float32, len(tk.Test))
+	for i, u := range tk.Test {
+		frames[i] = u.Frames
+	}
+	b, err := s.Decode(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []goldenUtt
+	for i, r := range b.Results {
+		if b.Errors[i] != nil {
+			t.Fatalf("utt %d failed in lanes: %v", i, b.Errors[i])
+		}
+		out = append(out, goldenUtt{
+			Words:        r.Words,
+			WordEnds:     r.WordEnds,
+			Cost:         float64(r.Cost),
+			ReachedFinal: r.ReachedFinal,
+		})
+	}
+	return out
+}
+
+// TestGoldenDecodesLanes replays the same four evaluation tasks through the
+// batched lane group and holds the results to the *solo* fixtures — no lane
+// testdata exists on purpose. Frame-synchronous batching must be invisible
+// in the output: same words, same end frames, same costs, under both pinned
+// search configurations, even though the utterances share scorer calls and
+// churn through a 3-lane group.
+func TestGoldenDecodesLanes(t *testing.T) {
+	if *updateGolden {
+		t.Skip("lane decodes assert against the solo fixtures; nothing to update")
+	}
+	for _, spec := range task.AllSpecs(goldenScale) {
+		spec.TestUtterances = goldenUtterances
+		tk, err := task.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gc := range goldenConfigs {
+			path := goldenPath(spec.Name, gc.name)
+			t.Run(spec.Name+"/"+gc.name, func(t *testing.T) {
+				got := decodeGoldenLanes(t, tk, gc.cfg)
 				data, err := os.ReadFile(path)
 				if err != nil {
 					t.Fatalf("missing fixture (run `go test ./internal/experiments -run Golden -update`): %v", err)

@@ -171,6 +171,35 @@ func ReadAllocCounters() AllocCounters {
 	}
 }
 
+// AllocSampler is ReadAllocCounters without the per-call allocation: the
+// sample buffer handed to runtime/metrics escapes, so a stack-local one
+// costs one heap object per read. A sampler owns the buffer instead and is
+// reused across reads — the shape a lane slot needs, where a counter sample
+// per recycled utterance must not break the 0-allocs/frame contract. Not
+// safe for concurrent use; give each reader its own.
+type AllocSampler struct {
+	samples [3]runtimemetrics.Sample
+}
+
+// NewAllocSampler builds a reusable allocation-counter sampler.
+func NewAllocSampler() *AllocSampler {
+	s := &AllocSampler{}
+	for i := range s.samples {
+		s.samples[i].Name = allocSampleNames[i]
+	}
+	return s
+}
+
+// Read samples the current counters, allocating nothing.
+func (s *AllocSampler) Read() AllocCounters {
+	runtimemetrics.Read(s.samples[:])
+	return AllocCounters{
+		Bytes:   s.samples[0].Value.Uint64(),
+		Objects: s.samples[1].Value.Uint64(),
+		GCs:     s.samples[2].Value.Uint64(),
+	}
+}
+
 // ReadAllocCountersExact samples the same counters precisely: it uses
 // runtime.ReadMemStats, which briefly stops the world to flush every P's
 // allocation cache, so even a handful of small allocations show up in the

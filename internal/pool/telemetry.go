@@ -43,6 +43,13 @@ type Telemetry struct {
 	L1Hits   *telemetry.Counter
 	L1Misses *telemetry.Counter
 
+	// Lane-scheduler instruments (see lanes.go): utterances occupying lane
+	// slots right now, and the lifetime join/drain churn of the continuous
+	// batcher.
+	LaneActive *telemetry.Gauge
+	LaneJoins  *telemetry.Counter
+	LaneDrains *telemetry.Counter
+
 	reg *telemetry.Registry
 }
 
@@ -61,6 +68,9 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 		WorkersTotal: reg.Gauge("unfold_pool_workers", "Pool worker count."),
 		L1Hits:       reg.Counter("unfold_cache_l1_hits_total", "Per-worker direct-mapped cache hits."),
 		L1Misses:     reg.Counter("unfold_cache_l1_misses_total", "Per-worker cache misses that fell through to L2."),
+		LaneActive:   reg.Gauge("unfold_lane_active", "Utterances occupying lane slots right now."),
+		LaneJoins:    reg.Counter("unfold_lane_joins_total", "Utterances admitted into a lane slot."),
+		LaneDrains:   reg.Counter("unfold_lane_drains_total", "Utterances that left a lane slot (finished, failed, or canceled)."),
 		reg:          reg,
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/decoder"
+	"repro/internal/pool"
 )
 
 // utteranceRequest is one utterance's feature frames.
@@ -89,8 +90,10 @@ func checkDims(frames [][]float32, dim int) error {
 // waiters, shedding with a structured 429 past that), decodes at the
 // degradation level the current queue depth selects, and frees its slot the
 // moment its deadline fires — an expired request never occupies a worker.
-// Frames are scored sequentially (scorers are not concurrency-safe); the
-// searches fan out across the pool.
+// On the classic path frames are scored sequentially (scorers are not
+// concurrency-safe) and the searches fan out across the pool; with
+// Config.Lanes the raw frames go to the model's lane scheduler, which
+// scores them batched across all concurrently decoding utterances.
 func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	outcome := "error"
@@ -198,13 +201,25 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 		s.degradedTotal.Inc()
 	}
 
-	// Scoring happens under the execution slot — it is real CPU work, and
-	// admitting it unbounded would defeat the gate.
-	scores := make([][][]float32, len(req.Utterances))
-	for i, u := range req.Utterances {
-		scores[i] = m.score(u.Frames)
+	var batch *pool.Batch
+	if m.lanes != nil {
+		// Lane path: hand the raw frames to the scheduler — scoring happens
+		// inside the lane group, batched across whatever utterances share
+		// the lockstep group at each frame, including other requests'.
+		frames := make([][][]float32, len(req.Utterances))
+		for i, u := range req.Utterances {
+			frames[i] = u.Frames
+		}
+		batch, _ = m.lanes.DecodeContext(ctx, frames, preset)
+	} else {
+		// Scoring happens under the execution slot — it is real CPU work,
+		// and admitting it unbounded would defeat the gate.
+		scores := make([][][]float32, len(req.Utterances))
+		for i, u := range req.Utterances {
+			scores[i] = m.score(u.Frames)
+		}
+		batch, _ = m.pool.DecodePresetContext(ctx, scores, preset)
 	}
-	batch, _ := m.pool.DecodePresetContext(ctx, scores, preset)
 	if cerr := ctx.Err(); cerr != nil {
 		if errors.Is(cerr, context.DeadlineExceeded) {
 			outcome = "deadline"
@@ -366,6 +381,52 @@ func (sn *streamSender) stop() {
 	})
 }
 
+// streamEngine abstracts the two decode backends behind /v1/stream: a
+// private solo decoder (scoring chunk-by-chunk under the model's scorer
+// lock) or a lane in the model's shared lane scheduler (scoring batched
+// across connections). abort releases whatever the engine holds on early
+// exits; it is idempotent and safe after finish.
+type streamEngine interface {
+	push(frames [][]float32) error
+	partial() []int32
+	finish() (*decoder.Result, error)
+	abort()
+}
+
+// soloStreamEngine is the classic per-connection path: a private decoder
+// over the model's shared stream cache.
+type soloStreamEngine struct {
+	m      *model
+	stream *decoder.Stream
+}
+
+func (e *soloStreamEngine) push(frames [][]float32) error {
+	// Score the chunk (serialized per model: scorers are stateful) and
+	// push the rows one frame at a time, as a live frontend would. A dead
+	// search is not an error — Push no-ops and Finish reports the best
+	// partial with SearchFailures set.
+	for _, row := range e.m.score(frames) {
+		if err := e.stream.Push(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *soloStreamEngine) partial() []int32                 { return e.stream.Partial() }
+func (e *soloStreamEngine) finish() (*decoder.Result, error) { return e.stream.Finish(), nil }
+func (e *soloStreamEngine) abort()                           {}
+
+// laneStreamEngine rides one lane of the model's scheduler: every push
+// joins the frame-synchronous lockstep group, so this stream's dense
+// scoring shares matrix work with every other in-flight utterance.
+type laneStreamEngine struct{ h *pool.LaneHandle }
+
+func (e *laneStreamEngine) push(frames [][]float32) error    { return e.h.Push(frames) }
+func (e *laneStreamEngine) partial() []int32                 { return e.h.Partial() }
+func (e *laneStreamEngine) finish() (*decoder.Result, error) { return e.h.Finish() }
+func (e *laneStreamEngine) abort()                           { e.h.Close() }
+
 // handleStream runs an incremental decode over a chunked NDJSON exchange:
 // each request line carries feature frames, each response line the current
 // best partial hypothesis, flushed immediately so the client sees the
@@ -373,14 +434,18 @@ func (sn *streamSender) stop() {
 // finalizes the utterance; cancellation (client disconnect, context
 // deadline) aborts it and counts toward unfold_server_streams_aborted_total.
 //
-// Each stream gets a private decoder — construction borrows the shared
-// graphs, so it is cheap — but all streams share one bounded offset cache,
-// so concurrent connections warm each other's offset lookups.
+// On the classic path each stream gets a private decoder — construction
+// borrows the shared graphs, so it is cheap — but all streams share one
+// bounded offset cache, so concurrent connections warm each other's offset
+// lookups. With Config.Lanes the stream occupies a lane of the model's
+// scheduler instead, advancing in lockstep with the other decodes.
 //
 // Frames are scored chunk-by-chunk. Frame-stateless scorers (the GMM
-// default) produce transcripts identical to batch /v1/recognize; the
-// emulated recurrent scorer resets its temporal state at chunk boundaries,
-// which is exactly the trade-off a real streaming frontend makes.
+// default) produce transcripts identical to batch /v1/recognize. The
+// emulated recurrent scorer differs by path: the solo path resets its
+// temporal state at chunk boundaries (the trade-off a real streaming
+// frontend makes), while a lane carries persistent per-utterance scorer
+// state, matching the batch decode exactly.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	outcome := "error"
@@ -470,22 +535,48 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// mapping) for the stream's whole life; a drain waits on it.
 	defer releaseModel()
 
-	dcfg := s.cfg.Decoder
-	dcfg.OffsetCache = m.streamCache
-	dcfg.Telemetry = s.ptel.Decoder
-	dec, err := decoder.NewOnTheFly(m.amGraph(), m.lmGraph(), dcfg)
-	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "internal", err.Error())
-		return
-	}
 	// The pressure level at connection time sets this stream's operating
-	// point; the decoder is private to the connection, so installing the
-	// preset here cannot race with other streams.
+	// point; the preset is private to the connection either way — installed
+	// on a per-connection decoder, or scoped to this stream's lane.
 	level := s.admit.level()
+	var preset *decoder.SearchPreset
 	if level > 0 {
-		dec.SetSearchPreset(s.cfg.Decoder.DegradedPreset(level))
+		pr := s.cfg.Decoder.DegradedPreset(level)
+		preset = &pr
 		s.degradedTotal.Inc()
 	}
+	var eng streamEngine
+	if m.lanes != nil {
+		// Blocks until a lane slot frees up (honouring ctx) — streams past
+		// the lane count queue here rather than degrading the lockstep group.
+		h, err := m.lanes.OpenLane(ctx, preset)
+		if err != nil {
+			if ctx.Err() != nil {
+				outcome = "canceled"
+				return
+			}
+			outcome = "unavailable"
+			s.failRetry(w, http.StatusServiceUnavailable, "model_not_ready", err.Error())
+			return
+		}
+		eng = &laneStreamEngine{h: h}
+	} else {
+		dcfg := s.cfg.Decoder
+		dcfg.OffsetCache = m.streamCache
+		dcfg.Telemetry = s.ptel.Decoder
+		dec, err := decoder.NewOnTheFly(m.amGraph(), m.lmGraph(), dcfg)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		if preset != nil {
+			dec.SetSearchPreset(*preset)
+		}
+		eng = &soloStreamEngine{m: m, stream: dec.NewStream()}
+	}
+	// Runs on every exit path; a lane is released even when the client
+	// vanishes mid-utterance. No-op after a completed finish.
+	defer eng.abort()
 
 	s.streamsActive.Add(1)
 	s.streamsGauge.Inc()
@@ -507,7 +598,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// deferred stop on early returns.
 	sn := s.newStreamSender(w, cancel)
 	defer sn.stop()
-	stream := dec.NewStream()
 	dim := m.dim()
 	frames := 0
 
@@ -561,23 +651,37 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			sn.final(streamUpdate{Final: true, Reason: "bad_dims", Error: err.Error()})
 			return
 		}
-		// Score the chunk (serialized per model: scorers are stateful) and
-		// push the rows one frame at a time, as a live frontend would.
-		for _, row := range m.score(chunk.Frames) {
-			if err := stream.Push(row); err != nil {
-				// A search failure mid-stream is model-sickness evidence,
-				// same as a whole-batch failure on /v1/recognize.
-				s.models.noteDecodeFailure(m)
-				sn.final(streamUpdate{Final: true, Reason: "search", Error: err.Error()})
-				return
+		if err := eng.push(chunk.Frames); err != nil {
+			if ctx.Err() != nil {
+				// A lane push interrupted by cancellation: loop back so the
+				// top-of-loop check classifies it (deadline vs disconnect).
+				continue
 			}
-			frames++
+			// A decode failure mid-stream is model-sickness evidence, same
+			// as a whole-batch failure on /v1/recognize.
+			s.models.noteDecodeFailure(m)
+			sn.final(streamUpdate{Final: true, Reason: "search", Error: err.Error()})
+			return
 		}
-		words := stream.Partial()
+		frames += len(chunk.Frames)
+		words := eng.partial()
 		sn.partial(streamUpdate{Words: words, Text: m.words(words), Frames: frames})
 	}
 
-	res := stream.Finish()
+	res, ferr := eng.finish()
+	if ferr != nil {
+		if ctx.Err() != nil {
+			// Cancellation raced the finalization.
+			outcome = "canceled"
+			s.streamsAborted.Inc()
+			return
+		}
+		// A lane fault (recovered frontier or scorer panic): structured
+		// final record, counted against the model like any decode failure.
+		s.models.noteDecodeFailure(m)
+		sn.final(streamUpdate{Final: true, Reason: "search", Error: ferr.Error()})
+		return
+	}
 	s.models.noteDecodeSuccess(m)
 	outcome = "ok"
 	if sn.final(streamUpdate{

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLanesRecognizeMatchesSolo runs /v1/recognize on a lane-enabled server
+// and checks the tentpole determinism claim at the HTTP boundary: every
+// transcript is identical to the sequential solo path, and the lane churn
+// shows up under the unfold_lane_* instruments.
+func TestLanesRecognizeMatchesSolo(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1, Lanes: 3})
+	defer s.DrainModel(DefaultModel)
+	sys := getSystem(t)
+
+	var req recognizeRequest
+	for _, u := range sys.TestSet() {
+		req.Utterances = append(req.Utterances, utteranceRequest{Frames: u.Frames})
+	}
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recognize: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp recognizeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(sys.TestSet()) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(sys.TestSet()))
+	}
+	for i, u := range sys.TestSet() {
+		want, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Results[i].Words; fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("utt %d: lane server words %v != sequential %v", i, got, want)
+		}
+		if resp.Results[i].Error != "" {
+			t.Errorf("utt %d: unexpected error %q", i, resp.Results[i].Error)
+		}
+	}
+	if resp.Throughput.FramesPerSec <= 0 {
+		t.Errorf("throughput not populated: %+v", resp.Throughput)
+	}
+
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	metricsOut := mrec.Body.String()
+	n := float64(len(sys.TestSet()))
+	if v := metricValue(metricsOut, "unfold_lane_joins_total"); v != n {
+		t.Errorf("unfold_lane_joins_total = %g, want %g", v, n)
+	}
+	if v := metricValue(metricsOut, "unfold_lane_drains_total"); v != n {
+		t.Errorf("unfold_lane_drains_total = %g, want %g", v, n)
+	}
+	if v := metricValue(metricsOut, "unfold_lane_active"); v != 0 {
+		t.Errorf("unfold_lane_active = %g, want 0 after the batch drained", v)
+	}
+}
+
+// TestLanesStreamMixedWithBatch drives a chunked /v1/stream while a batch
+// /v1/recognize lands mid-utterance on the same lane group — continuous
+// batching through the HTTP frontend. Both must come out byte-identical to
+// their solo references, and the group must drain to lane_active 0.
+func TestLanesStreamMixedWithBatch(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1, Lanes: 2})
+	defer s.DrainModel(DefaultModel)
+	sys := getSystem(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	frames := sys.TestSet()[0].Frames
+	want, err := sys.Recognize(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream", pr)
+	enc := json.NewEncoder(pw)
+	half := len(frames) / 2
+	go enc.Encode(streamChunk{Frames: frames[:half]})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	readUpdate := func() streamUpdate {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var up streamUpdate
+		if err := json.Unmarshal(sc.Bytes(), &up); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		return up
+	}
+
+	up := readUpdate()
+	if up.Final || up.Frames != half {
+		t.Errorf("first update: final=%v frames=%d, want partial at %d", up.Final, up.Frames, half)
+	}
+
+	// The stream holds one lane; the batch joins the other mid-utterance.
+	var breq recognizeRequest
+	for _, u := range sys.TestSet()[1:] {
+		breq.Utterances = append(breq.Utterances, utteranceRequest{Frames: u.Frames})
+	}
+	body, _ := json.Marshal(breq)
+	bres, err := http.Post(ts.URL+"/v1/recognize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody, _ := io.ReadAll(bres.Body)
+	bres.Body.Close()
+	if bres.StatusCode != http.StatusOK {
+		t.Fatalf("mid-stream recognize: %d %s", bres.StatusCode, bbody)
+	}
+	var brsp recognizeResponse
+	if err := json.Unmarshal(bbody, &brsp); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range sys.TestSet()[1:] {
+		bwant, err := sys.Recognize(u.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := brsp.Results[i].Words; fmt.Sprint(got) != fmt.Sprint(bwant) {
+			t.Errorf("batch utt %d: lane server words %v != sequential %v", i, got, bwant)
+		}
+	}
+
+	// Second half, then EOF to finalize the stream.
+	if err := enc.Encode(streamChunk{Frames: frames[half:]}); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	final := readUpdate()
+	for !final.Final {
+		final = readUpdate()
+	}
+	if final.Error != "" {
+		t.Fatalf("final carries error: %q", final.Error)
+	}
+	if fmt.Sprint(final.Words) != fmt.Sprint(want) {
+		t.Errorf("stream final %v != sequential %v", final.Words, want)
+	}
+	if final.Frames != len(frames) {
+		t.Errorf("final frames = %d, want %d", final.Frames, len(frames))
+	}
+
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	metricsOut := string(mbody)
+	if v := metricValue(metricsOut, "unfold_lane_active"); v != 0 {
+		t.Errorf("unfold_lane_active = %g, want 0 after stream + batch drained", v)
+	}
+	joins := metricValue(metricsOut, "unfold_lane_joins_total")
+	drains := metricValue(metricsOut, "unfold_lane_drains_total")
+	if joins != drains || joins != float64(len(sys.TestSet())) {
+		t.Errorf("lane churn joins=%g drains=%g, want both %d", joins, drains, len(sys.TestSet()))
+	}
+	if !strings.Contains(metricsOut, "unfold_server_requests_total") {
+		t.Errorf("metrics missing request counters")
+	}
+}
+
+// TestLanesModelDrainClosesScheduler checks the lifecycle seam: draining a
+// lane-enabled model stops its scheduler, and a request after the drain gets
+// the standard not-loaded answer rather than touching a closed scheduler.
+func TestLanesModelDrainClosesScheduler(t *testing.T) {
+	s := newLoadedServer(t, Config{Workers: 1, Lanes: 2})
+	sys := getSystem(t)
+
+	if err := s.DrainModel(DefaultModel); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(recognizeRequest{Utterances: []utteranceRequest{{Frames: sys.TestSet()[0].Frames}}})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/recognize", bytes.NewReader(body)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain recognize: got %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+}

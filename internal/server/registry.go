@@ -45,6 +45,12 @@ type model struct {
 
 	pool        *pool.DecodePool
 	streamCache *pool.ShardedLRU
+	// lanes, when non-nil (Config.Lanes > 0), is the frame-synchronous
+	// lane scheduler the decode routes use instead of the pool and the
+	// per-connection stream decoders. It owns the model's acoustic scorer:
+	// while it is live, score must not run concurrently with lane decodes
+	// (the handlers route exclusively through lanes when it is set).
+	lanes *pool.LaneScheduler
 
 	// scorerMu serializes this model's acoustic scorer: scorers keep
 	// per-utterance scratch state and are not concurrency-safe. Distinct
@@ -136,6 +142,12 @@ func (m *model) closeLocked() {
 	m.closed = true
 	if m.state != modelFailed {
 		m.state = "closed"
+	}
+	if m.lanes != nil {
+		// Stops the scheduler's runner goroutine and waits for it; any
+		// straggler lane fails with ErrLaneSchedulerClosed. Safe under
+		// m.mu: the runner never touches the model or the registry.
+		m.lanes.Close()
 	}
 	if m.rec != nil {
 		m.rec.Close()

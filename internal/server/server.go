@@ -10,10 +10,16 @@
 // runs a decoder.Stream per connection, with all stream decoders sharing
 // one bounded ShardedLRU offset cache so word recurrence across
 // connections keeps the cache warm (the paper's Offset Lookup Table
-// locality, at the fleet level). Telemetry is threaded through both paths
-// via the nil-safe seams, so everything /metrics shows during a live
-// decode — frontier sizes, back-off walks, cache hits — is the decoder's
-// own accounting, not server-side estimation.
+// locality, at the fleet level). With Config.Lanes set, both decode
+// routes instead attach to a per-model pool.LaneScheduler: concurrent
+// utterances advance in frame-synchronous lockstep through one batched
+// scorer call per step (continuous batching — requests join and leave
+// the running group mid-flight), with identical transcripts and the
+// unfold_lane_{active,joins_total,drains_total} instruments tracking the
+// churn. Telemetry is threaded through every path via the nil-safe
+// seams, so everything /metrics shows during a live decode — frontier
+// sizes, back-off walks, cache hits — is the decoder's own accounting,
+// not server-side estimation.
 package server
 
 import (
@@ -40,6 +46,15 @@ type Config struct {
 	// Workers is the DecodePool size for batch /v1/recognize requests
 	// (defaults to GOMAXPROCS, per pool.Config).
 	Workers int
+	// Lanes, when > 0, builds a frame-synchronous lane scheduler per model
+	// and routes /v1/recognize and /v1/stream through it: up to Lanes
+	// utterances advance in lockstep through one batched scorer call per
+	// frame, joining and leaving the group mid-flight (continuous
+	// batching), instead of queueing for whole pool workers. Transcripts
+	// are byte-identical to the worker-pool paths. Size it at or above the
+	// expected decode concurrency — utterances past the lane count queue
+	// for a free slot. 0 (the default) keeps the classic paths.
+	Lanes int
 	// Decoder configures the beam search for both the pool workers and the
 	// per-connection stream decoders. OffsetCache and Telemetry are
 	// overwritten by the server's own wiring; leave them nil.
@@ -282,12 +297,24 @@ func (s *Server) buildSystemModel(name string, sys *unfold.System) (*model, erro
 	if err != nil {
 		return nil, err
 	}
+	var lanes *pool.LaneScheduler
+	if s.cfg.Lanes > 0 {
+		lanes, err = pool.NewLaneScheduler(sys.Task.AM.G, sys.Task.LMGraph.G, sys.Task.Scorer, pool.LaneConfig{
+			Lanes:     s.cfg.Lanes,
+			Decoder:   s.cfg.Decoder,
+			Telemetry: s.ptel,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	fp := sys.Footprint()
 	return &model{
 		name:        name,
 		task:        sys.Task.Spec.Name,
 		sys:         sys,
 		pool:        p,
+		lanes:       lanes,
 		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
 		resident:    fp.AMBytes + fp.LMBytes,
 		loadSeconds: loadSecondsSince(start),
@@ -342,11 +369,24 @@ func (s *Server) buildBundleModel(name, path string, verify bool) (*model, error
 		rec.Close()
 		return nil, err
 	}
+	var lanes *pool.LaneScheduler
+	if s.cfg.Lanes > 0 {
+		lanes, err = pool.NewLaneScheduler(rec.AMGraph, rec.LMGraph, rec.Scorer, pool.LaneConfig{
+			Lanes:     s.cfg.Lanes,
+			Decoder:   s.cfg.Decoder,
+			Telemetry: s.ptel,
+		})
+		if err != nil {
+			rec.Close()
+			return nil, err
+		}
+	}
 	return &model{
 		name:        name,
 		task:        rec.TaskName,
 		rec:         rec,
 		pool:        p,
+		lanes:       lanes,
 		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
 		resident:    rec.ResidentBytes(),
 		loadSeconds: loadSecondsSince(start),

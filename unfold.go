@@ -49,6 +49,18 @@ type PoolConfig = pool.Config
 // results plus throughput, search and cache aggregates.
 type DecodeBatch = pool.Batch
 
+// LaneScheduler is the frame-synchronous batched decoding engine: up to N
+// concurrent utterances advance in lockstep through a shared lane group, so
+// every active lane is scored by ONE batched scorer call per frame step
+// (dense matrix work) while each lane runs its own on-the-fly Viterbi
+// search. Results are byte-identical to solo decoding. Build one with
+// System.NewLaneScheduler; see docs/DECODING.md.
+type LaneScheduler = pool.LaneScheduler
+
+// LaneConfig sizes a LaneScheduler (lane count, per-lane decoder
+// configuration, optional telemetry).
+type LaneConfig = pool.LaneConfig
+
 // Throughput reports batch decode rates (utterances/sec, frames/sec,
 // aggregate real-time factor, cache hit rate).
 type Throughput = metrics.Throughput
@@ -149,6 +161,17 @@ func (s *System) NewDecoder(cfg DecoderConfig) (*decoder.OnTheFly, error) {
 // decoding for any worker count.
 func (s *System) NewDecodePool(cfg PoolConfig) (*DecodePool, error) {
 	return pool.New(s.Task.AM.G, s.Task.LMGraph.G, cfg)
+}
+
+// NewLaneScheduler builds a frame-synchronous lane scheduler over this
+// system's graphs and acoustic scorer. Where a DecodePool parallelizes
+// pre-scored utterances across workers, the lane scheduler takes raw
+// feature frames and batches the SCORING: concurrent utterances share one
+// dense scorer call per frame step, which is where DNN/RNN scoring wins
+// (see BENCH_PR8.json). The scheduler owns the system's scorer while open —
+// do not call Recognize concurrently with lane decodes.
+func (s *System) NewLaneScheduler(cfg LaneConfig) (*LaneScheduler, error) {
+	return pool.NewLaneScheduler(s.Task.AM.G, s.Task.LMGraph.G, s.Task.Scorer, cfg)
 }
 
 // RecognizeBatch scores each utterance's frames and decodes the batch on a
