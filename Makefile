@@ -1,7 +1,15 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet lint race race-soak lanes-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
+.PHONY: all build test vet lint race race-soak lanes-soak pipeline-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
+
+# Soak durations and fuzz budget. The defaults are the pre-release deep
+# pass; the nightly workflow overrides them (RACE_SOAK=60s ... FUZZTIME=5m)
+# and `make race` runs the same tests at their 2s in-test defaults.
+RACE_SOAK ?= 20s
+LANES_SOAK ?= 20s
+PIPELINE_SOAK ?= 20s
+FUZZTIME ?= 10s
 
 all: build test
 
@@ -30,42 +38,59 @@ lint:
 race:
 	go test -race ./...
 
-# Extended lifecycle soak: 20 seconds of mixed batch + stream load against
-# a saturated two-worker pool with a mid-flight SIGTERM drain, under the
-# race detector. `make race` runs the same test at its 2s default; this
-# target is the pre-release deep pass (docs/LOAD.md).
+# Extended lifecycle soak: $(RACE_SOAK) of mixed batch + stream load
+# against a saturated two-worker pool with a mid-flight SIGTERM drain,
+# under the race detector. `make race` runs the same test at its 2s
+# default; this target is the pre-release deep pass (docs/LOAD.md).
+# Test-binary flags must come after the package path: `go test` stops
+# package-list parsing at the first flag it does not know, so the old
+# flags-first ordering silently tested the repo root instead.
 race-soak:
-	go test -race -run TestSoakMixedLoadWithDrain -soak 20s -count=1 -v ./internal/server/
+	go test -race -run TestSoakMixedLoadWithDrain -count=1 -v ./internal/server/ -soak $(RACE_SOAK)
 
-# Lane scheduler endurance pass: 20 seconds of mixed batch + stream churn
-# through a narrow lane group under the race detector, with every completed
-# decode checked against its solo reference. `make race` runs the same test
-# at its 2s default; this target is the deep pass for changes touching the
-# lane group, the batched scorers or the scheduler (docs/DECODING.md).
+# Lane scheduler endurance pass: $(LANES_SOAK) of mixed batch + stream
+# churn through a narrow lane group under the race detector, with every
+# completed decode checked against its solo reference. `make race` runs the
+# same test at its 2s default; this target is the deep pass for changes
+# touching the lane group, the batched scorers or the scheduler
+# (docs/DECODING.md).
 lanes-soak:
-	go test -race -run TestSoakLaneChurn -lanes-soak 20s -count=1 -v ./internal/pool/
+	go test -race -run TestSoakLaneChurn -count=1 -v ./internal/pool/ -lanes-soak $(LANES_SOAK)
+
+# Score-ahead pipeline endurance pass: $(PIPELINE_SOAK) of randomized
+# batch/stream/cancel/abort churn through pipelined decoders at random
+# lookahead depths under the race detector, every completed decode checked
+# byte-for-byte against its synchronous solo reference (docs/DECODING.md
+# §2c). `make race` runs the same test at its 2s default; run the deep pass
+# for changes touching the pipeline, window scorers or stream plumbing.
+pipeline-soak:
+	go test -race -run TestSoakPipelineChurn -count=1 -v ./internal/decoder/ -pipeline-soak $(PIPELINE_SOAK)
 
 # Randomized corruption passes over the model-bundle loaders — the v2
 # directory format and the v3 flat container (docs/ROBUSTNESS.md,
 # docs/MODEL_STORE.md). Catches loader panics long fuzz runs would.
 fuzz-smoke:
-	go test -run '^$$' -fuzz '^FuzzLoadBundle$$' -fuzztime 10s .
-	go test -run '^$$' -fuzz '^FuzzLoadBundleV3$$' -fuzztime 10s .
+	go test -run '^$$' -fuzz '^FuzzLoadBundle$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzLoadBundleV3$$' -fuzztime $(FUZZTIME) .
+	go test -run '^$$' -fuzz '^FuzzPipelineLookahead$$' -fuzztime $(FUZZTIME) ./internal/decoder/
 
 # Coverage floors: the decoder package (Viterbi hot path — token store,
 # pruning, rescue, streaming) must stay at least 80% covered; the serving
 # stack (server admission/handlers, pool, telemetry) at least 75% each.
+# Profiles land under build/ (gitignored) so repeated runs never litter the
+# repo root; CI uploads them as artifacts.
 cover:
-	go test -coverprofile=cover.out ./internal/decoder/
-	@go tool cover -func=cover.out | awk '/^total:/ { \
+	@mkdir -p build
+	go test -coverprofile=build/cover.out ./internal/decoder/
+	@go tool cover -func=build/cover.out | awk '/^total:/ { \
 		pct = $$3 + 0; \
 		printf "internal/decoder coverage: %.1f%% (floor 80%%)\n", pct; \
 		if (pct < 80) { print "FAIL: coverage below floor"; exit 1 } }'
 	@for pkg in server pool telemetry; do \
-		go test -coverprofile=cover-$$pkg.out ./internal/$$pkg/ > cover-$$pkg.log 2>&1 || \
-			{ cat cover-$$pkg.log; rm -f cover-$$pkg.log; exit 1; }; \
-		rm -f cover-$$pkg.log; \
-		go tool cover -func=cover-$$pkg.out | awk -v pkg=$$pkg '/^total:/ { \
+		go test -coverprofile=build/cover-$$pkg.out ./internal/$$pkg/ > build/cover-$$pkg.log 2>&1 || \
+			{ cat build/cover-$$pkg.log; rm -f build/cover-$$pkg.log; exit 1; }; \
+		rm -f build/cover-$$pkg.log; \
+		go tool cover -func=build/cover-$$pkg.out | awk -v pkg=$$pkg '/^total:/ { \
 			pct = $$3 + 0; \
 			printf "internal/%s coverage: %.1f%% (floor 75%%)\n", pkg, pct; \
 			if (pct < 75) { print "FAIL: coverage below floor"; exit 1 } }' || exit 1; \
@@ -81,20 +106,22 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Re-measures the decode hot path (tokenstore vs map-reference frontier,
-# streaming, worker pool, batched lanes) and rewrites BENCH_PR3.json plus
-# the lane-width sweep in BENCH_PR8.json; the history lives in
-# docs/BENCHMARKS.md.
+# streaming, worker pool, batched lanes, score-ahead pipeline) and rewrites
+# BENCH_PR3.json plus the lane-width sweep in BENCH_PR8.json and the
+# lookahead sweep in BENCH_PR9.json; the history lives in docs/BENCHMARKS.md.
 bench-report:
 	go test -run '^$$' -bench 'FrontierDecode|StreamPush|ParallelDecode' -benchmem .
 	go run ./cmd/unfold-bench -out BENCH_PR3.json
 	go run ./cmd/unfold-bench -lanes -out BENCH_PR8.json
+	go run ./cmd/unfold-bench -pipeline -out BENCH_PR9.json
 
 # Benchmark-regression smoke: re-measures the hot path and fails if any
 # row's allocs/frame exceeds the committed BENCH_PR3.json baseline.
 # Allocation counts (unlike wall-clock) are stable across machines, so this
 # is safe to run on shared CI runners.
 bench-check:
-	go run ./cmd/unfold-bench -out /tmp/unfold-bench-check.json -check BENCH_PR3.json
+	@mkdir -p build
+	go run ./cmd/unfold-bench -out build/unfold-bench-check.json -check BENCH_PR3.json
 
 # On-disk format compatibility gate (docs/MODEL_STORE.md): the checked-in
 # golden v2 bundle must load, convert to a v3 flat bundle via wfst-tool,

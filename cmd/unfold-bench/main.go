@@ -429,6 +429,123 @@ func runLanes(out string) {
 	}
 }
 
+// pipeRow is one measurement of the -pipeline sweep: a scorer configuration
+// decoded end-to-end (scoring + search) either synchronously or through the
+// score-ahead pipeline at the given lookahead depth.
+type pipeRow struct {
+	Scorer string `json:"scorer"`
+	// Lookahead is the pipeline depth; 0 is the synchronous baseline row
+	// (ScoreUtterance then Decode, the pre-pipeline shape).
+	Lookahead  int     `json:"lookahead"`
+	NsPerFrame float64 `json:"ns_per_frame"`
+	RTF        float64 `json:"rtf"`
+	// SpeedupVsSync is this row's frame rate over the same scorer's
+	// synchronous row (1.0 for the sync rows themselves).
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+}
+
+// pipeReport is the BENCH_PR9.json schema.
+type pipeReport struct {
+	Task       string    `json:"task"`
+	Frames     int       `json:"frames_per_op"`
+	Utterances int       `json:"utterances_per_op"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Rows       []pipeRow `json:"rows"`
+}
+
+// runPipeline measures the score-ahead sweep: DNN and RNN scorer tasks
+// decoded end-to-end, synchronous versus pipelined at lookahead 4, 8 and 16.
+// Both shapes include dense scoring in ns/frame, so the speedup column is
+// the whole-decoder effect of window-batched scoring (and, on multi-core
+// hosts, of overlapping it with the search).
+func runPipeline(out string) {
+	lookaheads := []int{4, 8, 16}
+	rep := pipeReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, kind := range []task.ScorerKind{task.ScorerDNN, task.ScorerRNN} {
+		spec := benchSpec
+		spec.Name = "bench-" + string(kind)
+		spec.Scorer = kind
+		tk, err := task.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames := 0
+		for _, u := range tk.Test {
+			frames += len(u.Frames)
+		}
+		rep.Task = benchSpec.Name
+		rep.Frames = frames
+		rep.Utterances = len(tk.Test)
+
+		newDec := func(lookahead int) *decoder.OnTheFly {
+			d, err := decoder.NewOnTheFly(tk.AM.G, tk.LMGraph.G,
+				decoder.Config{PreemptivePruning: true, Lookahead: lookahead})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return d
+		}
+
+		// Synchronous baseline: score the whole utterance, then search it.
+		dSync := newDec(0)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, u := range tk.Test {
+					dSync.Decode(tk.Scorer.ScoreUtterance(u.Frames))
+				}
+			}
+		})
+		sync := pipeRow{
+			Scorer:        string(kind),
+			NsPerFrame:    float64(res.T.Nanoseconds()) / (float64(res.N) * float64(frames)),
+			SpeedupVsSync: 1,
+		}
+		sync.RTF = float64(metrics.FrameDuration.Nanoseconds()) / sync.NsPerFrame
+		rep.Rows = append(rep.Rows, sync)
+
+		for _, k := range lookaheads {
+			p, err := decoder.NewPipeline(newDec(k), tk.Scorer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, u := range tk.Test {
+						p.Decode(u.Frames)
+					}
+				}
+			})
+			p.Close()
+			r := pipeRow{
+				Scorer:     string(kind),
+				Lookahead:  k,
+				NsPerFrame: float64(res.T.Nanoseconds()) / (float64(res.N) * float64(frames)),
+			}
+			r.RTF = float64(metrics.FrameDuration.Nanoseconds()) / r.NsPerFrame
+			r.SpeedupVsSync = sync.NsPerFrame / r.NsPerFrame
+			rep.Rows = append(rep.Rows, r)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, r := range rep.Rows {
+		mode := "sync"
+		if r.Lookahead > 0 {
+			mode = fmt.Sprintf("k=%d", r.Lookahead)
+		}
+		fmt.Printf("  %-4s %-6s %8.0f ns/frame %6.1fx RT %5.2fx vs sync\n",
+			r.Scorer, mode, r.NsPerFrame, r.RTF, r.SpeedupVsSync)
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "report path")
 	workers := flag.Int("workers", 4, "DecodePool worker count for the parallel row")
@@ -437,6 +554,8 @@ func main() {
 	coldstart := flag.Bool("coldstart", false, "measure model cold-start load paths instead of decode throughput")
 	coldIters := flag.Int("coldstart-iters", 5, "load repetitions per cold-start row (best time wins)")
 	laneSweep := flag.Bool("lanes", false, "measure the batched-lane width sweep (BENCH_PR8.json) instead of decode throughput")
+	pipelineSweep := flag.Bool("pipeline", false, "measure the score-ahead pipeline sweep (BENCH_PR9.json) instead of decode throughput")
+	lookahead := flag.Int("lookahead", 8, "pipeline depth of the main report's pipeline row")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the measured benchmarks")
 	flag.Parse()
 
@@ -465,6 +584,14 @@ func main() {
 			laneOut = "BENCH_PR8.json"
 		}
 		runLanes(laneOut)
+		return
+	}
+	if *pipelineSweep {
+		pipeOut := *out
+		if pipeOut == "BENCH_PR3.json" {
+			pipeOut = "BENCH_PR9.json"
+		}
+		runPipeline(pipeOut)
 		return
 	}
 
@@ -590,6 +717,29 @@ func main() {
 			runLaneWave(lg, laneDecs, laneUtts)
 		}
 	}), laneFrames))
+
+	// Score-ahead pipeline decode (raw frames in, like the lane row): the
+	// -check gate holds its allocation bill — the ring, window state and
+	// producer handoff must stay out of the steady-state heap.
+	pcfg := cfg
+	pcfg.Lookahead = *lookahead
+	pd, err := sys.NewDecoder(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := decoder.NewPipeline(pd, sys.Task.Scorer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Rows = append(rep.Rows, perFrame(fmt.Sprintf("pipeline/k=%d", *lookahead), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, u := range laneUtts {
+				pl.Decode(u)
+			}
+		}
+	}), laneFrames))
+	pl.Close()
 
 	// Per-op (whole test set) object counts: the store path's fixed
 	// per-utterance bill (Result construction) keeps this finite even though

@@ -1,0 +1,124 @@
+package acoustic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// windowScorers asserts every repo scorer supports window scoring and
+// returns them typed.
+func windowScorers(t *testing.T) (*SenoneModel, []WindowScorer) {
+	t.Helper()
+	m, batch := batchScorers(t)
+	ws := make([]WindowScorer, len(batch))
+	for i, sc := range batch {
+		w, ok := sc.(WindowScorer)
+		if !ok {
+			t.Fatalf("%s does not implement WindowScorer", sc.Name())
+		}
+		ws[i] = w
+	}
+	return m, ws
+}
+
+// TestScoreWindowMatchesUtterance is the score-ahead determinism contract:
+// for every scorer kind and a sweep of window widths — including widths that
+// split the utterance unevenly and a width larger than the utterance — the
+// rows produced by consecutive ScoreWindow calls are float32-bitwise-
+// identical to ScoreUtterance over the same frames. The RNN case proves the
+// recurrence carries across window boundaries exactly.
+func TestScoreWindowMatchesUtterance(t *testing.T) {
+	m, scorers := windowScorers(t)
+	rng := rand.New(rand.NewSource(20))
+	utt := randUtt(rng, 19, m.Dim)
+	for _, sc := range scorers {
+		want := sc.ScoreUtterance(utt)
+		for _, width := range []int{1, 3, 4, 8, 32} {
+			st := sc.NewWindowState(width)
+			st.Reset()
+			out := make([][]float32, len(utt))
+			for f := range out {
+				out[f] = make([]float32, sc.ScoreDim())
+			}
+			for base := 0; base < len(utt); base += width {
+				end := base + width
+				if end > len(utt) {
+					end = len(utt)
+				}
+				sc.ScoreWindow(st, utt[base:end], out[base:end])
+			}
+			for f := range want {
+				for s := range want[f] {
+					if out[f][s] != want[f][s] {
+						t.Fatalf("%s width %d frame %d senone %d: window %g != solo %g",
+							sc.Name(), width, f, s, out[f][s], want[f][s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowStateReset proves a recycled window state behaves like a fresh
+// one: scoring utterance A through windows, resetting, then scoring
+// utterance B yields B's solo rows exactly.
+func TestWindowStateReset(t *testing.T) {
+	m, scorers := windowScorers(t)
+	rng := rand.New(rand.NewSource(21))
+	a := randUtt(rng, 9, m.Dim)
+	b := randUtt(rng, 7, m.Dim)
+	for _, sc := range scorers {
+		want := sc.ScoreUtterance(b)
+		st := sc.NewWindowState(4)
+		st.Reset()
+		out := make([][]float32, 4)
+		for f := range out {
+			out[f] = make([]float32, sc.ScoreDim())
+		}
+		for base := 0; base < len(a); base += 4 {
+			end := base + 4
+			if end > len(a) {
+				end = len(a)
+			}
+			sc.ScoreWindow(st, a[base:end], out[:end-base])
+		}
+		st.Reset()
+		for base := 0; base < len(b); base += 4 {
+			end := base + 4
+			if end > len(b) {
+				end = len(b)
+			}
+			sc.ScoreWindow(st, b[base:end], out[:end-base])
+			for f := base; f < end; f++ {
+				for s := range want[f] {
+					if out[f-base][s] != want[f][s] {
+						t.Fatalf("%s frame %d senone %d after reset: %v != %v",
+							sc.Name(), f, s, out[f-base][s], want[f][s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreWindowAllocs: window scoring must not allocate — it runs on the
+// pipeline's producer goroutine inside the 0-allocs/frame contract.
+func TestScoreWindowAllocs(t *testing.T) {
+	m, scorers := windowScorers(t)
+	rng := rand.New(rand.NewSource(22))
+	utt := randUtt(rng, 8, m.Dim)
+	for _, sc := range scorers {
+		st := sc.NewWindowState(len(utt))
+		out := make([][]float32, len(utt))
+		for f := range out {
+			out[f] = make([]float32, sc.ScoreDim())
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			st.Reset()
+			sc.ScoreWindow(st, utt, out)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s ScoreWindow allocates %.1f objects/call, want 0", sc.Name(), allocs)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package decoder
+
+import (
+	"context"
+	"flag"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pipelineSoak is the wall time for the score-ahead pipeline churn soak.
+// `make pipeline-soak` runs it at 20s under -race (nightly CI at 60s); the
+// default 2s short mode rides along in `make race`.
+var pipelineSoak = flag.Duration("pipeline-soak", 2*time.Second, "wall time for the pipeline churn soak (make pipeline-soak runs 20s)")
+
+// TestSoakPipelineChurn is the pipeline's endurance pass: several goroutines
+// churn pipelined batch decodes, chunked PipeStreams, racing cancellations
+// and mid-stream aborts — fresh Pipeline per utterance (so producer
+// goroutines start and drain constantly), random lookahead depths including
+// 0 — for the soak duration, under -race. Every completed utterance must
+// match the solo reference bit for bit, and every cancelled prefix must
+// match a solo decode of exactly that prefix. The scorer is shared across
+// all goroutines, exercising the documented ScoreWindow concurrency
+// contract (read-only weights, private per-pipeline state).
+func TestSoakPipelineChurn(t *testing.T) {
+	f := getFixture(t, 42)
+	configs := []Config{{}, {PreemptivePruning: true}}
+
+	// Solo references, one per (config, utterance), from cold decoders.
+	type refKey struct{ cfg, utt int }
+	want := map[refKey]*Result{}
+	for ci, cfg := range configs {
+		for ui, u := range f.tk.Test {
+			d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[refKey{ci, ui}] = d.Decode(f.tk.Scorer.ScoreUtterance(u.Frames))
+		}
+	}
+	check := func(label string, ci, ui int, got *Result) bool {
+		w := want[refKey{ci, ui}]
+		if got.Cost != w.Cost || got.ReachedFinal != w.ReachedFinal ||
+			!equalInt32s(got.Words, w.Words) || !equalInt32s(got.WordEnds, w.WordEnds) ||
+			got.Stats.Search() != w.Stats.Search() {
+			t.Errorf("%s cfg%d utt%d: (%v, %v), want (%v, %v)", label, ci, ui, got.Words, got.Cost, w.Words, w.Cost)
+			return false
+		}
+		return true
+	}
+	// checkLoose skips the search-statistics comparison: decodes on a reused
+	// decoder have a warm memo, which changes probe counts but never results.
+	checkLoose := func(label string, ci, ui int, got *Result) bool {
+		w := want[refKey{ci, ui}]
+		if got.Cost != w.Cost || got.ReachedFinal != w.ReachedFinal ||
+			!equalInt32s(got.Words, w.Words) || !equalInt32s(got.WordEnds, w.WordEnds) {
+			t.Errorf("%s cfg%d utt%d: (%v, %v), want (%v, %v)", label, ci, ui, got.Words, got.Cost, w.Words, w.Cost)
+			return false
+		}
+		return true
+	}
+
+	deadline := time.Now().Add(*pipelineSoak)
+	var decoded, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*104729 + 17))
+			for time.Now().Before(deadline) {
+				ci := rng.Intn(len(configs))
+				ui := rng.Intn(len(f.tk.Test))
+				k := rng.Intn(9) // 0..8; 0 exercises the synchronous fallback
+				cfg := configs[ci]
+				cfg.Lookahead = k
+				d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p, err := NewPipeline(d, f.tk.Scorer)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				frames := f.tk.Test[ui].Frames
+				switch rng.Intn(4) {
+				case 0: // batch decode
+					if !check("soak batch", ci, ui, p.Decode(frames)) {
+						p.Close()
+						return
+					}
+					decoded.Add(1)
+				case 1: // chunked stream
+					s := p.NewStream()
+					chunk := 1 + rng.Intn(8)
+					ok := true
+					for off := 0; off < len(frames); off += chunk {
+						end := off + chunk
+						if end > len(frames) {
+							end = len(frames)
+						}
+						if err := s.Push(frames[off:end]); err != nil {
+							t.Errorf("soak stream push: %v", err)
+							ok = false
+							break
+						}
+						_ = s.Partial()
+					}
+					if ok {
+						res, err := s.Finish()
+						if err != nil {
+							t.Errorf("soak stream finish: %v", err)
+						} else if !check("soak stream", ci, ui, res) {
+							ok = false
+						}
+					}
+					if !ok {
+						p.Close()
+						return
+					}
+					decoded.Add(1)
+				case 2: // racing cancellation
+					ctx, cancel := context.WithCancel(context.Background())
+					go cancel()
+					res, derr := p.DecodeContext(ctx, frames)
+					if derr != nil {
+						n := res.Stats.Frames
+						if n < 0 || n > len(frames) {
+							t.Errorf("soak cancel: %d frames of %d", n, len(frames))
+							p.Close()
+							return
+						}
+						dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, configs[ci])
+						if err != nil {
+							t.Error(err)
+							p.Close()
+							return
+						}
+						w := dRef.Decode(f.tk.Scorer.ScoreUtterance(frames[:n]))
+						if res.Cost != w.Cost || !equalInt32s(res.Words, w.Words) || res.Stats.Search() != w.Stats.Search() {
+							t.Errorf("soak cancel@%d: (%v, %v), want (%v, %v)", n, res.Words, res.Cost, w.Words, w.Cost)
+							p.Close()
+							return
+						}
+						cancelled.Add(1)
+					} else if !check("soak cancel-miss", ci, ui, res) {
+						p.Close()
+						return
+					}
+					cancel()
+				default: // aborted stream, then a clean decode on the same pipeline
+					s := p.NewStream()
+					if err := s.Push(frames[:1+rng.Intn(len(frames))]); err != nil {
+						t.Errorf("soak abort push: %v", err)
+						p.Close()
+						return
+					}
+					s.Abort()
+					if !checkLoose("soak post-abort", ci, ui, p.Decode(frames)) {
+						p.Close()
+						return
+					}
+					decoded.Add(1)
+				}
+				p.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("pipeline soak failed after %d decodes, %d cancellations", decoded.Load(), cancelled.Load())
+	}
+	if decoded.Load() == 0 {
+		t.Fatal("pipeline soak completed zero utterances")
+	}
+	t.Logf("pipeline soak: %d clean utterances, %d verified cancellations in %s", decoded.Load(), cancelled.Load(), *pipelineSoak)
+}

@@ -1,0 +1,809 @@
+package decoder
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/task"
+)
+
+// comparePipelineResults asserts two results are byte-identical under the
+// deterministic search view.
+func comparePipelineResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Cost != want.Cost {
+		t.Errorf("%s cost: pipelined %v, sync %v", label, got.Cost, want.Cost)
+	}
+	if got.ReachedFinal != want.ReachedFinal {
+		t.Errorf("%s finality: pipelined %v, sync %v", label, got.ReachedFinal, want.ReachedFinal)
+	}
+	if !equalInt32s(got.Words, want.Words) {
+		t.Errorf("%s words: pipelined %v, sync %v", label, got.Words, want.Words)
+	}
+	if !equalInt32s(got.WordEnds, want.WordEnds) {
+		t.Errorf("%s word ends: pipelined %v, sync %v", label, got.WordEnds, want.WordEnds)
+	}
+	if gs, ws := got.Stats.Search(), want.Stats.Search(); gs != ws {
+		t.Errorf("%s stats: pipelined %+v, sync %+v", label, gs, ws)
+	}
+}
+
+// TestDifferentialPipelinedVsSynchronous is the pipelined-vs-synchronous
+// oracle: across seeded tasks, every search configuration the differential
+// harness sweeps (including rescue over a poisoned frame), and several
+// lookahead depths, a Pipeline decode must match the synchronous path —
+// score everything with ScoreUtterance, then Decode — byte-for-byte:
+// hypotheses, word end frames, cost bits, finality, search statistics, and
+// the entire per-frame token frontier captured through the frameHook seam.
+func TestDifferentialPipelinedVsSynchronous(t *testing.T) {
+	seeds := []int64{221, 222, 223}
+	lookaheads := []int{1, 3, 8}
+	total := 0
+	for _, seed := range seeds {
+		tk, err := task.Build(task.Spec{
+			Name:           fmt.Sprintf("pipe-diff-%d", seed),
+			Vocab:          24,
+			Phones:         10,
+			TrainSentences: 160,
+			TestUtterances: 1,
+			LMMinCount:     2,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := tk.Test[0].Frames
+		for _, tc := range diffConfigs {
+			for _, k := range lookaheads {
+				total++
+				t.Run(fmt.Sprintf("seed%d/%s/k%d", seed, tc.name, k), func(t *testing.T) {
+					in := frames
+					if tc.cfg.RescueWidenings > 0 && len(in) > 2 {
+						// Poison one FEATURE frame: the scorer turns it into an
+						// all-NaN score row on both paths, so the rescue and
+						// unsearchable-frame-skip machinery runs pipelined too.
+						in = poisonFrame(in, len(in)/2)
+					}
+					dSync, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := tc.cfg
+					cfg.Lookahead = k
+					dPipe, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := NewPipeline(dPipe, tk.Scorer)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer p.Close()
+					syncSnaps := captureFrames(dSync)
+					pipeSnaps := captureFrames(dPipe)
+
+					want := dSync.Decode(tk.Scorer.ScoreUtterance(in))
+					got := p.Decode(in)
+
+					comparePipelineResults(t, "decode", got, want)
+					compareSnaps(t, *pipeSnaps, *syncSnaps)
+				})
+			}
+		}
+	}
+	if total < 50 {
+		t.Fatalf("pipeline differential sweep shrank to %d cases; keep it at 50+", total)
+	}
+}
+
+// TestDifferentialPipelineScorers runs the pipelined-vs-synchronous oracle
+// over the dense scorers — the configurations the pipeline exists for. The
+// RNN case is the sharp one: its recurrence must carry across window
+// boundaries bitwise (window.go), including a lookahead larger than the
+// whole utterance (one window covers everything).
+func TestDifferentialPipelineScorers(t *testing.T) {
+	for _, kind := range []task.ScorerKind{task.ScorerDNN, task.ScorerRNN} {
+		tk, err := task.Build(task.Spec{
+			Name:           fmt.Sprintf("pipe-%s", kind),
+			Vocab:          24,
+			Phones:         10,
+			TrainSentences: 160,
+			TestUtterances: 2,
+			LMMinCount:     2,
+			Seed:           227,
+			Scorer:         kind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 4, 1000} {
+			for _, cfg := range []Config{{}, {PreemptivePruning: true}} {
+				t.Run(fmt.Sprintf("%s/k%d/preemptive=%v", kind, k, cfg.PreemptivePruning), func(t *testing.T) {
+					for i, u := range tk.Test {
+						dSync, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						pcfg := cfg
+						pcfg.Lookahead = k
+						dPipe, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, pcfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						p, err := NewPipeline(dPipe, tk.Scorer)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := dSync.Decode(tk.Scorer.ScoreUtterance(u.Frames))
+						got := p.Decode(u.Frames)
+						p.Close()
+						comparePipelineResults(t, fmt.Sprintf("utt %d", i), got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelineStreamMatchesBatch: a PipeStream fed feature chunks of awkward
+// sizes must finish with exactly the batch Pipeline result — including the
+// recurrent RNN, whose window state must carry across Push boundaries.
+func TestPipelineStreamMatchesBatch(t *testing.T) {
+	tk, err := task.Build(task.Spec{
+		Name:           "pipe-stream",
+		Vocab:          24,
+		Phones:         10,
+		TrainSentences: 160,
+		TestUtterances: 2,
+		LMMinCount:     2,
+		Seed:           228,
+		Scorer:         task.ScorerRNN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 7} {
+		for _, chunk := range []int{1, 3, 10} {
+			t.Run(fmt.Sprintf("k%d/chunk%d", k, chunk), func(t *testing.T) {
+				for i, u := range tk.Test {
+					cfg := Config{Lookahead: k}
+					dBatch, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pb, err := NewPipeline(dBatch, tk.Scorer)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := pb.Decode(u.Frames)
+					pb.Close()
+
+					dStream, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ps, err := NewPipeline(dStream, tk.Scorer)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s := ps.NewStream()
+					for base := 0; base < len(u.Frames); base += chunk {
+						end := base + chunk
+						if end > len(u.Frames) {
+							end = len(u.Frames)
+						}
+						if err := s.Push(u.Frames[base:end]); err != nil {
+							t.Fatal(err)
+						}
+						s.Partial() // exercised for panics; values vary by chunking
+					}
+					got, serr := s.Finish()
+					ps.Close()
+					if serr != nil {
+						t.Fatalf("utt %d: stream error %v", i, serr)
+					}
+					comparePipelineResults(t, fmt.Sprintf("utt %d", i), got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineStreamLookaheadZero: at lookahead 0 the PipeStream must be
+// byte-identical to the pre-pipeline solo streaming path — one synchronous
+// ScoreUtterance call per pushed chunk. For the RNN the two differ from the
+// batch path by design (the chunked solo path restarts the recurrence per
+// chunk); this test pins that documented behaviour in place.
+func TestPipelineStreamLookaheadZero(t *testing.T) {
+	tk, err := task.Build(task.Spec{
+		Name:           "pipe-k0",
+		Vocab:          24,
+		Phones:         10,
+		TrainSentences: 160,
+		TestUtterances: 1,
+		LMMinCount:     2,
+		Seed:           229,
+		Scorer:         task.ScorerRNN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := tk.Test[0].Frames
+	const chunk = 5
+
+	dSolo, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := dSolo.NewStream()
+	for base := 0; base < len(u); base += chunk {
+		end := base + chunk
+		if end > len(u) {
+			end = len(u)
+		}
+		for _, row := range tk.Scorer.ScoreUtterance(u[base:end]) {
+			if err := solo.Push(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := solo.Finish()
+
+	dPipe, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(dPipe, tk.Scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Lookahead() != 0 {
+		t.Fatalf("Lookahead() = %d, want 0", p.Lookahead())
+	}
+	s := p.NewStream()
+	for base := 0; base < len(u); base += chunk {
+		end := base + chunk
+		if end > len(u) {
+			end = len(u)
+		}
+		if err := s.Push(u[base:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, serr := s.Finish()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	comparePipelineResults(t, "k0 stream", got, want)
+}
+
+// TestPipelineCancel covers the cancellation drain: a decode cancelled
+// mid-utterance returns ctx.Err() plus the best partial over the frames it
+// actually searched — byte-identical to a synchronous decode of that prefix
+// — and the Pipeline is immediately reusable for a full decode afterwards
+// (nothing from the aborted utterance leaks through the ring).
+func TestPipelineCancel(t *testing.T) {
+	f := getFixture(t, 42)
+	frames := f.tk.Test[0].Frames
+	cfg := Config{PreemptivePruning: true, Lookahead: 4}
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(d, f.tk.Scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Already-cancelled context: zero frames searched, same as the sync path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.DecodeContext(ctx, frames)
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled decode error = %v, want context.Canceled", err)
+	}
+	if res.Stats.Frames != 0 {
+		t.Fatalf("pre-cancelled decode searched %d frames, want 0", res.Stats.Frames)
+	}
+
+	// Cancel racing the decode from another goroutine: whatever prefix was
+	// searched must match a synchronous decode of exactly those frames.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go cancel2()
+	res2, err2 := p.DecodeContext(ctx2, frames)
+	if err2 != nil {
+		if err2 != context.Canceled {
+			t.Fatalf("racing cancel error = %v, want context.Canceled or nil", err2)
+		}
+		n := res2.Stats.Frames
+		if n < 0 || n > len(frames) {
+			t.Fatalf("cancelled decode reports %d frames of %d", n, len(frames))
+		}
+		dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dRef.Decode(f.tk.Scorer.ScoreUtterance(frames[:n]))
+		comparePipelineResults(t, fmt.Sprintf("cancelled@%d", n), res2, want)
+	}
+
+	// The pipeline must come back clean for a full utterance.
+	dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dRef.Decode(f.tk.Scorer.ScoreUtterance(frames))
+	// Fresh pipeline decoder state comparison needs a cold memo on both
+	// sides; the reused dPipe memo is warm, so compare a fresh pipeline.
+	dFresh, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFresh, err := NewPipeline(dFresh, f.tk.Scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pFresh.Close()
+	got := pFresh.Decode(frames)
+	comparePipelineResults(t, "post-cancel decode", got, want)
+
+	// The reused pipeline still produces the same hypothesis (memo warmth
+	// changes probe statistics, never results).
+	got2 := p.Decode(frames)
+	if got2.Cost != want.Cost || !equalInt32s(got2.Words, want.Words) {
+		t.Fatalf("reused pipeline after cancel: (%v, %v), want (%v, %v)",
+			got2.Words, got2.Cost, want.Words, want.Cost)
+	}
+}
+
+// panicWindowScorer wraps a WindowScorer and panics on the Nth ScoreWindow
+// call — the producer-stage fault the pipeline must contain.
+type panicWindowScorer struct {
+	acoustic.WindowScorer
+	after int
+	calls int
+}
+
+func (p *panicWindowScorer) ScoreWindow(state acoustic.LaneState, frames, out [][]float32) {
+	p.calls++
+	if p.calls == p.after {
+		panic("injected scorer fault")
+	}
+	p.WindowScorer.ScoreWindow(state, frames, out)
+}
+
+// TestPipelineScorerPanic: a scorer panic on the producer goroutine must
+// surface as a decode error with the partial result over the frames scored
+// before the fault — never a crashed process or a wedged ring — and the
+// pipeline must recover for the next utterance.
+func TestPipelineScorerPanic(t *testing.T) {
+	f := getFixture(t, 42)
+	frames := f.tk.Test[0].Frames
+	ws, ok := f.tk.Scorer.(acoustic.WindowScorer)
+	if !ok {
+		t.Fatal("fixture scorer lacks window support")
+	}
+	faulty := &panicWindowScorer{WindowScorer: ws, after: 3}
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{Lookahead: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(d, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	res, derr := p.DecodeContext(context.Background(), frames)
+	if derr == nil {
+		t.Fatal("decode over a panicking scorer returned nil error")
+	}
+	if res == nil {
+		t.Fatal("decode over a panicking scorer returned nil result")
+	}
+	if res.Stats.Frames >= len(frames) {
+		t.Fatalf("faulty decode claims %d frames searched of %d", res.Stats.Frames, len(frames))
+	}
+
+	// Next utterance on the same pipeline succeeds (the fault was consumed).
+	res2, derr2 := p.DecodeContext(context.Background(), frames)
+	if derr2 != nil {
+		t.Fatalf("decode after recovered fault: %v", derr2)
+	}
+	dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dRef.Decode(f.tk.Scorer.ScoreUtterance(frames))
+	if res2.Cost != want.Cost || !equalInt32s(res2.Words, want.Words) {
+		t.Fatalf("post-fault decode: (%v, %v), want (%v, %v)", res2.Words, res2.Cost, want.Words, want.Cost)
+	}
+}
+
+// TestPipelineStreamPresetSwitch is the mid-utterance reconfiguration
+// contract: a DegradedPreset installed between Push calls takes effect on
+// the next pushed window — at a deterministic frame boundary — under both
+// lookahead 0 and lookahead > 0, byte-identical to a plain Stream switched
+// at the same frame. PipeStream.Push returns only after the search has
+// consumed every frame pushed so far, which is what pins the boundary.
+func TestPipelineStreamPresetSwitch(t *testing.T) {
+	f := getFixture(t, 42)
+	u := f.tk.Test[0].Frames
+	scores := f.scores[0]
+	half := len(u) / 2
+	base := Config{}
+	preset := base.DegradedPreset(5)
+
+	// Reference: a plain Stream switched at the same boundary.
+	dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dRef.NewStream()
+	for i, row := range scores {
+		if i == half {
+			dRef.SetSearchPreset(preset)
+		}
+		if err := ref.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.Finish()
+
+	// Control: no switch. The preset must actually change the search, or
+	// this test would pass vacuously.
+	dCtl, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := dCtl.NewStream()
+	for _, row := range scores {
+		if err := ctl.Push(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	noSwitch := ctl.Finish()
+	if want.Stats.Search() == noSwitch.Stats.Search() {
+		t.Fatal("degraded preset did not change the search; pick a harsher level")
+	}
+
+	for _, k := range []int{0, 8} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			cfg := base
+			cfg.Lookahead = k
+			d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := NewPipeline(d, f.tk.Scorer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			s := p.NewStream()
+			if err := s.Push(u[:half]); err != nil {
+				t.Fatal(err)
+			}
+			d.SetSearchPreset(preset)
+			if err := s.Push(u[half:]); err != nil {
+				t.Fatal(err)
+			}
+			got, serr := s.Finish()
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			comparePipelineResults(t, fmt.Sprintf("preset switch k%d", k), got, want)
+		})
+	}
+}
+
+// TestDifferentialLanesLookaheadVsSolo extends the lane-vs-solo wall to
+// score-ahead lane groups: utterances decoded through a lookahead lane group
+// must match solo decodes byte-for-byte, and the group must actually
+// amortize — strictly fewer scorer calls than frames.
+func TestDifferentialLanesLookaheadVsSolo(t *testing.T) {
+	tk, err := task.Build(task.Spec{
+		Name:           "lane-look-diff",
+		Vocab:          24,
+		Phones:         10,
+		TrainSentences: 160,
+		TestUtterances: 5,
+		LMMinCount:     2,
+		Seed:           231,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range diffConfigs {
+		if tc.cfg.RescueWidenings > 0 {
+			continue // lanes ride the stream path, which has no rescue snapshots
+		}
+		for _, width := range []int{1, 3} {
+			for _, k := range []int{2, 6} {
+				t.Run(fmt.Sprintf("%s/width%d/k%d", tc.name, width, k), func(t *testing.T) {
+					solo := make([]*Result, len(tk.Test))
+					soloSnaps := make([]*[]frameSnap, len(tk.Test))
+					for i, u := range tk.Test {
+						d, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						soloSnaps[i] = captureFrames(d)
+						solo[i] = d.Decode(tk.Scorer.ScoreUtterance(u.Frames))
+					}
+
+					g, err := NewLaneGroupLookahead(tk.Scorer, width, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					laneSnaps := make([]*[]frameSnap, len(tk.Test))
+					laneRes := make([]*Result, len(tk.Test))
+					lanes := map[*Lane]int{}
+					next := 0
+					for next < len(tk.Test) || len(lanes) > 0 {
+						for next < len(tk.Test) && g.Active() < g.Width() {
+							d, err := NewOnTheFly(tk.AM.G, tk.LMGraph.G, tc.cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							laneSnaps[next] = captureFrames(d)
+							l, err := g.Join(d)
+							if err != nil {
+								t.Fatal(err)
+							}
+							l.Push(tk.Test[next].Frames)
+							lanes[l] = next
+							next++
+						}
+						g.Step()
+						for l, utt := range lanes {
+							if l.Pending() == 0 {
+								laneRes[utt] = l.Finish()
+								delete(lanes, l)
+							}
+						}
+					}
+
+					for i := range tk.Test {
+						if laneRes[i] == nil {
+							t.Fatalf("utt %d: no lane result", i)
+						}
+						comparePipelineResults(t, fmt.Sprintf("utt %d", i), laneRes[i], solo[i])
+						compareSnaps(t, *laneSnaps[i], *soloSnaps[i])
+					}
+					st := g.Stats()
+					if k > 1 && st.ScorerCalls >= st.Frames {
+						t.Errorf("lookahead %d group made %d scorer calls over %d frames; expected amortization",
+							k, st.ScorerCalls, st.Frames)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLaneLookaheadDropPending: cancelling a lookahead lane mid-window
+// (frames scored ahead but not yet searched) must end the utterance at
+// exactly the frames the search consumed — the discarded rows can never
+// influence the result.
+func TestLaneLookaheadDropPending(t *testing.T) {
+	f := getFixture(t, 42)
+	g, err := NewLaneGroupLookahead(f.tk.Scorer, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := g.Join(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.tk.Test[0].Frames
+	l.Push(u)
+	// Step to the middle of a window: 6 frames consumed, ring holds 2 more.
+	for i := 0; i < 6; i++ {
+		if g.Step() == 0 {
+			t.Fatal("group idle before drop")
+		}
+	}
+	l.DropPending()
+	consumed := l.Frames()
+	if consumed != 6 {
+		t.Fatalf("lane consumed %d frames, want 6", consumed)
+	}
+	got := l.Finish()
+
+	dRef, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dRef.Decode(f.tk.Scorer.ScoreUtterance(u[:consumed]))
+	comparePipelineResults(t, "dropped lane", got, want)
+}
+
+// TestAllocsPipelineDecode gates the pipelined batch entry point: a warm
+// Pipeline decode — ring handoff, window scoring, search, Result
+// construction — must average below one object per frame, the same bound as
+// the synchronous Decode gate.
+func TestAllocsPipelineDecode(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true, Lookahead: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(d, f.tk.Scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	frames := f.tk.Test[0].Frames
+	p.Decode(frames) // warm the scratch pool, ring, memo and window state
+
+	allocs := testing.AllocsPerRun(10, func() { p.Decode(frames) })
+	perFrame := allocs / float64(len(frames))
+	if perFrame > 1 {
+		t.Errorf("pipelined Decode allocates %.2f objects/frame (%.0f per %d-frame utterance), want <= 1",
+			perFrame, allocs, len(frames))
+	}
+}
+
+// TestAllocsPipeStreamPush gates the pipelined incremental path: a full
+// PipeStream lifecycle must stay under two objects per frame — the Stream
+// gate's bound, with the scoring stage now included in the measurement.
+func TestAllocsPipeStreamPush(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{Lookahead: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(d, f.tk.Scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	frames := f.tk.Test[0].Frames
+	run := func() {
+		s := p.NewStream()
+		for base := 0; base < len(frames); base += 4 {
+			end := base + 4
+			if end > len(frames) {
+				end = len(frames)
+			}
+			_ = s.Push(frames[base:end])
+		}
+		s.Finish()
+	}
+	run() // warm
+
+	allocs := testing.AllocsPerRun(10, run)
+	perFrame := allocs / float64(len(frames))
+	if perFrame > 2 {
+		t.Errorf("pipelined stream lifecycle allocates %.2f objects/frame (%.0f per %d-frame utterance), want <= 2",
+			perFrame, allocs, len(frames))
+	}
+}
+
+// TestAllocsLaneStepLookahead extends the lane 0-allocation gate to
+// score-ahead groups: a warm join/push/step-to-drain/leave cycle with window
+// scoring must allocate nothing.
+func TestAllocsLaneStepLookahead(t *testing.T) {
+	f := getFixture(t, 42)
+	const width = 4
+	g, err := NewLaneGroupLookahead(f.tk.Scorer, width, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := make([]*OnTheFly, width)
+	for i := range decs {
+		if decs[i], err = NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lanes := make([]*Lane, width)
+	run := func() {
+		for i := 0; i < width; i++ {
+			l, err := g.Join(decs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.Push(f.tk.Test[i].Frames)
+			lanes[i] = l
+		}
+		for g.Step() > 0 {
+		}
+		for _, l := range lanes {
+			l.Leave()
+		}
+	}
+	run() // warm
+
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 0 {
+		t.Errorf("steady-state lookahead lane cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// FuzzPipelineLookahead fuzzes the pipelined-vs-synchronous equivalence over
+// lookahead depth, search configuration, chunking and utterance choice: for
+// any combination, the batch Pipeline must match the synchronous decode and
+// the PipeStream must match a solo Stream fed the same rows.
+func FuzzPipelineLookahead(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint8(3), uint8(0))
+	f.Add(uint8(4), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(8), uint8(6), uint8(7), uint8(2))
+	f.Add(uint8(12), uint8(3), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, kRaw, cfgRaw, chunkRaw, uttRaw uint8) {
+		fx := getFixture(t, 42)
+		k := 1 + int(kRaw)%12
+		tc := diffConfigs[int(cfgRaw)%len(diffConfigs)]
+		utt := int(uttRaw) % len(fx.tk.Test)
+		chunk := 1 + int(chunkRaw)%9
+		frames := fx.tk.Test[utt].Frames
+		scores := fx.scores[utt]
+
+		// Batch: pipelined vs synchronous (rescue configs included — both
+		// sides run the same widening machinery).
+		dSync, err := NewOnTheFly(fx.tk.AM.G, fx.tk.LMGraph.G, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dSync.Decode(scores)
+		cfg := tc.cfg
+		cfg.Lookahead = k
+		dPipe, err := NewOnTheFly(fx.tk.AM.G, fx.tk.LMGraph.G, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPipeline(dPipe, fx.tk.Scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Decode(frames)
+		p.Close()
+		comparePipelineResults(t, "batch", got, want)
+
+		// Stream: pipelined chunks vs a solo stream fed the same rows. Both
+		// sides get a cold decoder — memo warmth changes probe statistics.
+		dSolo, err := NewOnTheFly(fx.tk.AM.G, fx.tk.LMGraph.G, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo := dSolo.NewStream()
+		for _, row := range scores {
+			if err := solo.Push(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantS := solo.Finish()
+		dPipe2, err := NewOnTheFly(fx.tk.AM.G, fx.tk.LMGraph.G, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := NewPipeline(dPipe2, fx.tk.Scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p2.NewStream()
+		for base := 0; base < len(frames); base += chunk {
+			end := base + chunk
+			if end > len(frames) {
+				end = len(frames)
+			}
+			if err := s.Push(frames[base:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotS, serr := s.Finish()
+		p2.Close()
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		comparePipelineResults(t, "stream", gotS, wantS)
+	})
+}

@@ -131,7 +131,11 @@ type LaneScheduler struct {
 // scheduler is live: batched scoring owns the lane states.
 func NewLaneScheduler(amGraph, lmGraph *wfst.WFST, scorer acoustic.Scorer, cfg LaneConfig) (*LaneScheduler, error) {
 	cfg = cfg.withDefaults()
-	group, err := decoder.NewLaneGroup(scorer, cfg.Lanes)
+	// cfg.Decoder.Lookahead > 0 puts the group in score-ahead mode: each
+	// lane keeps a ring of that many pre-scored frames and one window-sized
+	// scorer call refills it, amortizing scorer dispatch across frames on
+	// top of the cross-lane batching. Results are byte-identical either way.
+	group, err := decoder.NewLaneGroupLookahead(scorer, cfg.Lanes, cfg.Decoder.Lookahead)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	unfold "repro"
+	"repro/internal/acoustic"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
 	"repro/internal/wfst"
@@ -103,6 +104,17 @@ func (m *model) dim() int {
 		return m.sys.Task.Senones.Dim
 	}
 	return m.rec.Senones.Dim
+}
+
+// scorer exposes the model's acoustic scorer. Callers that bypass score()
+// — the score-ahead pipeline path — must confine themselves to the
+// WindowScorer surface, whose per-caller state makes it safe without the
+// scorer lock.
+func (m *model) scorer() acoustic.Scorer {
+	if m.sys != nil {
+		return m.sys.Task.Scorer
+	}
+	return m.rec.Scorer
 }
 
 // score runs the model's acoustic scorer under its scorer lock.
