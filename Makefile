@@ -1,7 +1,7 @@
 # Developer entry points. Everything is stdlib-only Go; no tools beyond
 # the toolchain are required.
 
-.PHONY: all build test vet lint race race-soak lanes-soak pipeline-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
+.PHONY: all build test vet lint race race-soak lanes-soak pipeline-soak bias-soak fuzz-smoke cover check bench bench-report bench-check experiments loadgen-smoke format-compat chaos chaos-smoke
 
 # Soak durations and fuzz budget. The defaults are the pre-release deep
 # pass; the nightly workflow overrides them (RACE_SOAK=60s ... FUZZTIME=5m)
@@ -9,6 +9,7 @@
 RACE_SOAK ?= 20s
 LANES_SOAK ?= 20s
 PIPELINE_SOAK ?= 20s
+BIAS_SOAK ?= 20s
 FUZZTIME ?= 10s
 
 all: build test
@@ -66,6 +67,16 @@ lanes-soak:
 pipeline-soak:
 	go test -race -run TestSoakPipelineChurn -count=1 -v ./internal/decoder/ -pipeline-soak $(PIPELINE_SOAK)
 
+# Tenant-churn bias endurance pass: $(BIAS_SOAK) of many-tenant biased
+# batch + stream load through the lane scheduler under the race detector,
+# with tenants joining and getting evicted from the compiler cache and the
+# per-tenant offset-cache partitions mid-flight, every completed decode
+# checked against its biased solo reference (docs/BIASING.md). `make race`
+# runs the same test at its 2s default; run the deep pass for changes
+# touching internal/bias, the tenant partitions or the bias plumbing.
+bias-soak:
+	go test -race -run TestSoakBiasTenantChurn -count=1 -v ./internal/pool/ -bias-soak $(BIAS_SOAK)
+
 # Randomized corruption passes over the model-bundle loaders — the v2
 # directory format and the v3 flat container (docs/ROBUSTNESS.md,
 # docs/MODEL_STORE.md). Catches loader panics long fuzz runs would.
@@ -73,10 +84,12 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzLoadBundle$$' -fuzztime $(FUZZTIME) .
 	go test -run '^$$' -fuzz '^FuzzLoadBundleV3$$' -fuzztime $(FUZZTIME) .
 	go test -run '^$$' -fuzz '^FuzzPipelineLookahead$$' -fuzztime $(FUZZTIME) ./internal/decoder/
+	go test -run '^$$' -fuzz '^FuzzBiasCompiler$$' -fuzztime $(FUZZTIME) ./internal/bias/
 
 # Coverage floors: the decoder package (Viterbi hot path — token store,
-# pruning, rescue, streaming) must stay at least 80% covered; the serving
-# stack (server admission/handlers, pool, telemetry) at least 75% each.
+# pruning, rescue, streaming) and the bias compiler (per-tenant machines on
+# the request path) must stay at least 80% covered; the serving stack
+# (server admission/handlers, pool, telemetry) at least 75% each.
 # Profiles land under build/ (gitignored) so repeated runs never litter the
 # repo root; CI uploads them as artifacts.
 cover:
@@ -85,6 +98,11 @@ cover:
 	@go tool cover -func=build/cover.out | awk '/^total:/ { \
 		pct = $$3 + 0; \
 		printf "internal/decoder coverage: %.1f%% (floor 80%%)\n", pct; \
+		if (pct < 80) { print "FAIL: coverage below floor"; exit 1 } }'
+	go test -coverprofile=build/cover-bias.out ./internal/bias/
+	@go tool cover -func=build/cover-bias.out | awk '/^total:/ { \
+		pct = $$3 + 0; \
+		printf "internal/bias coverage: %.1f%% (floor 80%%)\n", pct; \
 		if (pct < 80) { print "FAIL: coverage below floor"; exit 1 } }'
 	@for pkg in server pool telemetry; do \
 		go test -coverprofile=build/cover-$$pkg.out ./internal/$$pkg/ > build/cover-$$pkg.log 2>&1 || \

@@ -27,9 +27,20 @@
 //
 // Examples:
 //
+// -tenants turns the run into a multi-tenant biased-decoding drill: each
+// request carries a bias block for one of N synthetic tenants, picked from
+// a Zipf distribution (-zipf) so a hot head of tenants dominates while a
+// long tail churns the server's per-tenant caches. Every tenant's phrase
+// list is deterministic in the task seed. The report gains a bias section
+// scraped from the server's /metrics: compile-cache hit rates and
+// per-tenant offset-cache hit rates, with zero 5xx as the pass bar.
+//
+// Examples:
+//
 //	unfold-loadgen -target http://localhost:8080 -rps 20 -duration 30s
 //	unfold-loadgen -multiplier 4 -duration 10s -max-p99 8s   # 4x capacity
 //	unfold-loadgen -rps 10 -duration 12s -chaos -chaos-bundle /models/vox.ufb3 -chaos-model vox
+//	unfold-loadgen -rps 20 -duration 15s -tenants 32 -zipf 1.2   # tenant churn
 package main
 
 import (
@@ -39,10 +50,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,6 +85,10 @@ type options struct {
 	chaosModel  string
 	chaosSeed   int64
 	chaosStalls int
+	tenants     int
+	zipfS       float64
+	biasWords   int
+	biasBonus   float64
 }
 
 // report is the JSON document the run prints.
@@ -85,7 +102,24 @@ type report struct {
 	LatencyMs     latencyReport  `json:"accepted_latency_ms"`
 	CapacityRPS   float64        `json:"calibrated_capacity_rps,omitempty"`
 	Chaos         *chaosReport   `json:"chaos,omitempty"`
+	Bias          *biasReport    `json:"bias,omitempty"`
 	FailureReason string         `json:"failure_reason,omitempty"`
+}
+
+// biasReport is the -tenants section: the server-side view of the tenant
+// churn, scraped from /metrics after the load stops.
+type biasReport struct {
+	Tenants            int     `json:"tenants"`
+	CompileHits        float64 `json:"compile_cache_hits"`
+	CompileMisses      float64 `json:"compile_cache_misses"`
+	CompileHitRate     float64 `json:"compile_cache_hit_rate"`
+	PartitionsResident float64 `json:"cache_partitions_resident"`
+	PartitionsDropped  float64 `json:"cache_partitions_dropped"`
+	// TenantHitRate is each tenant's offset-cache hit rate across the
+	// server's schedulers (unfold_bias_l2_tenant_* series). Only tenants
+	// the server still tracks appear; partitioned-away tails show up in
+	// PartitionsDropped instead.
+	TenantHitRate map[string]float64 `json:"tenant_cache_hit_rate"`
 }
 
 // chaosReport is the -chaos section of the run report: what was injected,
@@ -128,6 +162,10 @@ func main() {
 	flag.StringVar(&o.chaosModel, "chaos-model", "victim", "model name the server loaded -chaos-bundle under")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 42, "seed for the corruption site")
 	flag.IntVar(&o.chaosStalls, "chaos-stalls", 2, "stalled streaming clients to park on the server")
+	flag.IntVar(&o.tenants, "tenants", 0, "attach per-tenant bias blocks across this many synthetic tenants (0 = no biasing)")
+	flag.Float64Var(&o.zipfS, "zipf", 1.2, "Zipf exponent for the tenant pick (must be > 1; used with -tenants)")
+	flag.IntVar(&o.biasWords, "bias-phrases", 3, "bias phrases per tenant, drawn from the task's reference transcripts")
+	flag.Float64Var(&o.biasBonus, "bias-bonus", 0, "per-word bias bonus sent with each block (0 = server default)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -152,30 +190,82 @@ func specFor(name string, scale float64) (task.Spec, error) {
 }
 
 // utterances synthesizes the request payloads from the seeded generator.
-func utterances(o options) ([][][]float32, error) {
+// The second return is each test utterance's reference transcript as
+// surface words — the in-lexicon raw material -tenants builds phrase lists
+// from.
+func utterances(o options) ([][][]float32, [][]string, error) {
 	spec, err := specFor(o.taskName, o.scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if o.seed != 0 {
 		spec.Seed = o.seed
 	}
 	tk, err := task.Build(spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var utts [][][]float32
+	var refs [][]string
 	for _, u := range tk.Test {
 		frames := u.Frames
 		if o.uttFrames > 0 && len(frames) > o.uttFrames {
 			frames = frames[:o.uttFrames]
 		}
 		utts = append(utts, frames)
+		words := make([]string, len(u.Words))
+		for i, id := range u.Words {
+			words[i] = tk.Lex.Words[id]
+		}
+		refs = append(refs, words)
 	}
 	if len(utts) == 0 {
-		return nil, fmt.Errorf("task %s produced no test utterances", spec.Name)
+		return nil, nil, fmt.Errorf("task %s produced no test utterances", spec.Name)
 	}
-	return utts, nil
+	return utts, refs, nil
+}
+
+// tenantBlocks builds each synthetic tenant's pre-marshaled bias block.
+// Tenant i's phrases are single words cycled from the reference
+// transcripts starting at utterance i, so neighboring tenants bias
+// different vocabulary and every block is deterministic in the task seed.
+func tenantBlocks(o options, refs [][]string) [][]byte {
+	blocks := make([][]byte, o.tenants)
+	for ti := range blocks {
+		var phrases []string
+		seen := map[string]bool{}
+		for w := 0; len(phrases) < o.biasWords && w < o.biasWords*4; w++ {
+			ref := refs[(ti+w)%len(refs)]
+			if len(ref) == 0 {
+				continue
+			}
+			word := ref[(ti+w)%len(ref)]
+			if !seen[word] {
+				seen[word] = true
+				phrases = append(phrases, word)
+			}
+		}
+		block := map[string]any{
+			"tenant":  fmt.Sprintf("tenant-%03d", ti),
+			"phrases": phrases,
+		}
+		if o.biasBonus > 0 {
+			block["bonus"] = o.biasBonus
+		}
+		blocks[ti], _ = json.Marshal(block)
+	}
+	return blocks
+}
+
+// withBias splices a pre-marshaled bias block into a pre-marshaled
+// /v1/recognize body (which always ends in '}'), so the hot launch path
+// never re-marshals feature frames.
+func withBias(body, block []byte) []byte {
+	out := make([]byte, 0, len(body)+len(block)+9)
+	out = append(out, body[:len(body)-1]...)
+	out = append(out, `,"bias":`...)
+	out = append(out, block...)
+	return append(out, '}')
 }
 
 // waitReady polls /healthz until the server reports ready.
@@ -268,7 +358,8 @@ func oneBatch(client *http.Client, o options, tl *tally, body []byte) {
 }
 
 // oneStream runs a two-chunk NDJSON stream and classifies the final line.
-func oneStream(client *http.Client, o options, tl *tally, frames [][]float32) {
+// A non-nil biasBlock rides on the first line, biasing the whole stream.
+func oneStream(client *http.Client, o options, tl *tally, frames [][]float32, biasBlock []byte) {
 	start := time.Now()
 	pr, pw := io.Pipe()
 	req, err := http.NewRequest(http.MethodPost, o.target+"/v1/stream", pr)
@@ -283,7 +374,11 @@ func oneStream(client *http.Client, o options, tl *tally, frames [][]float32) {
 		if half == 0 {
 			half = len(frames)
 		}
-		enc.Encode(map[string][][]float32{"frames": frames[:half]})
+		first := map[string]any{"frames": frames[:half]}
+		if biasBlock != nil {
+			first["bias"] = json.RawMessage(biasBlock)
+		}
+		enc.Encode(first)
 		if half < len(frames) {
 			enc.Encode(map[string][][]float32{"frames": frames[half:]})
 		}
@@ -320,6 +415,77 @@ func oneStream(client *http.Client, o options, tl *tally, frames [][]float32) {
 	default:
 		tl.record("ok", time.Since(start), final.Degraded > 0)
 	}
+}
+
+// scrapeBias pulls the server's unfold_bias_* series from /metrics into
+// the report: compile-cache traffic, partition residency/churn, and each
+// still-tracked tenant's offset-cache hit rate (summed across the pool,
+// lane and stream schedulers).
+func scrapeBias(client *http.Client, o options) (*biasReport, error) {
+	resp, err := client.Get(o.target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	br := &biasReport{Tenants: o.tenants, TenantHitRate: map[string]float64{}}
+	hits, misses := map[string]float64{}, map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil {
+			continue
+		}
+		series := line[:sp]
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name, labels = series[:i], series[i:]
+		}
+		tenant := ""
+		if i := strings.Index(labels, `tenant="`); i >= 0 {
+			rest := labels[i+len(`tenant="`):]
+			if j := strings.IndexByte(rest, '"'); j >= 0 {
+				tenant = rest[:j]
+			}
+		}
+		switch name {
+		case "unfold_bias_compile_cache_hits_total":
+			br.CompileHits += v
+		case "unfold_bias_compile_cache_misses_total":
+			br.CompileMisses += v
+		case "unfold_bias_tenant_partitions":
+			br.PartitionsResident += v
+		case "unfold_bias_tenant_partitions_dropped_total":
+			br.PartitionsDropped += v
+		case "unfold_bias_l2_tenant_hits_total":
+			hits[tenant] += v
+		case "unfold_bias_l2_tenant_misses_total":
+			misses[tenant] += v
+		}
+	}
+	for t, h := range hits {
+		if tot := h + misses[t]; tot > 0 {
+			br.TenantHitRate[t] = h / tot
+		}
+	}
+	for t, m := range misses {
+		if _, ok := hits[t]; !ok && m > 0 {
+			br.TenantHitRate[t] = 0
+		}
+	}
+	if tot := br.CompileHits + br.CompileMisses; tot > 0 {
+		br.CompileHitRate = br.CompileHits / tot
+	}
+	return br, nil
 }
 
 // modelState fetches one model's lifecycle state from /v1/models.
@@ -470,7 +636,10 @@ func run(o options) error {
 	if o.chaos && o.chaosBundle == "" {
 		return fmt.Errorf("-chaos requires -chaos-bundle (the file to corrupt)")
 	}
-	utts, err := utterances(o)
+	if o.tenants > 0 && o.zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (got %v)", o.zipfS)
+	}
+	utts, refs, err := utterances(o)
 	if err != nil {
 		return err
 	}
@@ -491,6 +660,18 @@ func run(o options) error {
 			"utterances": []map[string]any{{"frames": frames}},
 			"timeout":    o.timeout.String(),
 		})
+	}
+
+	// The tenant pick runs in the single-threaded launch loop (rand.Zipf is
+	// not goroutine-safe) and is deterministic in the task seed, so a run
+	// replays the same tenant sequence.
+	var biasBlocks [][]byte
+	var pickTenant func() int
+	if o.tenants > 0 {
+		biasBlocks = tenantBlocks(o, refs)
+		rng := rand.New(rand.NewSource(o.seed*7919 + 12345))
+		zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(o.tenants-1))
+		pickTenant = func() int { return int(zipf.Uint64()) }
 	}
 
 	rep := report{Outcomes: map[string]int{}}
@@ -555,16 +736,28 @@ func run(o options) error {
 		tl.sent.Add(1)
 		select {
 		case sem <- struct{}{}:
+			ti := -1
+			if pickTenant != nil {
+				ti = pickTenant()
+			}
 			wg.Add(1)
-			go func(i int) {
+			go func(i, ti int) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				if streamEvery > 0 && i%streamEvery == streamEvery-1 {
-					oneStream(client, o, tl, utts[i%len(utts)])
+					var block []byte
+					if ti >= 0 {
+						block = biasBlocks[ti]
+					}
+					oneStream(client, o, tl, utts[i%len(utts)], block)
 				} else {
-					oneBatch(client, o, tl, bodies[i%len(bodies)])
+					body := bodies[i%len(bodies)]
+					if ti >= 0 {
+						body = withBias(body, biasBlocks[ti])
+					}
+					oneBatch(client, o, tl, body)
 				}
-			}(i)
+			}(i, ti)
 		default:
 			tl.record("client_overrun", 0, false)
 		}
@@ -589,6 +782,10 @@ func run(o options) error {
 	rep.Duration = elapsed.String()
 	if elapsed > 0 {
 		rep.AchievedRPS = float64(rep.Sent) / elapsed.Seconds()
+	}
+	var biasScrapeErr error
+	if o.tenants > 0 {
+		rep.Bias, biasScrapeErr = scrapeBias(client, o)
 	}
 
 	// The CI contract: 5xx, transport failures and unbounded p99 are run
@@ -616,6 +813,10 @@ func run(o options) error {
 		rep.FailureReason = fmt.Sprintf("accepted p99 %.1fms exceeds bound %v", rep.LatencyMs.P99, o.maxP99)
 	case rep.Outcomes["ok"] == 0:
 		rep.FailureReason = "no request succeeded"
+	case biasScrapeErr != nil:
+		rep.FailureReason = fmt.Sprintf("could not scrape bias metrics: %v", biasScrapeErr)
+	case o.tenants > 0 && len(rep.Bias.TenantHitRate) == 0:
+		rep.FailureReason = "no per-tenant bias cache series in /metrics — tenant blocks were not honored"
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,203 @@
+// Package bias compiles per-tenant phrase lists into small weighted word
+// acceptors — the third machine of the AM ∘ LM ∘ Bias composition. The
+// decoder walks a compiled Machine word-synchronously: every cross-word arc
+// that resolves an LM transition also advances the bias state, collecting a
+// negative weight (a bonus) for every word that extends a listed phrase.
+// This is the personalized-LM direction of the Facebook dynamic-decoding
+// paper (PAPERS.md): contact names, hotwords and domain phrases composed at
+// request time instead of baked into the LM.
+//
+// Machine semantics: the compiler builds a word-ID trie over the phrase
+// list. Match arcs carry weight -bonus per word. Every non-root node has a
+// failure (input-epsilon) arc back to the root whose weight repays the
+// pending (not yet locked-in) bonus, and reaching the end of a phrase
+// resets the pending amount to zero — so a hypothesis only keeps a discount
+// for phrases it completes, and abandoning a partial match is cost-neutral.
+// Every state is final with its pending amount as the exit weight, so an
+// utterance that ends mid-phrase repays the partial discount too. The root
+// has no failure arc (unmatched words loop there for free), which is what
+// keeps the machine epsilon-cycle-free by construction.
+//
+// Simplification relative to full Aho–Corasick matching: failure arcs go
+// straight to the root rather than to the longest proper suffix, so a
+// phrase starting inside another match is not rediscovered. For short
+// request-scoped hotword lists this trades a negligible recall loss for a
+// machine the fuzzer can verify in one pass.
+package bias
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// MaxStates caps a compiled machine at 2^12 states: the decoder packs the
+// bias state into the low 12 bits of its 64-bit composed search key
+// (26 AM / 26 LM / 12 bias). One trie node per distinct phrase-prefix word,
+// so this comfortably fits several hundred multi-word phrases.
+const MaxStates = 1 << 12
+
+// Lookup maps a written word form to its LM word ID. Phrases containing
+// words the lookup does not know are skipped (and counted), never guessed.
+type Lookup func(word string) (int32, bool)
+
+// Machine is a compiled, immutable bias acceptor. It is safe for concurrent
+// use by any number of decoders: compilation freezes the underlying WFST
+// and Advance only reads it.
+type Machine struct {
+	g        *wfst.WFST
+	maxBonus semiring.Weight
+	phrases  int
+	skipped  int
+}
+
+// Compile builds the bias machine for a phrase list. Each phrase is split
+// on Unicode whitespace; bonus is the per-word cost discount (≥ 0, finite)
+// applied to every word of a matched phrase. Empty phrases and phrases with
+// out-of-vocabulary words are skipped and counted, duplicates collapse into
+// the same trie path. An empty (or fully skipped) list compiles to the
+// one-state identity machine, which the decoder composes with zero effect.
+func Compile(phrases []string, bonus float32, lookup Lookup) (*Machine, error) {
+	if !(bonus >= 0) || bonus > 1e6 { // rejects NaN, negatives and absurd magnitudes
+		return nil, fmt.Errorf("bias: bonus must be in [0, 1e6], got %v", bonus)
+	}
+	if lookup == nil {
+		return nil, fmt.Errorf("bias: nil word lookup")
+	}
+
+	// Trie over word IDs. Node 0 is the root. children uses a per-node map
+	// keyed by word ID; insertion order over (phrase, word) is deterministic,
+	// and SortByInput canonicalizes arc order afterwards, so identical inputs
+	// compile to identical machines.
+	type node struct {
+		children map[int32]int32
+		end      bool
+	}
+	nodes := []node{{children: map[int32]int32{}}}
+	compiled, skipped := 0, 0
+	var ids []int32
+phrases:
+	for _, p := range phrases {
+		words := strings.Fields(p)
+		if len(words) == 0 {
+			skipped++
+			continue
+		}
+		ids = ids[:0]
+		for _, w := range words {
+			id, ok := lookup(w)
+			if !ok || id <= wfst.Epsilon {
+				skipped++
+				continue phrases
+			}
+			ids = append(ids, id)
+		}
+		cur := int32(0)
+		for _, id := range ids {
+			next, ok := nodes[cur].children[id]
+			if !ok {
+				if len(nodes) >= MaxStates {
+					return nil, fmt.Errorf("bias: phrase list needs more than %d trie states", MaxStates)
+				}
+				next = int32(len(nodes))
+				nodes = append(nodes, node{children: map[int32]int32{}})
+				nodes[cur].children[id] = next
+			}
+			cur = next
+		}
+		nodes[cur].end = true
+		compiled++
+	}
+
+	// pending[s] is the bonus a hypothesis at s has collected since the last
+	// completed phrase on its path — the amount its failure arc and final
+	// weight must repay. Children are processed parent-before-child because
+	// trie node IDs are allocated in creation order (parent < child).
+	w := semiring.Weight(bonus)
+	pending := make([]semiring.Weight, len(nodes))
+	maxBonus := semiring.One
+	b := wfst.NewBuilder()
+	for range nodes {
+		b.AddState()
+	}
+	b.SetStart(0)
+	for s := range nodes {
+		for id, child := range nodes[s].children {
+			if nodes[child].end {
+				pending[child] = 0
+			} else {
+				pending[child] = pending[s] + w
+			}
+			if pending[s]+w > maxBonus {
+				maxBonus = pending[s] + w
+			}
+			b.AddArc(wfst.StateID(s), wfst.Arc{In: id, Out: id, W: -w, Next: wfst.StateID(child)})
+		}
+		if s != 0 {
+			b.AddArc(wfst.StateID(s), wfst.Arc{In: wfst.Epsilon, Out: wfst.Epsilon, W: pending[s], Next: 0})
+		}
+		b.SetFinal(wfst.StateID(s), pending[s])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bias: %w", err)
+	}
+	g.SortByInput()
+	return &Machine{g: g, maxBonus: maxBonus, phrases: compiled, skipped: skipped}, nil
+}
+
+// Start returns the machine's start (root) state.
+func (m *Machine) Start() wfst.StateID { return m.g.Start() }
+
+// NumStates returns the state count (always in [1, MaxStates]).
+func (m *Machine) NumStates() int { return m.g.NumStates() }
+
+// Phrases returns the number of phrases compiled into the machine.
+func (m *Machine) Phrases() int { return m.phrases }
+
+// Skipped returns the number of phrases dropped (empty or out-of-vocabulary).
+func (m *Machine) Skipped() int { return m.skipped }
+
+// MaxBonus returns the largest single pending discount any path can hold —
+// the slack the decoder adds to its preemptive-pruning threshold so a
+// hypothesis about to complete a phrase is never pruned for a cost its
+// bonus would have repaid. Zero for the identity machine.
+func (m *Machine) MaxBonus() semiring.Weight { return m.maxBonus }
+
+// Final returns the exit weight of state s: the pending (unfinished-match)
+// discount the hypothesis repays when the utterance ends there. Every state
+// is final, so composing with a bias machine never removes final states.
+func (m *Machine) Final(s wfst.StateID) semiring.Weight { return m.g.Final(s) }
+
+// Graph exposes the underlying acceptor for tests and tooling.
+func (m *Machine) Graph() *wfst.WFST { return m.g }
+
+// Advance consumes one emitted word from state s: a matching arc extends
+// the phrase (collecting its -bonus), otherwise the failure arc repays the
+// pending discount and the word is retried from the root. Unmatched words
+// stay at the root for free. The returned weight is the total cost delta
+// (≤ 0 on a match from the root, ≥ 0 on an abandoned partial match). It
+// never allocates and terminates in at most two probes.
+func (m *Machine) Advance(s wfst.StateID, word int32) (wfst.StateID, semiring.Weight) {
+	if word == wfst.Epsilon {
+		return s, semiring.One
+	}
+	acc := semiring.One
+	for {
+		if idx, ok := m.g.FindArc(s, word, nil); ok {
+			a := m.g.Arcs(s)[idx]
+			return a.Next, acc + a.W
+		}
+		if s == 0 {
+			return s, acc
+		}
+		bo, ok := m.g.BackoffArc(s)
+		if !ok { // unreachable by construction; keep Advance total anyway
+			return 0, acc
+		}
+		acc += bo.W
+		s = bo.Next
+	}
+}

@@ -1,0 +1,321 @@
+package bias
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// testLookup is a tiny deterministic vocabulary: "w1".."w99" map to IDs
+// 1..99, everything else is out of vocabulary.
+func testLookup(word string) (int32, bool) {
+	var id int32
+	if _, err := fmt.Sscanf(word, "w%d", &id); err != nil || id < 1 || id > 99 {
+		return 0, false
+	}
+	return id, true
+}
+
+func mustCompile(t *testing.T, phrases []string, bonus float32) *Machine {
+	t.Helper()
+	m, err := Compile(phrases, bonus, testLookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// walk advances the machine over a word sequence and returns the summed
+// weight plus the final weight — the total cost delta an utterance ending
+// after those words would see.
+func walk(m *Machine, words ...int32) semiring.Weight {
+	s := m.Start()
+	total := semiring.One
+	for _, w := range words {
+		var dw semiring.Weight
+		s, dw = m.Advance(s, w)
+		total += dw
+	}
+	return total + m.Final(s)
+}
+
+func TestEmptyMachineIsIdentity(t *testing.T) {
+	for _, phrases := range [][]string{nil, {}, {""}, {"   "}, {"unknownword"}} {
+		m := mustCompile(t, phrases, 2)
+		if m.NumStates() != 1 {
+			t.Errorf("phrases %q: %d states, want 1 (root only)", phrases, m.NumStates())
+		}
+		if m.MaxBonus() != 0 {
+			t.Errorf("phrases %q: MaxBonus %v, want 0", phrases, m.MaxBonus())
+		}
+		if m.Final(m.Start()) != 0 {
+			t.Errorf("phrases %q: root final weight %v, want 0", phrases, m.Final(m.Start()))
+		}
+		for _, w := range []int32{0, 1, 7, 99} {
+			s, dw := m.Advance(m.Start(), w)
+			if s != m.Start() || dw != 0 {
+				t.Errorf("phrases %q word %d: advance -> (%d, %v), want (root, 0)", phrases, w, s, dw)
+			}
+		}
+	}
+}
+
+func TestPhraseBonusAccounting(t *testing.T) {
+	const bonus = 1.5
+	m := mustCompile(t, []string{"w1 w2 w3", "w5"}, bonus)
+
+	// A completed 3-word phrase keeps -3*bonus.
+	if got, want := walk(m, 1, 2, 3), semiring.Weight(-3*bonus); got != want {
+		t.Errorf("full match: %v, want %v", got, want)
+	}
+	// A single-word phrase keeps -bonus.
+	if got, want := walk(m, 5), semiring.Weight(-bonus); got != want {
+		t.Errorf("single-word match: %v, want %v", got, want)
+	}
+	// An abandoned partial match is cost-neutral: the failure arc (or the
+	// final weight) repays the pending discount.
+	if got := walk(m, 1, 2, 9); got != 0 {
+		t.Errorf("abandoned match via failure arc: %v, want 0", got)
+	}
+	if got := walk(m, 1, 2); got != 0 {
+		t.Errorf("abandoned match via final weight: %v, want 0", got)
+	}
+	// Unmatched words are free.
+	if got := walk(m, 9, 8, 7); got != 0 {
+		t.Errorf("unmatched words: %v, want 0", got)
+	}
+	// Abandoning a partial match onto a word that restarts a phrase at the
+	// root still collects the new phrase's discount.
+	if got, want := walk(m, 1, 2, 5), semiring.Weight(-bonus); got != want {
+		t.Errorf("fail-then-rematch: %v, want %v", got, want)
+	}
+	if m.MaxBonus() != semiring.Weight(3*bonus) {
+		t.Errorf("MaxBonus %v, want %v", m.MaxBonus(), semiring.Weight(3*bonus))
+	}
+}
+
+func TestPrefixPhraseLocksItsBonus(t *testing.T) {
+	// "w1 w2" is a phrase AND a prefix of "w1 w2 w3": completing the short
+	// phrase locks its discount even if the long one is then abandoned.
+	m := mustCompile(t, []string{"w1 w2", "w1 w2 w3"}, 1)
+	if got, want := walk(m, 1, 2, 9), semiring.Weight(-2); got != want {
+		t.Errorf("prefix locked: %v, want %v", got, want)
+	}
+	if got, want := walk(m, 1, 2, 3), semiring.Weight(-3); got != want {
+		t.Errorf("long phrase: %v, want %v", got, want)
+	}
+}
+
+func TestCompileCountsAndDedup(t *testing.T) {
+	m := mustCompile(t, []string{"w1 w2", "w1 w2", "", "w1 nope", "w3"}, 1)
+	if m.Phrases() != 3 { // both copies of "w1 w2" count as compiled
+		t.Errorf("Phrases() = %d, want 3", m.Phrases())
+	}
+	if m.Skipped() != 2 {
+		t.Errorf("Skipped() = %d, want 2", m.Skipped())
+	}
+	if m.NumStates() != 4 { // root, w1, w1-w2, w3
+		t.Errorf("NumStates() = %d, want 4", m.NumStates())
+	}
+}
+
+func TestCompileRejectsBadBonus(t *testing.T) {
+	for _, bonus := range []float32{-1, float32(nan()), 1e7} {
+		if _, err := Compile([]string{"w1"}, bonus, testLookup); err == nil {
+			t.Errorf("bonus %v: want error", bonus)
+		}
+	}
+	if _, err := Compile([]string{"w1"}, 1, nil); err == nil {
+		t.Error("nil lookup: want error")
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func TestCompileStateCap(t *testing.T) {
+	// One long phrase of distinct words creates one node per word; a list
+	// that needs more than MaxStates nodes must error, not truncate.
+	words := make([]string, 0, 99)
+	for i := 1; i < 100; i++ {
+		words = append(words, fmt.Sprintf("w%d", i))
+	}
+	phrase := strings.Join(words, " ")
+	var phrases []string
+	for i := 0; i < MaxStates/len(words)+2; i++ {
+		// Distinct prefixes: wN + the long tail, so paths don't share nodes.
+		phrases = append(phrases, fmt.Sprintf("w%d %s", i%99+1, phrase))
+	}
+	if _, err := Compile(phrases, 1, testLookup); err == nil {
+		t.Fatalf("%d phrases x %d words compiled under the %d-state cap", len(phrases), len(words), MaxStates)
+	}
+	// A list just under the cap still compiles.
+	if _, err := Compile([]string{phrase}, 1, testLookup); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineShapeInvariants(t *testing.T) {
+	m := mustCompile(t, []string{"w1 w2 w3", "w1 w5", "w7"}, 0.5)
+	checkShape(t, m)
+}
+
+// checkShape asserts the structural invariants every compiled machine must
+// satisfy; the fuzzer calls it on arbitrary inputs.
+func checkShape(t *testing.T, m *Machine) {
+	t.Helper()
+	g := m.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid machine: %v", err)
+	}
+	if !g.InSorted() {
+		t.Fatal("machine not input-sorted")
+	}
+	if g.Start() != 0 {
+		t.Fatalf("start state %d, want 0", g.Start())
+	}
+	if n := g.NumStates(); n < 1 || n > MaxStates {
+		t.Fatalf("%d states, want [1, %d]", n, MaxStates)
+	}
+	for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+		if !g.IsFinal(s) {
+			t.Fatalf("state %d not final; every bias state must be final", s)
+		}
+		if fw := g.Final(s); !(fw >= 0) || fw > m.MaxBonus() {
+			t.Fatalf("state %d final weight %v outside [0, MaxBonus=%v]", s, fw, m.MaxBonus())
+		}
+		for _, a := range g.Arcs(s) {
+			if a.In == wfst.Epsilon {
+				// Failure arcs: only from non-root, always straight to the
+				// root, non-negative repayment — epsilon-cycle-free by
+				// construction.
+				if s == 0 {
+					t.Fatal("root has an epsilon arc")
+				}
+				if a.Next != 0 {
+					t.Fatalf("state %d epsilon arc targets %d, want root", s, a.Next)
+				}
+				if !(a.W >= 0) {
+					t.Fatalf("state %d failure arc weight %v, want >= 0", s, a.W)
+				}
+			} else {
+				if !(-a.W >= 0) || a.Next <= 0 || int(a.Next) >= g.NumStates() {
+					t.Fatalf("state %d match arc %+v malformed", s, a)
+				}
+			}
+		}
+	}
+	if !(m.MaxBonus() >= 0) {
+		t.Fatalf("MaxBonus %v, want >= 0", m.MaxBonus())
+	}
+}
+
+func TestCompilerCacheHitsMissesEvictions(t *testing.T) {
+	c := NewCompiler(testLookup, CompilerConfig{Entries: 2})
+	p1 := []string{"w1 w2"}
+	p2 := []string{"w3"}
+	p3 := []string{"w4"}
+
+	m1, err := c.Get("alice", p1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1b, err := c.Get("alice", p1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m1b {
+		t.Error("second Get did not return the cached machine")
+	}
+	// Same phrases, different tenant: separate cache entry (tenant-keyed).
+	if _, err := c.Get("bob", p1, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 0 {
+		t.Errorf("stats %+v, want 1 hit / 2 misses / 0 evictions", st)
+	}
+
+	// Different bonus is a different machine; three more inserts overflow
+	// the 2-entry cap and evict the least recently used each time.
+	if _, err := c.Get("alice", p1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("alice", p2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("alice", p3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want cap 2", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 3 {
+		t.Errorf("evictions %d, want 3", st.Evictions)
+	}
+
+	ts := c.TenantStats()
+	if ts["alice"].Misses != 4 || ts["alice"].Hits != 1 {
+		t.Errorf("alice counters %+v, want 4 misses / 1 hit", ts["alice"])
+	}
+	if ts["bob"].Misses != 1 || ts["bob"].Hits != 0 {
+		t.Errorf("bob counters %+v, want 1 miss / 0 hits", ts["bob"])
+	}
+}
+
+func TestCompilerErrorNotCached(t *testing.T) {
+	c := NewCompiler(testLookup, CompilerConfig{Entries: 4})
+	if _, err := c.Get("alice", []string{"w1"}, -1); err == nil {
+		t.Fatal("want compile error for negative bonus")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed compile cached: %d entries", c.Len())
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses %d, want 1", st.Misses)
+	}
+}
+
+func TestCompilerTenantStatsCardinalityCap(t *testing.T) {
+	c := NewCompiler(testLookup, CompilerConfig{Entries: 4, TenantStats: 2})
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get(fmt.Sprintf("tenant-%d", i), []string{"w1"}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := c.TenantStats()
+	if len(ts) != 3 { // tenant-0, tenant-1, _overflow
+		t.Fatalf("tracking %d tenant series, want 3 (cap 2 + overflow): %v", len(ts), ts)
+	}
+	if ts[OverflowTenant].Misses != 3 {
+		t.Errorf("overflow bucket %+v, want 3 misses", ts[OverflowTenant])
+	}
+}
+
+func TestCompilerConcurrent(t *testing.T) {
+	c := NewCompiler(testLookup, CompilerConfig{Entries: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tenant := fmt.Sprintf("t%d", (g+i)%4)
+				phrases := []string{fmt.Sprintf("w%d w%d", i%9+1, g+1)}
+				if _, err := c.Get(tenant, phrases, float32(g%3)+0.5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("lookups %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}

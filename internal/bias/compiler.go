@@ -1,0 +1,205 @@
+package bias
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// CompilerConfig sizes a Compiler.
+type CompilerConfig struct {
+	// Entries caps the number of compiled machines kept across all tenants
+	// (default 256). One machine is a few KB, so the default holds a busy
+	// fleet's working set in ~1 MB.
+	Entries int
+	// TenantStats caps the number of tenants with individually tracked
+	// hit/miss counters (default 1024). Later tenants aggregate into the
+	// OverflowTenant bucket so a tenant-churn attack cannot grow the stats
+	// map without bound.
+	TenantStats int
+}
+
+// OverflowTenant is the aggregate stats bucket for tenants past the
+// TenantStats cardinality cap.
+const OverflowTenant = "_overflow"
+
+func (c CompilerConfig) withDefaults() CompilerConfig {
+	if c.Entries <= 0 {
+		c.Entries = 256
+	}
+	if c.TenantStats <= 0 {
+		c.TenantStats = 1024
+	}
+	return c
+}
+
+// CompilerStats is a snapshot of the compiled-machine cache counters.
+type CompilerStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// TenantCounters is one tenant's share of the cache traffic.
+type TenantCounters struct {
+	Hits, Misses uint64
+}
+
+type compKey struct {
+	tenant string
+	fp     uint64
+}
+
+type compEntry struct {
+	key compKey
+	m   *Machine
+}
+
+// Compiler is the request-time bias compiler: a tenant-keyed LRU of
+// compiled machines in front of Compile. The cache key is the tenant plus
+// a fingerprint of (phrases, bonus), so a tenant re-sending its stable
+// phrase list hits on every request after the first, while a profile edit
+// recompiles immediately. Safe for concurrent use.
+type Compiler struct {
+	lookup Lookup
+	cfg    CompilerConfig
+
+	mu      sync.Mutex
+	entries map[compKey]*list.Element // of *compEntry
+	order   *list.List                // front = most recent
+	hits    uint64
+	misses  uint64
+	evicted uint64
+	tenants map[string]*TenantCounters
+}
+
+// NewCompiler builds a Compiler over the given word lookup.
+func NewCompiler(lookup Lookup, cfg CompilerConfig) *Compiler {
+	return &Compiler{
+		lookup:  lookup,
+		cfg:     cfg.withDefaults(),
+		entries: map[compKey]*list.Element{},
+		order:   list.New(),
+		tenants: map[string]*TenantCounters{},
+	}
+}
+
+// fingerprint hashes a phrase list and bonus into the cache key. FNV-1a
+// with length-prefixed phrases, so list boundaries can't alias.
+func fingerprint(phrases []string, bonus float32) uint64 {
+	h := fnv.New64a()
+	var buf [10]byte
+	for _, p := range phrases {
+		n := strconv.AppendUint(buf[:0], uint64(len(p)), 10)
+		h.Write(append(n, ':'))
+		h.Write([]byte(p))
+	}
+	var bb [4]byte
+	bits := math.Float32bits(bonus)
+	bb[0], bb[1], bb[2], bb[3] = byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24)
+	h.Write(bb[:])
+	return h.Sum64()
+}
+
+// tenantCounters returns tenant's stat record, creating it under the
+// cardinality cap and falling back to the overflow bucket past it.
+func (c *Compiler) tenantCounters(tenant string) *TenantCounters {
+	if tc, ok := c.tenants[tenant]; ok {
+		return tc
+	}
+	if len(c.tenants) >= c.cfg.TenantStats {
+		tenant = OverflowTenant
+		if tc, ok := c.tenants[tenant]; ok {
+			return tc
+		}
+	}
+	tc := &TenantCounters{}
+	c.tenants[tenant] = tc
+	return tc
+}
+
+// Get returns the compiled machine for (tenant, phrases, bonus), compiling
+// and caching it on a miss. Compile errors are not cached; a tenant that
+// keeps sending an oversized list pays the (cheap, bounded) failure each
+// time instead of poisoning an LRU slot.
+func (c *Compiler) Get(tenant string, phrases []string, bonus float32) (*Machine, error) {
+	key := compKey{tenant: tenant, fp: fingerprint(phrases, bonus)}
+	c.mu.Lock()
+	tc := c.tenantCounters(tenant)
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		tc.Hits++
+		m := el.Value.(*compEntry).m
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.misses++
+	tc.Misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock: a slow compile for one tenant must not
+	// stall every other tenant's cache hits. Two racing requests for the
+	// same new key both compile; the second insert wins harmlessly
+	// (machines for identical inputs are identical).
+	m, err := Compile(phrases, bonus, c.lookup)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*compEntry).m = m
+	} else {
+		c.entries[key] = c.order.PushFront(&compEntry{key: key, m: m})
+		for c.order.Len() > c.cfg.Entries {
+			back := c.order.Back()
+			delete(c.entries, back.Value.(*compEntry).key)
+			c.order.Remove(back)
+			c.evicted++
+		}
+	}
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Stats returns a snapshot of the global cache counters.
+func (c *Compiler) Stats() CompilerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CompilerStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.order.Len()}
+}
+
+// TenantStats returns a copy of the per-tenant counters. Tenants past the
+// cardinality cap appear aggregated under OverflowTenant.
+func (c *Compiler) TenantStats() map[string]TenantCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]TenantCounters, len(c.tenants))
+	for t, tc := range c.tenants {
+		out[t] = *tc
+	}
+	return out
+}
+
+// TenantCountersFor returns one tenant's counters without copying the whole
+// table — the cheap per-scrape lookup the server's per-tenant /metrics
+// callbacks use. The second return is false when the tenant has never been
+// tracked (it may be aggregating under OverflowTenant).
+func (c *Compiler) TenantCountersFor(tenant string) (TenantCounters, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tc, ok := c.tenants[tenant]
+	if !ok {
+		return TenantCounters{}, false
+	}
+	return *tc, true
+}
+
+// Len returns the number of cached machines.
+func (c *Compiler) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,92 @@
+package bias
+
+import (
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/wfst"
+)
+
+// fuzzLookup is the deterministic fuzz vocabulary: a word is in-vocabulary
+// unless its FNV hash lands in a 1-in-4 OOV bucket, and its ID folds into
+// [1, 2000] — small enough that arbitrary phrase lists collide on trie
+// paths constantly, which is exactly the sharing the compiler must handle.
+func fuzzLookup(word string) (int32, bool) {
+	h := fnv.New32a()
+	h.Write([]byte(word))
+	v := h.Sum32()
+	if v%4 == 0 {
+		return 0, false
+	}
+	return int32(v%2000) + 1, true
+}
+
+// FuzzBiasCompiler throws arbitrary phrase lists — unicode, NULs, empty
+// strings, duplicates, overlapping prefixes, absurd lengths — at Compile
+// and asserts the contract: it never panics, identical inputs compile to
+// identical machines, every machine satisfies the structural invariants
+// (input-sorted, every state final, failure arcs only non-root → root, so
+// epsilon-cycle-free), and Advance is total and terminates from every
+// state on every word.
+func FuzzBiasCompiler(f *testing.F) {
+	f.Add("open the pod bay doors", float32(2))
+	f.Add("", float32(0))
+	f.Add("a\nb\nc", float32(0.5))
+	f.Add("dup phrase\ndup phrase\ndup phrase", float32(1))
+	f.Add("pre\npre fix\npre fix longer", float32(3))
+	f.Add("tab\tand  spaces \n \n nul\x00byte", float32(0.25))
+	f.Add("héllo wörld\n日本語 テスト\nемоji 🎙️ phrase", float32(1.5))
+	f.Add(strings.Repeat("very long phrase with many words ", 40), float32(0.1))
+	f.Add("w1\nw1 w2\nw2 w1\nw1 w1 w1", float32(-1)) // bad bonus must error, not panic
+	f.Add("single", float32(1e9))                    // bonus over the cap must error
+
+	f.Fuzz(func(t *testing.T, blob string, bonus float32) {
+		phrases := strings.Split(blob, "\n")
+		m, err := Compile(phrases, bonus, fuzzLookup)
+		m2, err2 := Compile(phrases, bonus, fuzzLookup)
+
+		// Determinism: same input, same outcome — bit-identical machines or
+		// the same error disposition.
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if !wfst.Equal(m.Graph(), m2.Graph()) {
+			t.Fatal("two compiles of the same input produced different machines")
+		}
+		if m.Phrases() != m2.Phrases() || m.Skipped() != m2.Skipped() || m.MaxBonus() != m2.MaxBonus() {
+			t.Fatalf("nondeterministic stats: (%d,%d,%v) vs (%d,%d,%v)",
+				m.Phrases(), m.Skipped(), m.MaxBonus(), m2.Phrases(), m2.Skipped(), m2.MaxBonus())
+		}
+		if m.Phrases()+m.Skipped() != len(phrases) {
+			t.Fatalf("%d compiled + %d skipped != %d input phrases", m.Phrases(), m.Skipped(), len(phrases))
+		}
+
+		checkShape(t, m)
+
+		// Advance totality: from every state, every word ID a phrase could
+		// contain (plus epsilon and an out-of-machine ID) must advance to a
+		// valid state with a finite weight in at most two probes.
+		g := m.Graph()
+		for s := wfst.StateID(0); int(s) < g.NumStates(); s++ {
+			words := []int32{0, 1, 999, 2001}
+			for _, a := range g.Arcs(s) {
+				if a.In != wfst.Epsilon {
+					words = append(words, a.In)
+				}
+			}
+			for _, w := range words {
+				next, dw := m.Advance(s, w)
+				if next < 0 || int(next) >= g.NumStates() {
+					t.Fatalf("Advance(%d, %d) -> invalid state %d", s, w, next)
+				}
+				if !(dw >= -m.MaxBonus() && dw <= m.MaxBonus()) {
+					t.Fatalf("Advance(%d, %d) weight %v outside ±MaxBonus %v", s, w, dw, m.MaxBonus())
+				}
+			}
+		}
+	})
+}

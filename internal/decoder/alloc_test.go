@@ -1,8 +1,10 @@
 package decoder
 
 import (
+	"strconv"
 	"testing"
 
+	"repro/internal/bias"
 	"repro/internal/semiring"
 )
 
@@ -21,7 +23,7 @@ func decodeInPlace(d *OnTheFly, scores [][]float32, sc *scratch) {
 	st := Stats{}
 	cur, next := sc.cur, sc.next
 	cur.reset()
-	cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	cur.relax(d.startKey(), semiring.One, -1)
 	d.epsClosure(cur, &sc.lat, &st, semiring.Zero, -1, sc)
 	for f := range scores {
 		d.stepFrame(cur, next, scores[f], cfg.Beam, cfg.MaxActive, &sc.lat, &st, f, sc)
@@ -50,6 +52,43 @@ func TestAllocsStepFrame(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("steady-state stepFrame loop allocates %.1f objects per utterance, want 0", allocs)
+	}
+}
+
+// TestAllocsBiasedStepFrame extends the per-frame gate to the three-way
+// composition: with a real (non-empty) bias machine installed, the warm
+// stepFrame/epsClosure loop must still allocate nothing — Advance walks the
+// compiled machine with no per-word heap work, so biased decoding adds
+// exactly 0 allocs/frame over the two-layer path.
+func TestAllocsBiasedStepFrame(t *testing.T) {
+	f := getFixture(t, 42)
+	d, err := NewOnTheFly(f.tk.AM.G, f.tk.LMGraph.G, Config{PreemptivePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phrases []string
+	for _, w := range f.tk.Test[0].Words {
+		phrases = append(phrases, strconv.Itoa(int(w)))
+	}
+	m, err := bias.Compile(phrases, 2, numLookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phrases() == 0 || m.NumStates() < 2 {
+		t.Fatalf("bias machine trivial: %d phrases, %d states", m.Phrases(), m.NumStates())
+	}
+	if err := d.SetBias(m); err != nil {
+		t.Fatal(err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	decodeInPlace(d, f.scores[0], sc) // warm buffers and the offset memo
+
+	allocs := testing.AllocsPerRun(10, func() {
+		decodeInPlace(d, f.scores[0], sc)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state biased stepFrame loop allocates %.1f objects per utterance, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,99 @@
+package decoder
+
+import (
+	"fmt"
+
+	"repro/internal/bias"
+	"repro/internal/semiring"
+	"repro/internal/wfst"
+)
+
+// Three-way composed search keys. Without a bias machine a token is the
+// (AM state, LM state) pair packed 32/32 by otfKey — bit-for-bit the
+// two-layer layout, so the nil-bias decode is byte-identical to the
+// pre-bias decoder (the invariant bias_differential_test.go pins down).
+// With a bias machine installed the key packs (AM, LM, bias) as 26/26/12
+// bits. Both layouts order keys identically for a fixed bias state: the
+// packing is strictly monotone in the lexicographic (AM, LM) order, so the
+// beam-prune cost-tie key comparison makes the same choices either way —
+// which is what keeps the EMPTY bias machine (one root state, weight zero
+// everywhere) byte-identical to nil as well.
+const (
+	biasStateBits = 12
+	biasLMBits    = 26
+	biasLMMask    = 1<<biasLMBits - 1
+	biasStateMask = 1<<biasStateBits - 1
+)
+
+// SetBias installs a compiled per-tenant bias machine: subsequent decodes
+// (and newly created or reset Streams) search the AM ∘ LM ∘ Bias
+// composition, crediting the machine's bonuses on cross-word arcs. Like
+// SetSearchPreset, it must not be called while a decode is in flight on
+// this decoder — the pool and lane scheduler install it only while they
+// hold the worker or slot exclusively. Passing nil is ClearBias.
+//
+// The 26/26/12 composed key bounds the graphs: AM and LM must each have
+// fewer than 2^26 states and the machine at most 2^12 (bias.MaxStates
+// already guarantees the latter for compiled machines).
+func (d *OnTheFly) SetBias(m *bias.Machine) error {
+	if m == nil {
+		d.ClearBias()
+		return nil
+	}
+	if d.am.NumStates() > 1<<biasLMBits || d.lm.NumStates() > 1<<biasLMBits {
+		return fmt.Errorf("decoder: biased decode needs AM and LM under %d states (AM %d, LM %d)",
+			1<<biasLMBits, d.am.NumStates(), d.lm.NumStates())
+	}
+	if m.NumStates() > 1<<biasStateBits {
+		return fmt.Errorf("decoder: bias machine has %d states, max %d", m.NumStates(), 1<<biasStateBits)
+	}
+	d.bias = m
+	d.biasSlack = m.MaxBonus()
+	return nil
+}
+
+// ClearBias restores the plain two-layer AM ∘ LM search.
+func (d *OnTheFly) ClearBias() { d.bias, d.biasSlack = nil, 0 }
+
+// Bias returns the installed bias machine, nil when decoding two-layer.
+func (d *OnTheFly) Bias() *bias.Machine { return d.bias }
+
+// key packs a composed search state in the layout the installed bias mode
+// selects. The nil branch computes exactly otfKey.
+func (d *OnTheFly) key(am, lm, bs wfst.StateID) uint64 {
+	if d.bias == nil {
+		return otfKey(am, lm)
+	}
+	return uint64(uint32(am))<<(biasLMBits+biasStateBits) |
+		uint64(uint32(lm)&biasLMMask)<<biasStateBits |
+		uint64(uint32(bs)&biasStateMask)
+}
+
+// unpack splits a composed key back into its component states; the bias
+// state is 0 in two-layer mode.
+func (d *OnTheFly) unpack(key uint64) (am, lm, bs wfst.StateID) {
+	if d.bias == nil {
+		return wfst.StateID(key >> 32), wfst.StateID(uint32(key)), 0
+	}
+	return wfst.StateID(key >> (biasLMBits + biasStateBits)),
+		wfst.StateID((key >> biasStateBits) & biasLMMask),
+		wfst.StateID(key & biasStateMask)
+}
+
+// startKey is the composed start state all decode paths (batch, stream,
+// pipeline) seed their first frontier with.
+func (d *OnTheFly) startKey() uint64 {
+	if d.bias == nil {
+		return otfKey(d.am.Start(), d.lm.Start())
+	}
+	return d.key(d.am.Start(), d.lm.Start(), d.bias.Start())
+}
+
+// biasFinal returns the bias machine's exit weight for token key — the
+// repayment of any unfinished phrase match — and semiring.One two-layer.
+func (d *OnTheFly) biasFinal(bs wfst.StateID) semiring.Weight {
+	if d.bias == nil {
+		return semiring.One
+	}
+	return d.bias.Final(bs)
+}

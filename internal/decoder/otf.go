@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bias"
 	"repro/internal/metrics"
 	"repro/internal/semiring"
 	"repro/internal/wfst"
@@ -35,6 +36,15 @@ type OnTheFly struct {
 	// degraded operating point a loaded server installs between decodes
 	// (SetSearchPreset). nil preserves Config exactly.
 	preset *SearchPreset
+	// bias, when non-nil, is the third on-the-fly machine: search runs over
+	// AM ∘ LM ∘ Bias with the per-tenant machine advanced on every emitted
+	// word (SetBias). nil keeps the two-layer search byte-identical to the
+	// pre-bias decoder, including key packing (see bias.go). biasSlack is
+	// the machine's MaxBonus, added to the preemptive-pruning threshold so
+	// a hypothesis about to earn a bonus is never pre-pruned for cost the
+	// bonus would repay; it is exactly 0 with no machine installed.
+	bias      *bias.Machine
+	biasSlack semiring.Weight
 }
 
 // NewOnTheFly builds the on-the-fly decoder over separate AM and LM graphs.
@@ -115,7 +125,7 @@ func (d *OnTheFly) decode(ctx context.Context, scores [][]float32) (*Result, err
 
 	cur, next, snap := sc.cur, sc.next, sc.snap
 	cur.reset()
-	cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	cur.relax(d.startKey(), semiring.One, -1)
 	d.epsClosure(cur, lat, &st, semiring.Zero, -1, sc)
 	d.hook(-1, cur)
 
@@ -181,19 +191,22 @@ func (d *OnTheFly) stepFrame(cur, next *tokenStore, frame []float32, beam semiri
 	for i := 0; i < len(cur.keys); i++ {
 		key := cur.keys[i]
 		tok := cur.toks[i]
-		amS := wfst.StateID(key >> 32)
-		lmS := wfst.StateID(uint32(key))
+		amS, lmS, bS := d.unpack(key)
 		for _, a := range d.am.Arcs(amS) {
 			if a.In == wfst.Epsilon {
 				continue
 			}
 			st.ArcsTraversed++
 			c := tok.cost + a.W - semiring.Weight(cfg.AcousticScale*frame[a.In])
-			lmNext, latIdx := lmS, tok.lat
+			lmNext, bNext, latIdx := lmS, bS, tok.lat
 			if a.Out != wfst.Epsilon {
 				thr := semiring.Zero // +Inf: nothing to compare against yet
 				if !semiring.IsZero(runningBest) {
-					thr = runningBest + beam
+					// biasSlack loosens the preemptive threshold by the bias
+					// machine's largest pending bonus (0 with none installed):
+					// a word that completes a phrase repays up to that much,
+					// so pruning before the bias advance must leave room.
+					thr = runningBest + beam + d.biasSlack
 				}
 				var ok bool
 				var lmW semiring.Weight
@@ -202,6 +215,11 @@ func (d *OnTheFly) stepFrame(cur, next *tokenStore, frame []float32, beam semiri
 					continue // preemptively pruned (or unresolvable word)
 				}
 				c += lmW
+				if d.bias != nil {
+					var bW semiring.Weight
+					bNext, bW = d.bias.Advance(bS, a.Out)
+					c += bW
+				}
 				latIdx = lat.add(a.Out, tok.lat, int32(f))
 			}
 			if !finiteWeight(c) {
@@ -210,7 +228,7 @@ func (d *OnTheFly) stepFrame(cur, next *tokenStore, frame []float32, beam semiri
 				// hypothesis and let healthy arcs carry the frame.
 				continue
 			}
-			if _, created, _ := next.relax(otfKey(a.Next, lmNext), c, latIdx); created {
+			if _, created, _ := next.relax(d.key(a.Next, lmNext, bNext), c, latIdx); created {
 				st.TokensCreated++
 			}
 			if c < runningBest {
@@ -299,15 +317,14 @@ func (d *OnTheFly) epsClosure(active *tokenStore, lat *lattice, st *Stats, thr s
 		queue = queue[:len(queue)-1]
 		key := active.keys[idx]
 		tok := active.toks[idx]
-		amS := wfst.StateID(key >> 32)
-		lmS := wfst.StateID(uint32(key))
+		amS, lmS, bS := d.unpack(key)
 		for _, a := range d.am.Arcs(amS) {
 			if a.In != wfst.Epsilon {
 				continue
 			}
 			st.EpsTraversed++
 			c := tok.cost + a.W
-			lmNext, latIdx := lmS, tok.lat
+			lmNext, bNext, latIdx := lmS, bS, tok.lat
 			if a.Out != wfst.Epsilon {
 				var okRes bool
 				var lmW semiring.Weight
@@ -316,9 +333,14 @@ func (d *OnTheFly) epsClosure(active *tokenStore, lat *lattice, st *Stats, thr s
 					continue
 				}
 				c += lmW
+				if d.bias != nil {
+					var bW semiring.Weight
+					bNext, bW = d.bias.Advance(bS, a.Out)
+					c += bW
+				}
 				latIdx = lat.add(a.Out, tok.lat, frame)
 			}
-			nIdx, created, improved := active.relax(otfKey(a.Next, lmNext), c, latIdx)
+			nIdx, created, improved := active.relax(d.key(a.Next, lmNext, bNext), c, latIdx)
 			if created {
 				st.TokensCreated++
 			}
@@ -333,17 +355,19 @@ func (d *OnTheFly) epsClosure(active *tokenStore, lat *lattice, st *Stats, thr s
 // finish mirrors the composed decoder: a token is final when both component
 // states accept, with the product final weight. The frontier is scanned in
 // its deterministic insertion order, so cost ties resolve reproducibly.
+// Every bias state is final, so an installed bias machine never changes
+// which tokens accept — only their exit weight (repaying unfinished phrase
+// matches).
 func (d *OnTheFly) finish(active *tokenStore, lat *lattice, st Stats) *Result {
 	res := &Result{Cost: semiring.Zero, Stats: st}
 	bestAny, bestAnyLat := semiring.Zero, int32(-1)
 	for i := range active.keys {
 		key := active.keys[i]
 		tok := active.toks[i]
-		amS := wfst.StateID(key >> 32)
-		lmS := wfst.StateID(uint32(key))
+		amS, lmS, bS := d.unpack(key)
 		fa, fl := d.am.Final(amS), d.lm.Final(lmS)
 		if !semiring.IsZero(fa) && !semiring.IsZero(fl) {
-			c := tok.cost + fa + fl
+			c := tok.cost + fa + fl + d.biasFinal(bS)
 			if c < res.Cost {
 				res.Cost = c
 				res.Words, res.WordEnds = lat.backtrace(tok.lat)

@@ -296,7 +296,7 @@ func (p *Pipeline) decode(ctx context.Context, frames [][]float32) (*Result, err
 
 	cur, next, snap := sc.cur, sc.next, sc.snap
 	cur.reset()
-	cur.relax(otfKey(d.am.Start(), d.lm.Start()), semiring.One, -1)
+	cur.relax(d.startKey(), semiring.One, -1)
 	d.epsClosure(cur, lat, &st, semiring.Zero, -1, sc)
 	d.hook(-1, cur)
 

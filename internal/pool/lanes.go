@@ -26,6 +26,9 @@ type LaneConfig struct {
 	L1Entries int
 	L2Entries int
 	L2Shards  int
+	// Tenants sizes the per-tenant L2 partitions biased lanes route their
+	// shared-layer traffic through, exactly as in Config.Tenants.
+	Tenants TenantPartitionConfig
 	// Decoder configures each slot's beam search. Its OffsetCache field is
 	// overwritten with the slot's tiered cache; leave it nil.
 	Decoder decoder.Config
@@ -52,6 +55,7 @@ func (c LaneConfig) withDefaults() LaneConfig {
 	if c.L2Shards <= 0 {
 		c.L2Shards = 16
 	}
+	c.Tenants = c.Tenants.withDefaults()
 	return c
 }
 
@@ -65,7 +69,8 @@ var ErrLaneSchedulerClosed = errors.New("pool: lane scheduler closed")
 type laneJob struct {
 	ctx    context.Context
 	preset *decoder.SearchPreset
-	utt    int // index in the submitting batch; -1 for streamed lanes
+	tb     *TenantBias // tenant assignment; nil decodes two-layer on the shared L2
+	utt    int         // index in the submitting batch; -1 for streamed lanes
 
 	queued    [][]float32 // frames submitted before admission
 	inputDone bool        // no more frames are coming (batch jobs start true)
@@ -105,10 +110,11 @@ type laneJob struct {
 // every step, so a canceled utterance leaves its slot within one frame and
 // returns its partial result with a StageCanceled error, decodeOne-style.
 type LaneScheduler struct {
-	cfg    LaneConfig
-	shared *ShardedLRU
-	caches []*TieredCache
-	decs   []*decoder.OnTheFly
+	cfg     LaneConfig
+	shared  *ShardedLRU
+	tenants *TenantCaches
+	caches  []*TieredCache
+	decs    []*decoder.OnTheFly
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -142,6 +148,7 @@ func NewLaneScheduler(amGraph, lmGraph *wfst.WFST, scorer acoustic.Scorer, cfg L
 	s := &LaneScheduler{
 		cfg:        cfg,
 		shared:     NewShardedLRU(cfg.L2Entries, cfg.L2Shards),
+		tenants:    NewTenantCaches(cfg.Tenants),
 		group:      group,
 		runnerDone: make(chan struct{}),
 	}
@@ -162,6 +169,7 @@ func NewLaneScheduler(amGraph, lmGraph *wfst.WFST, scorer acoustic.Scorer, cfg L
 		s.caches = append(s.caches, tc)
 		s.freeDecs = append(s.freeDecs, i)
 	}
+	cfg.Telemetry.observeTenants(s.tenants, "lanes")
 	go s.run()
 	return s, nil
 }
@@ -186,14 +194,20 @@ func (s *LaneScheduler) Quiesced() bool {
 		len(s.freeDecs) == len(s.decs) && s.group.Active() == 0
 }
 
-// CacheStats merges the shared LRU's counters with every slot's L1 counters.
+// CacheStats merges the shared LRU's counters, every resident tenant
+// partition's counters, and every slot's L1 counters.
 func (s *LaneScheduler) CacheStats() CacheStats {
 	st := s.shared.Stats()
+	st.Add(s.tenants.Stats())
 	for _, c := range s.caches {
 		st.Add(c.Stats())
 	}
 	return st
 }
+
+// TenantCaches exposes the scheduler's tenant partition set — per-tenant
+// cache statistics for /metrics and the fairness tests.
+func (s *LaneScheduler) TenantCaches() *TenantCaches { return s.tenants }
 
 // Close stops the runner, failing any queued or in-flight utterances with
 // ErrLaneSchedulerClosed, and waits for it to exit. Further submissions fail
@@ -277,6 +291,28 @@ func (s *LaneScheduler) admitLocked() bool {
 				dec.SetSearchPreset(*j.preset)
 			} else {
 				dec.ClearSearchPreset()
+			}
+			// Tenant assignment installs under the same exclusivity as the
+			// preset — the slot is free, so no lane is mid-decode on it. It
+			// must land before Join: Join reseeds the slot's stream from the
+			// decoder's (possibly biased) start key. Both branches run every
+			// admission so a slot never carries a previous lane's tenant.
+			if j.tb != nil {
+				if err := dec.SetBias(j.tb.Machine); err != nil {
+					dec.ClearBias()
+					s.freeDecs = append(s.freeDecs, di)
+					s.finishLocked(j, nil, &DecodeError{Utterance: j.utt, Stage: StageSearch, Cause: err})
+					progress = true
+					continue
+				}
+				if l2 := s.tenants.Partition(j.tb.Tenant); l2 != nil {
+					s.caches[di].SetShared(l2)
+				} else {
+					s.caches[di].SetShared(s.shared)
+				}
+			} else {
+				dec.ClearBias()
+				s.caches[di].SetShared(s.shared)
 			}
 			lane, err := s.group.Join(dec)
 			if err != nil {
@@ -421,6 +457,17 @@ func (s *LaneScheduler) Decode(featUtts [][][]float32) (*Batch, error) {
 // so a short request never waits behind a long one for anything more than a
 // slot.
 func (s *LaneScheduler) DecodeContext(ctx context.Context, featUtts [][][]float32, preset *decoder.SearchPreset) (*Batch, error) {
+	return s.DecodeBiasContext(ctx, featUtts, preset, nil)
+}
+
+// DecodeBiasContext is DecodeContext with a tenant assignment: every lane
+// this batch occupies decodes under the tenant's bias machine (nil
+// tb.Machine decodes two-layer) and routes its shared-layer cache traffic
+// through the tenant's private partition. The assignment installs at
+// admission, per lane, so concurrently interleaved utterances from other
+// tenants keep their own machines and partitions. A nil tb is
+// byte-identical to DecodeContext.
+func (s *LaneScheduler) DecodeBiasContext(ctx context.Context, featUtts [][][]float32, preset *decoder.SearchPreset, tb *TenantBias) (*Batch, error) {
 	start := time.Now()
 	// Exact (mcache-flushing) sampling, as in DecodePool: a warm batch
 	// allocates so little that span-granular counters round it to zero.
@@ -441,7 +488,7 @@ func (s *LaneScheduler) DecodeContext(ctx context.Context, featUtts [][][]float3
 	}
 	for i := range featUtts {
 		j := &laneJob{
-			ctx: ctx, preset: preset, utt: i,
+			ctx: ctx, preset: preset, tb: tb, utt: i,
 			queued: featUtts[i], inputDone: true,
 			done: make(chan struct{}),
 		}
@@ -517,7 +564,14 @@ type LaneHandle struct {
 // only. The caller must end the lane with Finish or Close, or its slot leaks
 // until ctx is canceled.
 func (s *LaneScheduler) OpenLane(ctx context.Context, preset *decoder.SearchPreset) (*LaneHandle, error) {
-	j := &laneJob{ctx: ctx, preset: preset, utt: -1, done: make(chan struct{})}
+	return s.OpenLaneBias(ctx, preset, nil)
+}
+
+// OpenLaneBias is OpenLane with a tenant assignment (see DecodeBiasContext);
+// the stream decodes under tb's bias machine and cache partition for its
+// whole lifetime. A nil tb is byte-identical to OpenLane.
+func (s *LaneScheduler) OpenLaneBias(ctx context.Context, preset *decoder.SearchPreset, tb *TenantBias) (*LaneHandle, error) {
+	j := &laneJob{ctx: ctx, preset: preset, tb: tb, utt: -1, done: make(chan struct{})}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -29,6 +29,10 @@ type Config struct {
 	// L2Shards is the shared LRU's lock-striping factor (rounded up to a
 	// power of two). Default 16.
 	L2Shards int
+	// Tenants sizes the per-tenant L2 partitions DecodeBiasContext routes
+	// tenant traffic through (see TenantCaches). The zero value selects the
+	// defaults; tenantless pools never allocate a partition.
+	Tenants TenantPartitionConfig
 	// Decoder configures each worker's beam search. Its OffsetCache field
 	// is overwritten with the pool's tiered cache; leave it nil.
 	Decoder decoder.Config
@@ -60,6 +64,7 @@ func (c Config) withDefaults() Config {
 	if c.L2Shards <= 0 {
 		c.L2Shards = 16
 	}
+	c.Tenants = c.Tenants.withDefaults()
 	return c
 }
 
@@ -85,6 +90,7 @@ type worker struct {
 type DecodePool struct {
 	cfg     Config
 	shared  *ShardedLRU
+	tenants *TenantCaches
 	workers []worker
 	// idle is the worker free list: it holds the index of every worker not
 	// currently checked out by a Decode call.
@@ -101,7 +107,7 @@ type DecodePool struct {
 func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
 	cfg = cfg.withDefaults()
 	shared := NewShardedLRU(cfg.L2Entries, cfg.L2Shards)
-	p := &DecodePool{cfg: cfg, shared: shared, workers: make([]worker, cfg.Workers)}
+	p := &DecodePool{cfg: cfg, shared: shared, tenants: NewTenantCaches(cfg.Tenants), workers: make([]worker, cfg.Workers)}
 	for i := range p.workers {
 		tc := NewTieredCache(cfg.L1Entries, shared)
 		dcfg := cfg.Decoder
@@ -121,6 +127,7 @@ func New(amGraph, lmGraph *wfst.WFST, cfg Config) (*DecodePool, error) {
 		p.idle <- i
 	}
 	cfg.Telemetry.observePool(p)
+	cfg.Telemetry.observeTenants(p.tenants, "pool")
 	return p, nil
 }
 
@@ -221,6 +228,19 @@ func (p *DecodePool) DecodeContext(ctx context.Context, scores [][][]float32) (*
 // (decoder.Config.DegradedPreset). nil preset decodes at full quality; the
 // preset applies only to this batch, never to concurrent or later ones.
 func (p *DecodePool) DecodePresetContext(ctx context.Context, scores [][][]float32, preset *decoder.SearchPreset) (*Batch, error) {
+	return p.DecodeBiasContext(ctx, scores, preset, nil)
+}
+
+// DecodeBiasContext is DecodePresetContext with a tenant assignment: when
+// tb is non-nil, every worker this batch checks out decodes under the
+// tenant's bias machine (nil tb.Machine decodes two-layer) and routes its
+// shared-layer cache traffic through the tenant's private partition, so a
+// hot tenant's churn cannot evict other tenants' entries. Like the preset,
+// the assignment is installed only while the batch holds each worker
+// exclusively and applies to this batch alone. A nil tb is byte-identical
+// to DecodePresetContext — the tenantless invariant the bias differential
+// tests pin down at the decoder layer and tenant_test.go pins here.
+func (p *DecodePool) DecodeBiasContext(ctx context.Context, scores [][][]float32, preset *decoder.SearchPreset, tb *TenantBias) (*Batch, error) {
 	start := time.Now()
 	// Exact (mcache-flushing) sampling: a warm batch allocates so little
 	// that the span-granular counters can round it down to zero.
@@ -265,10 +285,35 @@ func (p *DecodePool) DecodePresetContext(ctx context.Context, scores [][][]float
 			} else {
 				w.dec.ClearSearchPreset()
 			}
+			// Tenant assignment rides the same exclusivity: bias machine on
+			// the decoder, tenant partition as the cache's L2. Both install
+			// branches run every batch so a worker never carries a previous
+			// batch's tenant state.
+			var biasErr error
+			if tb != nil {
+				if biasErr = w.dec.SetBias(tb.Machine); biasErr != nil {
+					w.dec.ClearBias()
+				}
+				if l2 := p.tenants.Partition(tb.Tenant); l2 != nil {
+					w.cache.SetShared(l2)
+				} else {
+					w.cache.SetShared(p.shared)
+				}
+			} else {
+				w.dec.ClearBias()
+				w.cache.SetShared(p.shared)
+			}
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					// Drain the remaining dealt jobs cheaply.
 					errs[i] = &DecodeError{Utterance: i, Stage: StageCanceled, Cause: err}
+					continue
+				}
+				if biasErr != nil {
+					// The bias machine does not fit this model's graphs; the
+					// whole batch asked for it, so every utterance fails the
+					// same way rather than silently decoding unbiased.
+					errs[i] = &DecodeError{Utterance: i, Stage: StageSearch, Cause: biasErr}
 					continue
 				}
 				workersBusy.Inc()
@@ -378,21 +423,29 @@ func decodeOne(ctx context.Context, dec *decoder.OnTheFly, i int, scores [][]flo
 	return r, nil
 }
 
-// CacheStats merges the shared LRU's counters with every worker's L1
-// counters. Safe to call at any time; a snapshot taken while batches are in
-// flight includes their work so far.
+// CacheStats merges the shared LRU's counters, every resident tenant
+// partition's counters, and every worker's L1 counters. Safe to call at any
+// time; a snapshot taken while batches are in flight includes their work so
+// far.
 func (p *DecodePool) CacheStats() CacheStats {
 	st := p.shared.Stats()
+	st.Add(p.tenants.Stats())
 	for i := range p.workers {
 		st.Add(p.workers[i].cache.Stats())
 	}
 	return st
 }
 
-// ResetCache empties both layers — the shared LRU and every worker's L1 —
-// for cold-cache measurements. Call between Decode calls.
+// TenantCaches exposes the pool's tenant partition set — per-tenant cache
+// statistics for /metrics and the fairness tests.
+func (p *DecodePool) TenantCaches() *TenantCaches { return p.tenants }
+
+// ResetCache empties both layers — the shared LRU (tenant partitions
+// included) and every worker's L1 — for cold-cache measurements. Call
+// between Decode calls.
 func (p *DecodePool) ResetCache() {
 	p.shared.Reset()
+	p.tenants.Reset()
 	for i := range p.workers {
 		p.workers[i].cache.Reset()
 	}

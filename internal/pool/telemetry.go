@@ -110,6 +110,33 @@ func (t *Telemetry) observePool(p *DecodePool) {
 	}
 }
 
+// observeTenants wires tenant-partition visibility under a sched label
+// ("pool" or "lanes", since a server may run both over one registry):
+// resident partition count, tenant-level LRU drops, and — registered
+// lazily as each tenant's partition is created, so cardinality is bounded
+// by MaxTenants — the per-tenant L2 hit/miss/eviction counters behind the
+// partition-fairness story. A dropped tenant's series freezes at its last
+// values; re-creation re-binds the callbacks to the fresh partition.
+func (t *Telemetry) observeTenants(tc *TenantCaches, sched string) {
+	if t == nil {
+		return
+	}
+	sl := telemetry.L("sched", sched)
+	t.reg.GaugeFunc("unfold_bias_tenant_partitions", "Resident per-tenant L2 cache partitions.",
+		func() float64 { return float64(tc.Tenants()) }, sl)
+	t.reg.CounterFunc("unfold_bias_tenant_partitions_dropped_total", "Tenant partitions evicted by the tenant-level LRU.",
+		func() float64 { return float64(tc.Dropped()) }, sl)
+	tc.Observe(func(tenant string, lru *ShardedLRU) {
+		tl := telemetry.L("tenant", tenant)
+		t.reg.CounterFunc("unfold_bias_l2_tenant_hits_total", "Tenant-partition offset-cache hits.",
+			func() float64 { return float64(lru.Stats().L2Hits) }, sl, tl)
+		t.reg.CounterFunc("unfold_bias_l2_tenant_misses_total", "Tenant-partition offset-cache misses.",
+			func() float64 { return float64(lru.Stats().L2Misses) }, sl, tl)
+		t.reg.CounterFunc("unfold_bias_l2_tenant_evictions_total", "Tenant-partition offset-cache evictions.",
+			func() float64 { return float64(lru.Stats().Evictions) }, sl, tl)
+	})
+}
+
 // recordBatch publishes one completed batch: counts, wall time, fault
 // classes, and the L1 cache advance since the previous batch (delta
 // computed by the caller, which owns the cumulative snapshot).

@@ -76,6 +76,14 @@ func (c *TieredCache) Put(key uint64, val int32) {
 	}
 }
 
+// SetShared redirects the L2 layer — the tenant-partition swap the pool
+// performs while it holds the worker or lane slot exclusively (never
+// mid-decode). The L1 keeps its contents across the swap: offset entries
+// are a pure function of the LM graph, so an entry promoted out of one
+// tenant's partition stays valid under every other tenant. nil detaches
+// the L2, leaving a bounded L1-only cache.
+func (c *TieredCache) SetShared(shared *ShardedLRU) { c.shared = shared }
+
 // Reset clears the worker-private L1. The shared layer is left warm: a
 // pool-wide cold start goes through ShardedLRU.Reset.
 func (c *TieredCache) Reset() {

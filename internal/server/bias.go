@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/bias"
+	"repro/internal/pool"
+	"repro/internal/telemetry"
+)
+
+// DefaultBiasBonus is the per-word bonus applied when a bias block omits
+// (or zeroes) the bonus field — strong enough to promote a competitive
+// phrase without drowning the acoustic evidence on the repo's tasks.
+const DefaultBiasBonus = 4.0
+
+// biasRequest is the optional bias block on /v1/recognize and the first
+// /v1/stream line: a tenant identity plus that tenant's phrase list. The
+// phrases compile (through the model's cached compiler) into a bias
+// machine, and the whole decode runs as AM ∘ LM ∘ Bias with the tenant's
+// offset-cache traffic partitioned away from other tenants. An omitted
+// block decodes exactly as before the bias feature existed.
+type biasRequest struct {
+	// Tenant keys the compiled-machine cache and the offset-cache
+	// partition. Empty is allowed (the machine still applies) but forfeits
+	// both kinds of tenant isolation.
+	Tenant string `json:"tenant,omitempty"`
+	// Phrases are surface-form word sequences to boost ("play back",
+	// "acme support line"). Words outside the model's lexicon are skipped.
+	Phrases []string `json:"phrases"`
+	// Bonus is the per-matched-word score credit (tropical weight
+	// subtracted per word, so larger favors the phrase more strongly).
+	// Omitted or 0 selects DefaultBiasBonus; negative is rejected.
+	Bonus float32 `json:"bonus,omitempty"`
+}
+
+// newWordLookup builds a bias.Lookup over an ID-indexed word list (first
+// occurrence wins for duplicate surface forms).
+func newWordLookup(words []string) bias.Lookup {
+	idx := make(map[string]int32, len(words))
+	for i, w := range words {
+		if _, ok := idx[w]; !ok {
+			idx[w] = int32(i)
+		}
+	}
+	return func(word string) (int32, bool) {
+		id, ok := idx[word]
+		return id, ok
+	}
+}
+
+// tenantBias resolves a request's bias block into the pool-level tenant
+// assignment: nil in, nil out (the byte-identical no-bias path); otherwise
+// the machine comes from the model's compiler cache and the tenant's
+// compile-cache counters are published. A compile failure is a client
+// error (bad phrase list), reported as a 400 by the caller.
+func (s *Server) tenantBias(m *model, b *biasRequest) (*pool.TenantBias, error) {
+	if b == nil {
+		return nil, nil
+	}
+	if b.Tenant == "" && len(b.Phrases) == 0 {
+		return nil, nil
+	}
+	if len(b.Phrases) == 0 {
+		// Tenant-only: partitioned cache, two-layer search.
+		return &pool.TenantBias{Tenant: b.Tenant}, nil
+	}
+	bonus := b.Bonus
+	if bonus == 0 {
+		bonus = DefaultBiasBonus
+	}
+	machine, err := m.biasComp.Get(b.Tenant, b.Phrases, bonus)
+	if err != nil {
+		return nil, err
+	}
+	s.biasCompiles.Inc()
+	s.observeBiasTenant(m, b.Tenant)
+	return &pool.TenantBias{Tenant: b.Tenant, Machine: machine}, nil
+}
+
+// observeBiasCompiler publishes a model's compiled-machine cache counters
+// under unfold_bias_compile_cache_*{model}. Called at model build; a
+// hot-swap re-registers the callbacks against the new generation's
+// compiler.
+func (s *Server) observeBiasCompiler(name string, comp *bias.Compiler) {
+	ml := telemetry.L("model", name)
+	s.reg.CounterFunc("unfold_bias_compile_cache_hits_total", "Bias compiler cache hits, by model.",
+		func() float64 { return float64(comp.Stats().Hits) }, ml)
+	s.reg.CounterFunc("unfold_bias_compile_cache_misses_total", "Bias compiler cache misses (fresh compiles), by model.",
+		func() float64 { return float64(comp.Stats().Misses) }, ml)
+	s.reg.CounterFunc("unfold_bias_compile_cache_evictions_total", "Compiled bias machines evicted from the cache, by model.",
+		func() float64 { return float64(comp.Stats().Evictions) }, ml)
+	s.reg.GaugeFunc("unfold_bias_compile_cache_entries", "Compiled bias machines resident in the cache, by model.",
+		func() float64 { return float64(comp.Stats().Entries) }, ml)
+}
+
+// observeBiasTenant lazily registers one tenant's compile-cache hit/miss
+// callbacks the first time that tenant sends a bias block. Cardinality is
+// bounded by the compiler's own TenantStats cap: tenants past it aggregate
+// under the bias.OverflowTenant series instead of growing /metrics without
+// bound. Registration is idempotent (the registry dedups by name+labels).
+func (s *Server) observeBiasTenant(m *model, tenant string) {
+	comp := m.biasComp
+	if _, tracked := comp.TenantCountersFor(tenant); !tracked {
+		tenant = bias.OverflowTenant
+	}
+	name := tenant
+	ml, tl := telemetry.L("model", m.name), telemetry.L("tenant", tenant)
+	s.reg.CounterFunc("unfold_bias_tenant_compile_hits_total", "Bias compiler cache hits, by model and tenant.",
+		func() float64 { tc, _ := comp.TenantCountersFor(name); return float64(tc.Hits) }, ml, tl)
+	s.reg.CounterFunc("unfold_bias_tenant_compile_misses_total", "Bias compiler cache misses, by model and tenant.",
+		func() float64 { tc, _ := comp.TenantCountersFor(name); return float64(tc.Misses) }, ml, tl)
+}
+
+// badBias formats a compile failure for the structured 400.
+func badBias(err error) string { return fmt.Sprintf("bias block rejected: %v", err) }

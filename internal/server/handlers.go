@@ -33,6 +33,10 @@ type recognizeRequest struct {
 	Utterances []utteranceRequest `json:"utterances"`
 	Timeout    string             `json:"timeout,omitempty"`
 	Model      string             `json:"model,omitempty"`
+	// Bias, when present, decodes the batch as AM ∘ LM ∘ Bias with the
+	// tenant's compiled phrase machine and a tenant-partitioned offset
+	// cache. See docs/BIASING.md.
+	Bias *biasRequest `json:"bias,omitempty"`
 }
 
 // compatibleContentType reports whether an explicitly-set Content-Type can
@@ -162,6 +166,12 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tb, berr := s.tenantBias(m, req.Bias)
+	if berr != nil {
+		outcome = "invalid"
+		s.fail(w, http.StatusBadRequest, "bad_bias", badBias(berr))
+		return
+	}
 	timeout, err := s.admit.parseTimeout(r, req.Timeout)
 	if err != nil {
 		outcome = "invalid"
@@ -211,7 +221,7 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 		for i, u := range req.Utterances {
 			frames[i] = u.Frames
 		}
-		batch, _ = m.lanes.DecodeContext(ctx, frames, preset)
+		batch, _ = m.lanes.DecodeBiasContext(ctx, frames, preset, tb)
 	} else {
 		// Scoring happens under the execution slot — it is real CPU work,
 		// and admitting it unbounded would defeat the gate.
@@ -219,7 +229,7 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 		for i, u := range req.Utterances {
 			scores[i] = m.score(u.Frames)
 		}
-		batch, _ = m.pool.DecodePresetContext(ctx, scores, preset)
+		batch, _ = m.pool.DecodeBiasContext(ctx, scores, preset, tb)
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		if errors.Is(cerr, context.DeadlineExceeded) {
@@ -264,6 +274,10 @@ func (s *Server) handleRecognize(w http.ResponseWriter, r *http.Request) {
 type streamChunk struct {
 	Frames [][]float32 `json:"frames"`
 	Model  string      `json:"model,omitempty"`
+	// Bias on the first line biases the whole stream (like Model, later
+	// lines ignore it): the utterance decodes as AM ∘ LM ∘ Bias over the
+	// tenant's compiled phrase machine and partitioned offset cache.
+	Bias *biasRequest `json:"bias,omitempty"`
 }
 
 // streamUpdate is the NDJSON reply line emitted after each chunk (and, with
@@ -556,6 +570,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// mapping) for the stream's whole life; a drain waits on it.
 	defer releaseModel()
 
+	tb, berr := s.tenantBias(m, first.Bias)
+	if berr != nil {
+		outcome = "invalid"
+		s.fail(w, http.StatusBadRequest, "bad_bias", badBias(berr))
+		return
+	}
+
 	// The pressure level at connection time sets this stream's operating
 	// point; the preset is private to the connection either way — installed
 	// on a per-connection decoder, or scoped to this stream's lane.
@@ -570,7 +591,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if m.lanes != nil {
 		// Blocks until a lane slot frees up (honouring ctx) — streams past
 		// the lane count queue here rather than degrading the lockstep group.
-		h, err := m.lanes.OpenLane(ctx, preset)
+		h, err := m.lanes.OpenLaneBias(ctx, preset, tb)
 		if err != nil {
 			if ctx.Err() != nil {
 				outcome = "canceled"
@@ -584,6 +605,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	} else {
 		dcfg := s.cfg.Decoder
 		dcfg.OffsetCache = m.streamCache
+		if tb != nil {
+			// A tenant-scoped stream reads offsets through its own partition,
+			// mirroring the pool/lane isolation: a hot tenant's churn cannot
+			// evict the tenantless (or another tenant's) working set.
+			if l2 := m.streamTenants.Partition(tb.Tenant); l2 != nil {
+				dcfg.OffsetCache = l2
+			}
+		}
 		dcfg.Telemetry = s.ptel.Decoder
 		ws, window := m.scorer().(acoustic.WindowScorer)
 		if dcfg.Lookahead > 0 && !window {
@@ -598,6 +627,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if preset != nil {
 			dec.SetSearchPreset(*preset)
+		}
+		if tb != nil && tb.Machine != nil {
+			if err := dec.SetBias(tb.Machine); err != nil {
+				// The machine compiled but cannot compose with this model's
+				// graphs (state-count guardrails): still a client problem.
+				outcome = "invalid"
+				s.fail(w, http.StatusBadRequest, "bad_bias", badBias(err))
+				return
+			}
 		}
 		if dcfg.Lookahead > 0 {
 			p, err := decoder.NewPipeline(dec, ws)

@@ -9,6 +9,7 @@ import (
 
 	unfold "repro"
 	"repro/internal/acoustic"
+	"repro/internal/bias"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
 	"repro/internal/wfst"
@@ -46,6 +47,15 @@ type model struct {
 
 	pool        *pool.DecodePool
 	streamCache *pool.ShardedLRU
+	// biasComp compiles per-tenant phrase lists into bias machines over
+	// this model's lexicon, with the tenant-keyed LRU in front so a stable
+	// phrase list compiles once per profile edit, not once per request.
+	biasComp *bias.Compiler
+	// streamTenants partitions the solo/pipe stream paths' offset-cache
+	// traffic per tenant, mirroring what the pool and lane scheduler do
+	// internally for their own caches. Tenantless streams keep using
+	// streamCache.
+	streamTenants *pool.TenantCaches
 	// lanes, when non-nil (Config.Lanes > 0), is the frame-synchronous
 	// lane scheduler the decode routes use instead of the pool and the
 	// per-connection stream decoders. It owns the model's acoustic scorer:

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	unfold "repro"
+	"repro/internal/bias"
 	"repro/internal/decoder"
 	"repro/internal/metrics"
 	"repro/internal/pool"
@@ -154,6 +155,7 @@ type Server struct {
 	partialsDropped *telemetry.Counter
 	shedTotal       map[string]*telemetry.Counter
 	degradedTotal   *telemetry.Counter
+	biasCompiles    *telemetry.Counter
 }
 
 // New builds an unloaded server: every route is installed and /healthz
@@ -204,6 +206,7 @@ func New(cfg Config) *Server {
 		s.shedTotal[route] = reg.Counter("unfold_server_shed_total", "Requests shed by admission control, by route.", telemetry.L("route", route))
 	}
 	s.degradedTotal = reg.Counter("unfold_server_degraded_total", "Decodes run at a degraded search preset.")
+	s.biasCompiles = reg.Counter("unfold_bias_requests_total", "Decode requests that carried a bias phrase list.")
 
 	// Process-level gauges: the serving view of the paper's memory
 	// footprint claim, plus liveness basics.
@@ -309,16 +312,20 @@ func (s *Server) buildSystemModel(name string, sys *unfold.System) (*model, erro
 		}
 	}
 	fp := sys.Footprint()
+	comp := bias.NewCompiler(newWordLookup(sys.Task.Lex.Words), bias.CompilerConfig{})
+	s.observeBiasCompiler(name, comp)
 	return &model{
-		name:        name,
-		task:        sys.Task.Spec.Name,
-		sys:         sys,
-		pool:        p,
-		lanes:       lanes,
-		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
-		resident:    fp.AMBytes + fp.LMBytes,
-		loadSeconds: loadSecondsSince(start),
-		rebuild:     func() (*model, error) { return s.buildSystemModel(name, sys) },
+		name:          name,
+		task:          sys.Task.Spec.Name,
+		sys:           sys,
+		pool:          p,
+		lanes:         lanes,
+		streamCache:   pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
+		biasComp:      comp,
+		streamTenants: pool.NewTenantCaches(pool.TenantPartitionConfig{}),
+		resident:      fp.AMBytes + fp.LMBytes,
+		loadSeconds:   loadSecondsSince(start),
+		rebuild:       func() (*model, error) { return s.buildSystemModel(name, sys) },
 	}, nil
 }
 
@@ -381,18 +388,22 @@ func (s *Server) buildBundleModel(name, path string, verify bool) (*model, error
 			return nil, err
 		}
 	}
+	comp := bias.NewCompiler(newWordLookup(rec.Lex.Words), bias.CompilerConfig{})
+	s.observeBiasCompiler(name, comp)
 	return &model{
-		name:        name,
-		task:        rec.TaskName,
-		rec:         rec,
-		pool:        p,
-		lanes:       lanes,
-		streamCache: pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
-		resident:    rec.ResidentBytes(),
-		loadSeconds: loadSecondsSince(start),
-		srcPath:     path,
-		srcVerify:   verify,
-		rebuild:     func() (*model, error) { return s.buildBundleModel(name, path, verify) },
+		name:          name,
+		task:          rec.TaskName,
+		rec:           rec,
+		pool:          p,
+		lanes:         lanes,
+		streamCache:   pool.NewShardedLRU(s.cfg.StreamCacheEntries, 16),
+		biasComp:      comp,
+		streamTenants: pool.NewTenantCaches(pool.TenantPartitionConfig{}),
+		resident:      rec.ResidentBytes(),
+		loadSeconds:   loadSecondsSince(start),
+		srcPath:       path,
+		srcVerify:     verify,
+		rebuild:       func() (*model, error) { return s.buildBundleModel(name, path, verify) },
 	}, nil
 }
 

@@ -1,0 +1,138 @@
+package task
+
+import "fmt"
+
+// BiasTermStats is the biased-term slice of an evaluation: the same
+// Levenshtein alignment WER uses, but scored only where a biased term is
+// involved. It answers the question a phrase list exists to answer — "did
+// the contact name / hotword come out right?" — which aggregate WER hides
+// behind all the unbiased words. Ins counts hypothesis occurrences of
+// biased terms with no aligned reference counterpart: over-biasing
+// (hallucinated hotwords) shows up there instead of vanishing into a
+// better-looking recall.
+type BiasTermStats struct {
+	RefTerms   int // biased-term occurrences across the references
+	Correct    int // of those, aligned to the identical hypothesis word
+	Sub        int // replaced by some other word
+	Del        int // dropped entirely
+	Ins        int // biased terms the hypothesis invented
+	Utterances int
+}
+
+// WER is the biased-term word error rate in percent:
+// (Sub+Del+Ins)/RefTerms, the restricted analogue of aggregate WER.
+func (s BiasTermStats) WER() float64 {
+	if s.RefTerms == 0 {
+		return 0
+	}
+	return 100 * float64(s.Sub+s.Del+s.Ins) / float64(s.RefTerms)
+}
+
+// Recall is the fraction of reference biased-term occurrences the
+// hypothesis got exactly right.
+func (s BiasTermStats) Recall() float64 {
+	if s.RefTerms == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.RefTerms)
+}
+
+func (s BiasTermStats) String() string {
+	return fmt.Sprintf("biased-term WER %.2f%% recall %.2f (%d/%d correct, %d sub, %d del, %d ins, %d utts)",
+		s.WER(), s.Recall(), s.Correct, s.RefTerms, s.Sub, s.Del, s.Ins, s.Utterances)
+}
+
+// BiasTermAccumulator aggregates BiasTermStats over a test set for one
+// biased-term set (word IDs, matching the decoder's output alphabet).
+type BiasTermAccumulator struct {
+	terms map[int32]bool
+	stats BiasTermStats
+}
+
+// NewBiasTermAccumulator builds an accumulator for the given biased word
+// IDs (duplicates are fine).
+func NewBiasTermAccumulator(terms []int32) *BiasTermAccumulator {
+	set := make(map[int32]bool, len(terms))
+	for _, t := range terms {
+		set[t] = true
+	}
+	return &BiasTermAccumulator{terms: set}
+}
+
+// Add aligns one utterance and accumulates the biased-term slice of the
+// edit operations.
+func (a *BiasTermAccumulator) Add(ref, hyp []int32) {
+	n, m := len(ref), len(hyp)
+	// Full DP with backtraces: unlike aggregate WER (which only needs the
+	// operation counts), attributing errors to specific words needs the
+	// alignment path. Utterances are short, so the quadratic table is cheap.
+	const (
+		opMatch = iota
+		opSub
+		opDel
+		opIns
+	)
+	cost := make([][]int, n+1)
+	from := make([][]int8, n+1)
+	for i := range cost {
+		cost[i] = make([]int, m+1)
+		from[i] = make([]int8, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		cost[i][0], from[i][0] = i, opDel
+	}
+	for j := 1; j <= m; j++ {
+		cost[0][j], from[0][j] = j, opIns
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if ref[i-1] == hyp[j-1] {
+				cost[i][j], from[i][j] = cost[i-1][j-1], opMatch
+				continue
+			}
+			c, op := cost[i-1][j-1]+1, int8(opSub)
+			if d := cost[i-1][j] + 1; d < c {
+				c, op = d, opDel
+			}
+			if ins := cost[i][j-1] + 1; ins < c {
+				c, op = ins, opIns
+			}
+			cost[i][j], from[i][j] = c, op
+		}
+	}
+	for i, j := n, m; i > 0 || j > 0; {
+		switch from[i][j] {
+		case opMatch:
+			if a.terms[ref[i-1]] {
+				a.stats.RefTerms++
+				a.stats.Correct++
+			}
+			i, j = i-1, j-1
+		case opSub:
+			if a.terms[ref[i-1]] {
+				a.stats.RefTerms++
+				a.stats.Sub++
+			} else if a.terms[hyp[j-1]] {
+				// A biased term surfaced where the reference has an
+				// unbiased word: over-biasing, charged as an insertion.
+				a.stats.Ins++
+			}
+			i, j = i-1, j-1
+		case opDel:
+			if a.terms[ref[i-1]] {
+				a.stats.RefTerms++
+				a.stats.Del++
+			}
+			i--
+		default: // opIns
+			if a.terms[hyp[j-1]] {
+				a.stats.Ins++
+			}
+			j--
+		}
+	}
+	a.stats.Utterances++
+}
+
+// Stats returns the aggregate.
+func (a *BiasTermAccumulator) Stats() BiasTermStats { return a.stats }

@@ -1,0 +1,68 @@
+package task
+
+import "testing"
+
+func TestBiasTermAccumulatorExactMatch(t *testing.T) {
+	a := NewBiasTermAccumulator([]int32{2, 5})
+	a.Add([]int32{1, 2, 3, 5}, []int32{1, 2, 3, 5})
+	st := a.Stats()
+	if st.RefTerms != 2 || st.Correct != 2 || st.Sub+st.Del+st.Ins != 0 {
+		t.Fatalf("exact match miscounted: %+v", st)
+	}
+	if st.WER() != 0 || st.Recall() != 1 {
+		t.Errorf("WER %.2f recall %.2f, want 0 and 1", st.WER(), st.Recall())
+	}
+}
+
+func TestBiasTermAccumulatorOps(t *testing.T) {
+	cases := []struct {
+		name     string
+		ref, hyp []int32
+		want     BiasTermStats
+	}{
+		{"substituted_term", []int32{1, 2, 3}, []int32{1, 9, 3},
+			BiasTermStats{RefTerms: 1, Sub: 1, Utterances: 1}},
+		{"deleted_term", []int32{1, 2, 3}, []int32{1, 3},
+			BiasTermStats{RefTerms: 1, Del: 1, Utterances: 1}},
+		{"inserted_term", []int32{1, 3}, []int32{1, 2, 3},
+			BiasTermStats{Ins: 1, Utterances: 1}},
+		{"term_replaces_other_word", []int32{1, 9, 3}, []int32{1, 2, 3},
+			BiasTermStats{Ins: 1, Utterances: 1}},
+		{"unbiased_errors_ignored", []int32{1, 2, 3, 4}, []int32{7, 2, 8},
+			BiasTermStats{RefTerms: 1, Correct: 1, Utterances: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewBiasTermAccumulator([]int32{2})
+			a.Add(tc.ref, tc.hyp)
+			if got := a.Stats(); got != tc.want {
+				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBiasTermAccumulatorAggregates(t *testing.T) {
+	a := NewBiasTermAccumulator([]int32{2})
+	a.Add([]int32{2, 1}, []int32{2, 1}) // correct
+	a.Add([]int32{2, 1}, []int32{9, 1}) // substituted
+	a.Add([]int32{1, 2}, []int32{1})    // deleted
+	st := a.Stats()
+	want := BiasTermStats{RefTerms: 3, Correct: 1, Sub: 1, Del: 1, Utterances: 3}
+	if st != want {
+		t.Fatalf("aggregate %+v, want %+v", st, want)
+	}
+	if w := st.WER(); w < 66.6 || w > 66.7 {
+		t.Errorf("WER = %.3f, want 2/3 in percent", w)
+	}
+	if r := st.Recall(); r < 0.33 || r > 0.34 {
+		t.Errorf("recall = %.3f, want 1/3", r)
+	}
+}
+
+func TestBiasTermStatsEmptyDenominator(t *testing.T) {
+	var st BiasTermStats
+	if st.WER() != 0 || st.Recall() != 0 {
+		t.Errorf("zero stats must report 0, got WER %.2f recall %.2f", st.WER(), st.Recall())
+	}
+}
